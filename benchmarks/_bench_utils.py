@@ -1,0 +1,31 @@
+"""Helpers shared by the benchmark modules (result saving, summarising)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(results_dir: str, name: str, result) -> str:
+    """Write an ExperimentResult's text and CSV renderings to disk."""
+    text_path = os.path.join(results_dir, f"{name}.txt")
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_text())
+        handle.write("\n")
+    csv_path = os.path.join(results_dir, f"{name}.csv")
+    with open(csv_path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_csv())
+    return text_path
+
+
+def summarise_rows(result, value_column: int, label_column: int = 1) -> Dict[str, float]:
+    """Collapse an experiment result to {algorithm-label: value} pairs."""
+    summary: Dict[str, float] = {}
+    for row in result.rows:
+        label = str(row[label_column])
+        value = row[value_column]
+        if isinstance(value, (int, float)):
+            summary[label] = round(float(value), 4)
+    return summary

@@ -1,0 +1,103 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper figures, but each ablation isolates one design decision of the
+sDTW pipeline and records how the distance error and cell gain respond on a
+Trace-like sample:
+
+* inconsistency pruning on vs. off (Section 3.2.2),
+* the ε-relaxed extrema acceptance vs. strict extrema (Section 3.1.2),
+* asymmetric vs. symmetric (union) bands (Section 3.3.3),
+* the adaptive-width lower bound (Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import MatchingConfig, SDTWConfig, ScaleSpaceConfig
+from repro.core.sdtw import SDTW
+from repro.datasets.synthetic import make_trace_like
+from repro.retrieval.evaluation import distance_error
+from repro.retrieval.index import compute_distance_index
+
+
+@pytest.fixture(scope="module")
+def trace_values():
+    dataset = make_trace_like(num_series=10, seed=17)
+    return [ts.values for ts in dataset]
+
+
+@pytest.fixture(scope="module")
+def reference(trace_values):
+    return compute_distance_index(trace_values, "full")
+
+
+def _evaluate(trace_values, reference, config: SDTWConfig):
+    engine = SDTW(config)
+    index = compute_distance_index(trace_values, "ac,aw", engine, symmetrize=False)
+    return {
+        "distance_error": distance_error(reference.distances, index.distances),
+        "cell_gain": 1.0 - index.cells_filled / max(index.total_cells, 1),
+    }
+
+
+def test_ablation_inconsistency_pruning(benchmark, trace_values, reference):
+    """Disabling inconsistency pruning must not crash and typically hurts
+    the error because crossing matches distort the adaptive core."""
+    with_pruning = _evaluate(trace_values, reference, SDTWConfig())
+    without_cfg = SDTWConfig(matching=MatchingConfig(prune_inconsistencies=False))
+    without_pruning = benchmark.pedantic(
+        lambda: _evaluate(trace_values, reference, without_cfg),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["with_pruning"] = with_pruning
+    benchmark.extra_info["without_pruning"] = without_pruning
+    assert np.isfinite(without_pruning["distance_error"])
+
+
+def test_ablation_epsilon_relaxation(benchmark, trace_values, reference):
+    """Strict extrema (ε = 0) keep fewer keypoints; the pipeline must still
+    work and the relaxed default should not be worse in error."""
+    strict_cfg = SDTWConfig(scale_space=ScaleSpaceConfig(epsilon=0.0))
+    strict = benchmark.pedantic(
+        lambda: _evaluate(trace_values, reference, strict_cfg),
+        rounds=1, iterations=1,
+    )
+    relaxed = _evaluate(trace_values, reference, SDTWConfig())
+    benchmark.extra_info["strict_epsilon"] = strict
+    benchmark.extra_info["relaxed_epsilon"] = relaxed
+    assert np.isfinite(strict["distance_error"])
+    assert relaxed["distance_error"] <= strict["distance_error"] + 0.5
+
+
+def test_ablation_symmetric_band(benchmark, trace_values, reference):
+    """The symmetric (union) band can only widen the search region, so its
+    error is never larger than the asymmetric band's error."""
+    symmetric_cfg = SDTWConfig(symmetric_band=True)
+    symmetric = benchmark.pedantic(
+        lambda: _evaluate(trace_values, reference, symmetric_cfg),
+        rounds=1, iterations=1,
+    )
+    asymmetric = _evaluate(trace_values, reference, SDTWConfig())
+    benchmark.extra_info["symmetric"] = symmetric
+    benchmark.extra_info["asymmetric"] = asymmetric
+    assert symmetric["distance_error"] <= asymmetric["distance_error"] + 1e-9
+    assert symmetric["cell_gain"] <= asymmetric["cell_gain"] + 1e-9
+
+
+def test_ablation_adaptive_width_lower_bound(benchmark, trace_values, reference):
+    """Raising the adaptive-width lower bound trades cell gain for accuracy."""
+    tight_cfg = SDTWConfig(adaptive_width_lower_bound=0.05)
+    wide_cfg = SDTWConfig(adaptive_width_lower_bound=0.40)
+    tight = benchmark.pedantic(
+        lambda: _evaluate(trace_values, reference, tight_cfg),
+        rounds=1, iterations=1,
+    )
+    wide = _evaluate(trace_values, reference, wide_cfg)
+    benchmark.extra_info["lower_bound_0.05"] = tight
+    benchmark.extra_info["lower_bound_0.40"] = wide
+    assert wide["distance_error"] <= tight["distance_error"] + 1e-9
+    assert tight["cell_gain"] >= wide["cell_gain"] - 1e-9

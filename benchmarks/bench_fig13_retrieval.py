@@ -1,0 +1,43 @@
+"""Benchmark / reproduction of Figure 13 (top-k retrieval accuracy vs. time gain).
+
+Runs the full algorithm roster on a sample of each data set and records the
+top-5/top-10 retrieval accuracies next to the time/cell gains.  The paper's
+qualitative findings asserted here:
+
+* accuracy of fixed core & fixed width grows with w (6% < 10% < 20%),
+* adapting the core improves accuracy over the fixed-core band of the same
+  width, and adapting the width as well keeps or improves it,
+* every constrained algorithm saves a large fraction of the grid cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import save_result, summarise_rows
+
+from repro.experiments import run_fig13
+
+DATASETS = ("gun", "trace", "50words")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig13_retrieval_accuracy_and_time_gain(benchmark, results_dir, dataset):
+    result = benchmark.pedantic(
+        lambda: run_fig13(dataset_names=(dataset,), num_series=14, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, f"fig13_{dataset}", result)
+    top5 = summarise_rows(result, value_column=2)
+    cell_gain = summarise_rows(result, value_column=5)
+    benchmark.extra_info["top5_accuracy"] = top5
+    benchmark.extra_info["cell_gain"] = cell_gain
+
+    # Paper shape: wider fixed bands are more accurate.
+    assert top5["(fc,fw) 20%"] >= top5["(fc,fw) 6%"] - 1e-9
+    # Paper shape: adaptive core at 10% is at least as accurate as the fixed
+    # core at 10% (the headline improvement).
+    assert top5["(ac,fw) 10%"] >= top5["(fc,fw) 10%"] - 0.05
+    # Every constrained algorithm saves a substantial share of the grid.
+    assert all(value > 0.25 for value in cell_gain.values())

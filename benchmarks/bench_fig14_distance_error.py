@@ -1,0 +1,40 @@
+"""Benchmark / reproduction of Figure 14 (distance error vs. time gain).
+
+The paper's qualitative findings asserted here:
+
+* fixed core & fixed width algorithms show the largest distance errors,
+* adaptive-core algorithms reduce the error dramatically at comparable
+  cell savings,
+* errors shrink as the fixed band gets wider.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import save_result, summarise_rows
+
+from repro.experiments import run_fig14
+
+DATASETS = ("gun", "trace", "50words")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig14_distance_error_vs_time_gain(benchmark, results_dir, dataset):
+    result = benchmark.pedantic(
+        lambda: run_fig14(dataset_names=(dataset,), num_series=14, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, f"fig14_{dataset}", result)
+    errors = summarise_rows(result, value_column=2)
+    gains = summarise_rows(result, value_column=4)
+    benchmark.extra_info["distance_error"] = errors
+    benchmark.extra_info["cell_gain"] = gains
+
+    # Wider fixed bands shrink the error.
+    assert errors["(fc,fw) 20%"] <= errors["(fc,fw) 6%"] + 1e-9
+    # Adapting the core at the same width shrinks the error further.
+    assert errors["(ac,fw) 10%"] <= errors["(fc,fw) 10%"] + 1e-9
+    # The adaptive core & adaptive width algorithms sit at the low-error end.
+    assert errors["(ac,aw)"] <= errors["(fc,fw) 6%"]

@@ -1,0 +1,28 @@
+"""Benchmark / reproduction of Figure 15 (intra-class distance errors, Trace).
+
+Within-class pairs are the hardest to estimate accurately; the paper shows
+fixed-core algorithms degrade badly there while adaptive-core algorithms
+keep the error an order of magnitude lower.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_result, summarise_rows
+
+from repro.experiments import run_fig15
+
+
+def test_fig15_intra_class_distance_errors(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig15(dataset_name="trace", num_series=16, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, "fig15", result)
+    intra = summarise_rows(result, value_column=1, label_column=0)
+    benchmark.extra_info["intra_class_error"] = intra
+
+    # Paper shape: the adaptive-core algorithms keep intra-class errors well
+    # below the narrow fixed-core band.
+    assert intra["(ac,aw)"] <= intra["(fc,fw) 6%"]
+    assert intra["(ac,fw) 10%"] <= intra["(fc,fw) 10%"] + 1e-9

@@ -1,0 +1,30 @@
+"""Benchmark / reproduction of Figure 16 (classification accuracy, 50Words).
+
+k-NN classification accuracy (Jaccard overlap of the label sets produced
+with full DTW vs. the constrained algorithms) on the 50Words-like data set,
+which has the most classes and is therefore the hardest labelling task.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_result, summarise_rows
+
+from repro.experiments import run_fig16
+
+
+def test_fig16_classification_accuracy(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig16(dataset_name="50words", num_series=20, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, "fig16", result)
+    top5 = summarise_rows(result, value_column=1, label_column=0)
+    top10 = summarise_rows(result, value_column=2, label_column=0)
+    benchmark.extra_info["top5_classification"] = top5
+    benchmark.extra_info["top10_classification"] = top10
+
+    # Paper shape: adaptive core & width improves (or matches) the narrow
+    # fixed-core band's agreement with the full-DTW labelling.
+    assert top5["(ac,aw)"] >= top5["(fc,fw) 6%"] - 0.05
+    assert all(0.0 <= value <= 1.0 for value in top5.values())

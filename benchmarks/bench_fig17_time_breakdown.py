@@ -1,0 +1,33 @@
+"""Benchmark / reproduction of Figure 17 (matching vs. dynamic-programming time).
+
+The per-comparison cost of the adaptive algorithms splits into the
+salient-feature matching / inconsistency-removal step and the constrained
+dynamic program.  The paper shows the matching step is a small share of the
+total; this bench asserts it stays a minority share.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_result
+
+from repro.experiments import run_fig17
+
+
+def test_fig17_matching_vs_dp_time(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig17(dataset_names=("gun",), num_series=14, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, "fig17", result)
+    shares = {str(row[1]): float(row[5]) for row in result.rows}
+    benchmark.extra_info["matching_share"] = {
+        label: round(value, 4) for label, value in shares.items()
+    }
+
+    # Fixed core & fixed width has no matching overhead at all.
+    assert shares["(fc,fw) 10%"] == 0.0
+    # The adaptive algorithms spend most of their time in the DP, not in the
+    # matching / inconsistency-removal step.
+    for label in ("(ac,fw) 10%", "(ac,aw)", "(ac2,aw)"):
+        assert shares[label] < 0.5

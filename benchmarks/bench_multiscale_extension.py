@@ -1,0 +1,60 @@
+"""Benchmark of the multi-resolution + sDTW combination (paper §2.1.4 note).
+
+Not a paper figure: the paper only remarks that its constraint-based
+pruning can be combined with reduced-representation approaches.  This bench
+quantifies that combination against plain sDTW and plain FastDTW on a
+Trace-like pair: the combined variant should fill no more cells than plain
+sDTW while keeping the distance estimate close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SDTWConfig
+from repro.core.multiscale import multiscale_sdtw
+from repro.core.sdtw import SDTW
+from repro.datasets.synthetic import make_trace_like
+from repro.dtw.fastdtw import fastdtw
+from repro.dtw.full import dtw_distance
+
+
+@pytest.fixture(scope="module")
+def trace_pair():
+    dataset = make_trace_like(num_series=4, seed=29)
+    return dataset[0].values, dataset[1].values
+
+
+def test_multiscale_sdtw_vs_plain(benchmark, trace_pair):
+    x, y = trace_pair
+    config = SDTWConfig()
+    engine = SDTW(config)
+    engine.extract_features(x)
+    engine.extract_features(y)
+
+    exact = dtw_distance(x, y)
+    plain = engine.distance(x, y, "ac,aw")
+    fast = fastdtw(x, y, radius=1)
+
+    combined = benchmark(
+        lambda: multiscale_sdtw(x, y, "ac,aw", config, engine=engine)
+    )
+
+    benchmark.extra_info["exact_distance"] = round(exact, 4)
+    benchmark.extra_info["plain_sdtw"] = {
+        "distance": round(plain.distance, 4),
+        "cells": plain.cells_filled,
+    }
+    benchmark.extra_info["fastdtw"] = {
+        "distance": round(fast.distance, 4),
+        "cells": fast.cells_filled,
+    }
+    benchmark.extra_info["multiscale_sdtw"] = {
+        "distance": round(combined.distance, 4),
+        "cells": combined.cells_filled,
+    }
+
+    assert combined.distance >= exact - 1e-9
+    assert combined.cells_filled <= plain.cells_filled
+    assert np.isfinite(combined.distance)

@@ -1,0 +1,35 @@
+"""Benchmark of the noise-robustness extension study.
+
+Sweeps the additive-noise level and records the distance error of the
+fixed 10% band vs. the adaptive core & adaptive width constraint.  The
+robustness claim of Section 3.1.2 translates into the adaptive constraint
+staying well ahead of (or at least comparable to) the fixed band as the
+noise grows.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_result
+
+from repro.experiments import run_noise_robustness
+
+
+def test_noise_robustness_sweep(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_noise_robustness(num_series=8, length=120,
+                                     noise_levels=(0.0, 0.05, 0.10)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(results_dir, "noise_robustness", result)
+
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    benchmark.extra_info["acaw_error_by_noise"] = {
+        str(noise): round(by_key[(noise, "(ac,aw)")][2], 4)
+        for noise in (0.0, 0.05, 0.10)
+    }
+    # At the highest noise level the adaptive constraint must still not be
+    # substantially worse than the fixed band.
+    worst_fixed = by_key[(0.10, "(fc,fw) 10%")][2]
+    worst_adaptive = by_key[(0.10, "(ac,aw)")][2]
+    assert worst_adaptive <= worst_fixed * 1.5

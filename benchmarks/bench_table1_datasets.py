@@ -1,0 +1,24 @@
+"""Benchmark / reproduction of Table 1 (data-set overview).
+
+Generates the three synthetic analogue collections at paper scale and
+reports their summaries next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_result
+
+from repro.experiments import run_table1
+
+
+def test_table1_dataset_overview(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table1(seed=7), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table1", result)
+    for row in result.rows:
+        name = str(row[0])
+        benchmark.extra_info[f"{name}_length"] = row[1]
+        benchmark.extra_info[f"{name}_series"] = row[2]
+        benchmark.extra_info[f"{name}_classes"] = row[3]
+    assert len(result.rows) == 3

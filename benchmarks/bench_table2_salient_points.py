@@ -1,0 +1,26 @@
+"""Benchmark / reproduction of Table 2 (salient points per temporal scale).
+
+Extracts salient features from a sample of each data set with a
+three-octave pyramid and reports the average fine/medium/rough counts.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import save_result
+
+from repro.experiments import run_table2
+
+
+def test_table2_salient_point_counts(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table2(num_series=10, seed=7), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table2", result)
+    for row in result.rows:
+        name = str(row[0])
+        benchmark.extra_info[f"{name}_fine"] = round(float(row[1]), 1)
+        benchmark.extra_info[f"{name}_medium"] = round(float(row[2]), 1)
+        benchmark.extra_info[f"{name}_rough"] = round(float(row[3]), 1)
+    # Within-row shape of the paper's table: fine-scale features dominate.
+    for row in result.rows:
+        assert row[1] > row[3]

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+Every table/figure of the paper has a benchmark module here.  Each bench
+
+* runs the corresponding experiment from :mod:`repro.experiments` at a
+  reduced-but-representative scale (the full paper-scale runs are available
+  through the CLI: ``python -m repro experiment <id> --num-series <n>``),
+* records the headline numbers in ``benchmark.extra_info`` so they appear
+  in the pytest-benchmark output, and
+* writes the full reproduced table to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from _bench_utils import RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory where benches dump the reproduced tables."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,48 @@
+"""Descriptor-length study (the paper's Figure 18, in miniature).
+
+The salient-feature descriptor length controls how much temporal context
+each feature carries: very short descriptors cannot disambiguate similar
+features, while long descriptors add context (and matching cost).  This
+example sweeps a few descriptor lengths on one data set and reports how
+distance error, top-k agreement, and grid savings respond for the adaptive
+constraint families.
+
+Run with::
+
+    python examples/descriptor_length_study.py [dataset] [num_series]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.fig18 import adaptive_algorithms, run_fig18
+
+
+def main(dataset: str = "trace", num_series: int = 10) -> None:
+    lengths = (4, 16, 64)
+    print(f"Sweeping descriptor lengths {lengths} on {dataset!r} "
+          f"({num_series} series)\n")
+    result = run_fig18(
+        dataset_names=(dataset,),
+        num_series=num_series,
+        descriptor_lengths=lengths,
+        algorithms=adaptive_algorithms(),
+        k=5,
+    )
+    print(result.to_text())
+
+    # Highlight the (ac,aw) trade-off across descriptor lengths.
+    print("\n(ac,aw) summary:")
+    for row in result.rows:
+        if row[2] == "(ac,aw)":
+            print(f"  {row[1]:>4d} bins: distance error {row[3]:.3f}, "
+                  f"top-5 agreement {row[4]:.3f}, cell gain {row[6]:.1%}")
+    print("\nModerate-to-long descriptors give the adaptive algorithms enough "
+          "temporal context to align features reliably.")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "trace"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    main(name, count)

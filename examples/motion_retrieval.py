@@ -1,0 +1,70 @@
+"""Motion-capture-style retrieval with sDTW (Gun-like data).
+
+The paper's first evaluation scenario is top-k retrieval: given a query
+series, find the k most similar series in a collection, and measure how
+well a constrained DTW reproduces the result set of the optimal DTW.  This
+example runs that scenario on the synthetic Gun-like data set (broad,
+smooth motion profiles in two classes) and prints, per algorithm, the
+retrieval accuracy, the distance error and the work saved.
+
+Run with::
+
+    python examples/motion_retrieval.py [num_series]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.config import SDTWConfig
+from repro.core.sdtw import SDTW
+from repro.datasets import make_gun_like
+from repro.retrieval.evaluation import (
+    distance_error,
+    retrieval_accuracy,
+    time_gain,
+)
+from repro.retrieval.index import compute_distance_index
+
+
+def main(num_series: int = 14) -> None:
+    dataset = make_gun_like(num_series=num_series, seed=7)
+    values = dataset.values_list()
+    print(f"Data set: {dataset.name} — {len(dataset)} series of length "
+          f"{dataset.lengths[0]}, {dataset.num_classes} classes")
+
+    print("\nBuilding the full-DTW reference index ...")
+    reference = compute_distance_index(values, "full")
+    print(f"  reference cost: {reference.compute_seconds:.2f}s, "
+          f"{reference.cells_filled} cells")
+
+    algorithms = [
+        ("(fc,fw) 6%", "fc,fw", 0.06),
+        ("(fc,fw) 20%", "fc,fw", 0.20),
+        ("(ac,fw) 10%", "ac,fw", 0.10),
+        ("(ac,aw)", "ac,aw", 0.10),
+        ("(ac2,aw)", "ac2,aw", 0.10),
+    ]
+
+    header = (f"{'algorithm':14s} {'top-5 acc':>10s} {'dist err':>10s} "
+              f"{'time gain':>10s} {'cell gain':>10s}")
+    print("\n" + header)
+    print("-" * len(header))
+    for label, constraint, width in algorithms:
+        engine = SDTW(SDTWConfig(width_fraction=width))
+        index = compute_distance_index(values, constraint, engine,
+                                       symmetrize=False)
+        accuracy = retrieval_accuracy(reference.distances, index.distances, k=5)
+        error = distance_error(reference.distances, index.distances)
+        gain = time_gain(reference.compute_seconds, index.compute_seconds)
+        cell_gain = 1.0 - index.cells_filled / index.total_cells
+        print(f"{label:14s} {accuracy:10.3f} {error:10.3f} "
+              f"{gain:10.1%} {cell_gain:10.1%}")
+
+    print("\nAdapting the band to the salient-feature alignment recovers most "
+          "of the optimal result sets at a fraction of the DTW work.")
+
+
+if __name__ == "__main__":
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    main(count)

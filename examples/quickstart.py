@@ -1,0 +1,71 @@
+"""Quickstart: compute sDTW distances between two warped time series.
+
+This example builds two series that share the same underlying features but
+are locally warped in time, then compares the optimal DTW distance against
+the constrained sDTW distances of every constraint family the paper
+proposes, reporting distance, error, and the share of the DTW grid each
+algorithm actually filled.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SDTW, dtw
+
+
+def make_pair():
+    """Two series with the same three temporal features, warped differently."""
+    t = np.linspace(0.0, 1.0, 220)
+    x = (
+        np.exp(-((t - 0.22) ** 2) / 0.0015)
+        + 0.8 * np.exp(-((t - 0.55) ** 2) / 0.006)
+        - 0.5 * np.exp(-((t - 0.85) ** 2) / 0.0012)
+    )
+    t2 = np.linspace(0.0, 1.0, 260)
+    y = (
+        np.exp(-((t2 - 0.30) ** 2) / 0.0015)
+        + 0.8 * np.exp(-((t2 - 0.52) ** 2) / 0.006)
+        - 0.5 * np.exp(-((t2 - 0.80) ** 2) / 0.0012)
+    )
+    rng = np.random.default_rng(0)
+    return x + rng.normal(0, 0.01, x.size), y + rng.normal(0, 0.01, y.size)
+
+
+def main() -> None:
+    x, y = make_pair()
+    print(f"Series lengths: |X| = {x.size}, |Y| = {y.size}")
+
+    exact = dtw(x, y)
+    print(f"\nOptimal DTW distance : {exact.distance:.4f} "
+          f"({exact.cells_filled} grid cells filled)\n")
+
+    engine = SDTW()
+
+    # Inspect the salient-feature alignment the constraints are built from.
+    alignment = engine.align(x, y)
+    print(f"Salient features     : {len(alignment.features_x)} on X, "
+          f"{len(alignment.features_y)} on Y")
+    print(f"Dominant matches     : {len(alignment.matches)}")
+    print(f"Consistent matches   : {alignment.consistent.num_pairs}")
+    print(f"Corresponding intervals: {alignment.partition.num_intervals}\n")
+
+    header = f"{'constraint':10s} {'distance':>10s} {'error':>8s} {'cells':>8s} {'saved':>7s}"
+    print(header)
+    print("-" * len(header))
+    for constraint in ("fc,fw", "fc,aw", "ac,fw", "ac,aw", "ac2,aw"):
+        result = engine.distance(x, y, constraint=constraint)
+        error = (result.distance - exact.distance) / exact.distance
+        print(f"{constraint:10s} {result.distance:10.4f} {error:8.2%} "
+              f"{result.cells_filled:8d} {result.cell_savings:7.1%}")
+
+    print("\nThe adaptive-core constraints track the optimal distance closely "
+          "while filling a fraction of the grid.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of the sDTW system (Candan et al., VLDB 2012).
+
+The library computes dynamic time warping (DTW) distances under *locally
+relevant* constraints derived from salient-feature alignments:
+
+1. SIFT-like salient features are extracted from each 1-D time series
+   (:mod:`repro.core.features`).
+2. Features of two series are matched and temporally inconsistent matches
+   are pruned (:mod:`repro.core.matching`, :mod:`repro.core.consistency`).
+3. The consistent alignment induces corresponding interval partitions that
+   shape an adaptive search band for the DTW dynamic program
+   (:mod:`repro.core.bands`, :mod:`repro.dtw.banded`).
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import SDTW
+>>> x = np.sin(np.linspace(0, 6.28, 100))
+>>> y = np.sin(np.linspace(0, 6.28, 120) - 0.3)
+>>> engine = SDTW()
+>>> result = engine.distance(x, y, constraint="ac,aw")
+>>> result.cell_savings >= 0.0
+True
+
+The :mod:`repro.experiments` package regenerates every table and figure of
+the paper's evaluation section; see EXPERIMENTS.md in the repository root.
+"""
+
+from .core.config import (
+    DEFAULT_CONFIG,
+    DescriptorConfig,
+    MatchingConfig,
+    SDTWConfig,
+    ScaleSpaceConfig,
+)
+from .core.features import SalientFeature, extract_salient_features
+from .core.sdtw import SDTW, SDTWAlignment, SDTWResult, sdtw_distance
+from .dtw.full import DTWResult, dtw, dtw_distance
+from .dtw.banded import banded_dtw
+from .dtw.constraints import itakura_band, sakoe_chiba_band
+from .exceptions import (
+    BandError,
+    ConfigurationError,
+    DatasetError,
+    EmptySeriesError,
+    ExperimentError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandError",
+    "ConfigurationError",
+    "DEFAULT_CONFIG",
+    "DatasetError",
+    "DescriptorConfig",
+    "DTWResult",
+    "EmptySeriesError",
+    "ExperimentError",
+    "MatchingConfig",
+    "ReproError",
+    "SDTW",
+    "SDTWAlignment",
+    "SDTWConfig",
+    "SDTWResult",
+    "SalientFeature",
+    "ScaleSpaceConfig",
+    "ValidationError",
+    "__version__",
+    "banded_dtw",
+    "dtw",
+    "dtw_distance",
+    "extract_salient_features",
+    "itakura_band",
+    "sakoe_chiba_band",
+    "sdtw_distance",
+]

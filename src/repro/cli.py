@@ -1,0 +1,127 @@
+"""Command-line interface.
+
+Two entry points are installed:
+
+* ``repro-sdtw`` (or ``python -m repro``) with sub-commands:
+
+  - ``experiment <id>`` — run one of the table/figure reproductions and
+    print the resulting table (optionally also write CSV).
+  - ``distance <dataset> <i> <j>`` — compute the distance between two
+    series of a registered data set under one or more constraints.
+  - ``datasets`` — list the registered data sets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.sdtw import SDTW
+from .core.config import SDTWConfig
+from .datasets.registry import available_datasets, load_dataset
+from .exceptions import ExperimentError, ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sdtw",
+        description="sDTW reproduction (Candan et al., VLDB 2012): "
+                    "experiments and distance computations.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    exp = subparsers.add_parser("experiment", help="run a table/figure reproduction")
+    exp.add_argument("experiment_id",
+                     help="one of: table1, table2, fig13, fig14, fig15, fig16, "
+                          "fig17, fig18")
+    exp.add_argument("--num-series", type=int, default=None,
+                     help="series sampled per data set (default: experiment-specific)")
+    exp.add_argument("--seed", type=int, default=7, help="generation/sampling seed")
+    exp.add_argument("--csv", metavar="PATH", default=None,
+                     help="also write the rows to a CSV file")
+
+    dist = subparsers.add_parser("distance",
+                                 help="compute the distance between two series")
+    dist.add_argument("dataset", help="registered data-set name or UCR file path")
+    dist.add_argument("first", type=int, help="index of the first series")
+    dist.add_argument("second", type=int, help="index of the second series")
+    dist.add_argument("--constraint", action="append", default=None,
+                      help="constraint label (repeatable); defaults to all")
+    dist.add_argument("--seed", type=int, default=7, help="generation seed")
+
+    subparsers.add_parser("datasets", help="list the registered data sets")
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS
+
+    key = args.experiment_id.lower()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(f"unknown experiment {key!r}; known: {known}")
+    kwargs = {"seed": args.seed}
+    if args.num_series is not None:
+        kwargs["num_series"] = args.num_series
+    result = EXPERIMENTS[key](**kwargs)
+    print(result.to_text())
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(result.to_csv())
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _run_distance(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    constraints = args.constraint or [
+        "full", "fc,fw", "fc,aw", "ac,fw", "ac,aw", "ac2,aw"
+    ]
+    for index in (args.first, args.second):
+        if not 0 <= index < len(dataset):
+            raise ExperimentError(
+                f"series index {index} out of range for {dataset.name} "
+                f"({len(dataset)} series)"
+            )
+    x = dataset[args.first].values
+    y = dataset[args.second].values
+    engine = SDTW(SDTWConfig())
+    print(f"Data set {dataset.name}: series {args.first} vs {args.second} "
+          f"(lengths {x.size} and {y.size})")
+    for constraint in constraints:
+        result = engine.distance(x, y, constraint=constraint)
+        print(f"  {constraint:8s} distance={result.distance:10.4f} "
+              f"cells={result.cells_filled:8d}/{result.total_cells:<8d} "
+              f"savings={result.cell_savings:6.1%}")
+    return 0
+
+
+def _run_datasets() -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    try:
+        if args.command == "experiment":
+            return _run_experiment(args)
+        if args.command == "distance":
+            return _run_distance(args)
+        if args.command == "datasets":
+            return _run_datasets()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""sDTW core: salient-feature-based locally relevant DTW constraints.
+
+This subpackage implements the paper's contribution:
+
+* :mod:`repro.core.config` — parameter objects with the paper's defaults.
+* :mod:`repro.core.scale_space` — 1-D Gaussian scale space and
+  difference-of-Gaussian series (Section 3.1.2, Step 1).
+* :mod:`repro.core.keypoints` — ε-relaxed extrema detection and scope
+  assignment.
+* :mod:`repro.core.descriptors` — 2a×2 gradient-magnitude descriptors
+  (Section 3.1.2, Step 2).
+* :mod:`repro.core.features` — the :class:`SalientFeature` record and the
+  end-to-end extraction pipeline.
+* :mod:`repro.core.matching` — dominant matching pairs (Section 3.2.1).
+* :mod:`repro.core.consistency` — inconsistency pruning via scope-boundary
+  ordering (Section 3.2.2).
+* :mod:`repro.core.intervals` — corresponding interval partitions.
+* :mod:`repro.core.bands` — the fixed/adaptive core and width constraint
+  bands (Section 3.3).
+* :mod:`repro.core.sdtw` — the public :class:`SDTW` driver combining all
+  of the above with the banded dynamic program.
+"""
+
+from .bands import build_constraint_band, parse_constraint_spec
+from .config import DescriptorConfig, MatchingConfig, SDTWConfig, ScaleSpaceConfig
+from .consistency import ConsistentAlignment, prune_inconsistent_pairs
+from .descriptors import compute_descriptor
+from .features import SalientFeature, extract_salient_features
+from .intervals import IntervalPartition, build_interval_partition
+from .keypoints import Keypoint, detect_keypoints
+from .matching import MatchedPair, match_salient_features
+from .multiscale import MultiscaleSDTWResult, multiscale_sdtw
+from .scale_space import ScaleLevel, ScaleSpace, build_scale_space
+from .sdtw import SDTW, SDTWAlignment, SDTWResult, sdtw_distance
+
+__all__ = [
+    "ConsistentAlignment",
+    "DescriptorConfig",
+    "IntervalPartition",
+    "Keypoint",
+    "MatchedPair",
+    "MatchingConfig",
+    "MultiscaleSDTWResult",
+    "SDTW",
+    "SDTWAlignment",
+    "SDTWConfig",
+    "SDTWResult",
+    "SalientFeature",
+    "ScaleLevel",
+    "ScaleSpace",
+    "ScaleSpaceConfig",
+    "build_constraint_band",
+    "build_interval_partition",
+    "build_scale_space",
+    "compute_descriptor",
+    "detect_keypoints",
+    "extract_salient_features",
+    "match_salient_features",
+    "multiscale_sdtw",
+    "parse_constraint_spec",
+    "prune_inconsistent_pairs",
+    "sdtw_distance",
+]

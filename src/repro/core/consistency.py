@@ -1,0 +1,250 @@
+"""Inconsistency pruning of matched salient-feature pairs.
+
+Implements Section 3.2.2 of the paper.  Matched pairs may cross each other
+in time (implying that the order of temporal features differs between the
+two series), which contradicts the assumption that warping stretches time
+but preserves feature order.  Pairs are therefore scored and committed
+greedily, best first; a pair is kept only if inserting its scope boundaries
+into the per-series boundary orderings leaves the start and end boundaries
+at the *same rank* in both series (with the tie exception the paper notes).
+
+Scores per pair ⟨f_i, f_j⟩:
+
+* alignment score
+  ``μ_align = ((scope(f_i) + scope(f_j)) / 2) / (1 + |center(f_i) − center(f_j)|)``
+  — prefer large features whose centres are close in time;
+* similarity score
+  ``μ_sim = (μ_desc / μ_desc,min) × (1 − Δ_amp)``
+  — prefer pairs with similar descriptors and similar average amplitudes;
+* combined score: the F-measure (harmonic mean) of the two scores after
+  normalising each by its maximum over all candidate pairs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.stats import safe_divide
+from .config import MatchingConfig
+from .matching import MatchedPair
+
+
+@dataclass(frozen=True)
+class ScoredPair:
+    """A matched pair together with its alignment/similarity/combined scores."""
+
+    pair: MatchedPair
+    alignment_score: float
+    similarity_score: float
+    combined_score: float
+
+
+@dataclass(frozen=True)
+class ConsistentAlignment:
+    """The outcome of inconsistency pruning.
+
+    Attributes
+    ----------
+    pairs:
+        The retained (temporally consistent) matched pairs, ordered by the
+        position of the first series' feature.
+    scored_pairs:
+        All candidate pairs with their scores, in the order they were
+        considered (descending combined score) — useful for diagnostics
+        and for the ablation benchmarks.
+    boundaries_x, boundaries_y:
+        The committed scope boundaries for each series, sorted in time.
+        Boundary ``k`` of the first series corresponds to boundary ``k`` of
+        the second series.
+    """
+
+    pairs: Tuple[MatchedPair, ...]
+    scored_pairs: Tuple[ScoredPair, ...]
+    boundaries_x: Tuple[float, ...]
+    boundaries_y: Tuple[float, ...]
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of retained pairs."""
+        return len(self.pairs)
+
+
+def amplitude_percentage_difference(pair: MatchedPair) -> float:
+    """Δ_amp: relative difference between the mean scope amplitudes of a pair.
+
+    Expressed as a fraction of the larger magnitude, clipped to [0, 1], so
+    ``1 − Δ_amp`` stays a usable multiplicative factor.
+    """
+    a = pair.feature_x.mean_amplitude
+    b = pair.feature_y.mean_amplitude
+    denom = max(abs(a), abs(b))
+    if denom == 0:
+        return 0.0
+    return float(min(1.0, abs(a - b) / denom))
+
+
+def score_pairs(pairs: Sequence[MatchedPair]) -> List[ScoredPair]:
+    """Compute μ_align, μ_sim and the combined F-measure score for all pairs."""
+    if not pairs:
+        return []
+    similarities = [pair.descriptor_similarity for pair in pairs]
+    min_similarity = min(similarities)
+    raw_align: List[float] = []
+    raw_sim: List[float] = []
+    for pair in pairs:
+        scope_avg = (pair.feature_x.scope_length + pair.feature_y.scope_length) / 2.0
+        align = scope_avg / (1.0 + pair.center_offset)
+        sim = safe_divide(pair.descriptor_similarity, min_similarity, default=1.0)
+        sim *= 1.0 - amplitude_percentage_difference(pair)
+        raw_align.append(align)
+        raw_sim.append(sim)
+    max_align = max(raw_align) if max(raw_align) > 0 else 1.0
+    max_sim = max(raw_sim) if max(raw_sim) > 0 else 1.0
+    scored: List[ScoredPair] = []
+    for pair, align, sim in zip(pairs, raw_align, raw_sim):
+        ns_align = align / max_align
+        ns_sim = sim / max_sim
+        if ns_align + ns_sim == 0:
+            combined = 0.0
+        else:
+            combined = 2.0 * ns_align * ns_sim / (ns_align + ns_sim)
+        scored.append(
+            ScoredPair(
+                pair=pair,
+                alignment_score=align,
+                similarity_score=sim,
+                combined_score=combined,
+            )
+        )
+    return scored
+
+
+class _BoundaryOrder:
+    """Sorted list of committed scope boundaries for one series."""
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def rank_of(self, value: float) -> int:
+        """Rank (insertion index) the value would take in the current order."""
+        return bisect.bisect_left(self._values, value)
+
+    def has_value(self, value: float) -> bool:
+        """True if an identical boundary value is already committed."""
+        idx = bisect.bisect_left(self._values, value)
+        return idx < len(self._values) and self._values[idx] == value
+
+    def insert(self, value: float) -> None:
+        bisect.insort(self._values, value)
+
+    def values(self) -> Tuple[float, ...]:
+        return tuple(self._values)
+
+
+def _ranks_compatible(
+    order_x: _BoundaryOrder,
+    order_y: _BoundaryOrder,
+    value_x: float,
+    value_y: float,
+) -> bool:
+    """Check that inserting (value_x, value_y) keeps the two orders aligned.
+
+    The ranks must be equal; as the paper notes, exact ties on existing
+    boundary values are also accepted (the "special cases" exception),
+    because an identical time value cannot introduce a crossing.
+    """
+    if order_x.rank_of(value_x) == order_y.rank_of(value_y):
+        return True
+    return order_x.has_value(value_x) and order_y.has_value(value_y)
+
+
+def prune_inconsistent_pairs(
+    pairs: Sequence[MatchedPair],
+    config: Optional[MatchingConfig] = None,
+) -> ConsistentAlignment:
+    """Remove temporally inconsistent matched pairs.
+
+    Pairs are committed greedily in descending order of their combined
+    score; a pair is kept only if both its start boundaries and both its
+    end boundaries can be inserted at matching ranks of the two per-series
+    boundary orderings (no crossings), treating each pair's insertion
+    atomically.
+
+    Parameters
+    ----------
+    pairs:
+        Candidate matched pairs from :func:`match_salient_features`.
+    config:
+        Matching configuration.  If ``prune_inconsistencies`` is False the
+        pairs are only scored and returned unchanged (useful for the
+        ablation study).
+
+    Returns
+    -------
+    ConsistentAlignment
+    """
+    if config is None:
+        config = MatchingConfig()
+    scored = score_pairs(pairs)
+    scored.sort(key=lambda sp: sp.combined_score, reverse=True)
+
+    if not config.prune_inconsistencies:
+        kept_all = tuple(sorted((sp.pair for sp in scored),
+                                key=lambda p: p.feature_x.position))
+        bx = tuple(sorted(
+            b for p in kept_all
+            for b in (p.feature_x.scope_start, p.feature_x.scope_end)
+        ))
+        by = tuple(sorted(
+            b for p in kept_all
+            for b in (p.feature_y.scope_start, p.feature_y.scope_end)
+        ))
+        return ConsistentAlignment(
+            pairs=kept_all,
+            scored_pairs=tuple(scored),
+            boundaries_x=bx,
+            boundaries_y=by,
+        )
+
+    order_x = _BoundaryOrder()
+    order_y = _BoundaryOrder()
+    kept: List[MatchedPair] = []
+    for sp in scored:
+        pair = sp.pair
+        st_x, end_x = pair.feature_x.scope_start, pair.feature_x.scope_end
+        st_y, end_y = pair.feature_y.scope_start, pair.feature_y.scope_end
+        # Tentatively check the start boundary, then the end boundary given
+        # the start has (virtually) been inserted.  Because both starts are
+        # inserted before both ends and st <= end, checking the two
+        # boundaries independently against the committed orders is
+        # equivalent to the paper's sequential insertion attempt.
+        if not _ranks_compatible(order_x, order_y, st_x, st_y):
+            continue
+        if not _ranks_compatible(order_x, order_y, end_x, end_y):
+            continue
+        # Additionally require that the start/end of this pair do not
+        # straddle an existing committed boundary asymmetrically: the rank
+        # of the end (after inserting the start) must also match.
+        rank_end_x = order_x.rank_of(end_x) + (1 if st_x <= end_x else 0)
+        rank_end_y = order_y.rank_of(end_y) + (1 if st_y <= end_y else 0)
+        if rank_end_x != rank_end_y and not (
+            order_x.has_value(end_x) and order_y.has_value(end_y)
+        ):
+            continue
+        order_x.insert(st_x)
+        order_x.insert(end_x)
+        order_y.insert(st_y)
+        order_y.insert(end_y)
+        kept.append(pair)
+
+    kept.sort(key=lambda p: p.feature_x.position)
+    return ConsistentAlignment(
+        pairs=tuple(kept),
+        scored_pairs=tuple(scored),
+        boundaries_x=order_x.values(),
+        boundaries_y=order_y.values(),
+    )

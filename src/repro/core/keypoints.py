@@ -1,0 +1,179 @@
+"""Keypoint detection on the 1-D difference-of-Gaussian scale space.
+
+Implements the ε-relaxed extrema search of Section 3.1.2: a point ``⟨x, σ⟩``
+is accepted as a robust keypoint if its DoG magnitude is larger than
+``(1 − ε)`` times that of each of its neighbours in time (left/right at the
+same scale) and in scale (the same position one DoG level up and down
+within the octave).  Unlike 2-D SIFT, nearby candidates are *not* forced to
+prune each other, because over-pruning would starve the DTW band
+construction of alignment evidence.
+
+Low-contrast candidates (SIFT Step 2) are removed with a threshold on the
+DoG magnitude relative to the level's value range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .config import ScaleSpaceConfig
+from .scale_space import ScaleLevel, ScaleSpace, classify_scale
+
+
+@dataclass(frozen=True)
+class Keypoint:
+    """A detected salient point before descriptor attachment.
+
+    Attributes
+    ----------
+    position:
+        Centre of the keypoint in original-series coordinates (float,
+        because coarser octaves map back with a stride).
+    sigma:
+        Absolute temporal scale (σ) of the keypoint.
+    scope_radius:
+        Radius of the keypoint's scope (``scope_radius_sigmas * sigma``).
+    octave, level:
+        Scale-space coordinates where the keypoint was found.
+    dog_value:
+        The DoG response at the keypoint (signed; positive for peaks of the
+        difference series, negative for dips).
+    amplitude:
+        Value of the smoothed series at the keypoint, used by the matching
+        stage's amplitude gate (τ_a).
+    scale_class:
+        "fine", "medium" or "rough" — used by the Table 2 reproduction.
+    """
+
+    position: float
+    sigma: float
+    scope_radius: float
+    octave: int
+    level: int
+    dog_value: float
+    amplitude: float
+    scale_class: str
+
+    @property
+    def scope_start(self) -> float:
+        """Start (inclusive, in original coordinates) of the keypoint's scope."""
+        return self.position - self.scope_radius
+
+    @property
+    def scope_end(self) -> float:
+        """End (inclusive, in original coordinates) of the keypoint's scope."""
+        return self.position + self.scope_radius
+
+    @property
+    def scope_length(self) -> float:
+        """Temporal length of the scope (2 × scope_radius)."""
+        return 2.0 * self.scope_radius
+
+
+def _neighbours(
+    level_values: np.ndarray,
+    up_values: np.ndarray,
+    down_values: np.ndarray,
+    index: int,
+) -> List[float]:
+    """Collect the DoG values of the time and scale neighbours of a point."""
+    neighbours: List[float] = []
+    if index > 0:
+        neighbours.append(float(level_values[index - 1]))
+    if index + 1 < level_values.size:
+        neighbours.append(float(level_values[index + 1]))
+    for other in (up_values, down_values):
+        if other is None:
+            continue
+        for offset in (-1, 0, 1):
+            j = index + offset
+            if 0 <= j < other.size:
+                neighbours.append(float(other[j]))
+    return neighbours
+
+
+def _is_relaxed_extremum(value: float, neighbours: Sequence[float], epsilon: float) -> bool:
+    """ε-relaxed extremum test on |DoG| magnitudes.
+
+    The candidate survives if its magnitude is at least ``(1 - ε)`` times
+    the magnitude of every neighbour, i.e. it does not need to strictly
+    dominate them — near-ties are kept rather than pruning each other.
+    """
+    magnitude = abs(value)
+    if magnitude == 0.0:
+        return False
+    threshold = 1.0 - epsilon
+    for other in neighbours:
+        if magnitude < threshold * abs(other):
+            return False
+    return True
+
+
+def detect_keypoints(space: ScaleSpace) -> List[Keypoint]:
+    """Detect robust keypoints on a scale space.
+
+    Parameters
+    ----------
+    space:
+        Scale space built by :func:`repro.core.scale_space.build_scale_space`.
+
+    Returns
+    -------
+    list of Keypoint
+        Keypoints ordered by original-series position (ties broken by σ).
+    """
+    config: ScaleSpaceConfig = space.config
+    num_octaves = space.num_octaves
+    keypoints: List[Keypoint] = []
+    for octave in range(num_octaves):
+        octave_levels = space.levels_of_octave(octave)
+        for idx, level in enumerate(octave_levels):
+            dog = level.dog
+            if dog.size < 3:
+                continue
+            up = octave_levels[idx + 1].dog if idx + 1 < len(octave_levels) else None
+            down = octave_levels[idx - 1].dog if idx - 1 >= 0 else None
+            value_range = float(dog.max() - dog.min())
+            # Absolute floor guards against float round-off on (near-)constant
+            # series, where the DoG is numerically but not exactly zero.
+            series_scale = float(np.max(np.abs(level.smoothed))) or 1.0
+            contrast_floor = max(
+                config.contrast_threshold * value_range, 1e-9 * series_scale
+            )
+            for i in range(dog.size):
+                value = float(dog[i])
+                if abs(value) < contrast_floor or value == 0.0:
+                    continue
+                neighbours = _neighbours(dog, up, down, i)
+                if not neighbours:
+                    continue
+                if not _is_relaxed_extremum(value, neighbours, config.epsilon):
+                    continue
+                position = level.to_original_position(i)
+                if position >= space.series.size:
+                    continue
+                keypoints.append(
+                    Keypoint(
+                        position=position,
+                        sigma=level.sigma,
+                        scope_radius=config.scope_radius_sigmas * level.sigma,
+                        octave=level.octave,
+                        level=level.level,
+                        dog_value=value,
+                        amplitude=float(level.smoothed[i]),
+                        scale_class=classify_scale(level, num_octaves),
+                    )
+                )
+    keypoints.sort(key=lambda kp: (kp.position, kp.sigma))
+    return keypoints
+
+
+def count_by_scale_class(keypoints: Sequence[Keypoint]) -> Tuple[int, int, int]:
+    """Return (fine, medium, rough) keypoint counts — the Table 2 quantities."""
+    fine = sum(1 for kp in keypoints if kp.scale_class == "fine")
+    medium = sum(1 for kp in keypoints if kp.scale_class == "medium")
+    rough = sum(1 for kp in keypoints if kp.scale_class == "rough")
+    return fine, medium, rough

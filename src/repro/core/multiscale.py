@@ -1,0 +1,165 @@
+"""Combining sDTW with reduced-representation DTW (paper §1 and §2.1.4).
+
+The paper notes that constraint-based pruning (its contribution) is
+orthogonal to reduced-representation approaches such as FastDTW / iterative
+deepening, and that the two "can naturally be implemented along" each
+other.  This module provides that combination as an optional extension:
+
+* the pair of series is reduced to a coarse resolution,
+* the sDTW band is built (cheaply) at the coarse resolution from the
+  coarse series' salient alignment,
+* the coarse constrained warp path is projected back to full resolution
+  and expanded by a small radius,
+* that projected window is **intersected** with the full-resolution sDTW
+  band, and the final banded dynamic program runs inside the intersection.
+
+The result keeps the locally relevant shape of the sDTW band while
+inheriting the extra pruning a multi-resolution pass provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import as_series, check_int_at_least
+from ..dtw.banded import (
+    BandedDTWResult,
+    banded_dtw,
+    intersect_bands,
+    mask_to_band,
+    validate_band,
+)
+from ..utils.preprocessing import resample_linear
+from .config import SDTWConfig
+from .sdtw import SDTW
+
+
+@dataclass(frozen=True)
+class MultiscaleSDTWResult:
+    """Result of the combined multi-resolution + sDTW computation.
+
+    Attributes
+    ----------
+    distance:
+        The constrained DTW distance at full resolution.
+    cells_filled:
+        Grid cells filled by the final full-resolution dynamic program
+        (excludes the much smaller coarse-level work).
+    coarse_cells_filled:
+        Grid cells filled at the coarse resolution.
+    total_cells:
+        Size of the full-resolution grid (``N * M``).
+    band:
+        The final (intersected) full-resolution band.
+    """
+
+    distance: float
+    cells_filled: int
+    coarse_cells_filled: int
+    total_cells: int
+    band: np.ndarray
+
+    @property
+    def cell_savings(self) -> float:
+        """Fraction of the full grid not filled at full resolution."""
+        if self.total_cells == 0:
+            return 0.0
+        return 1.0 - self.cells_filled / self.total_cells
+
+
+def _project_path_band(
+    path, coarse_n: int, coarse_m: int, n: int, m: int, radius: int
+) -> np.ndarray:
+    """Project a coarse warp path onto the full grid and dilate it."""
+    mask = np.zeros((n, m), dtype=bool)
+    row_scale = (n - 1) / max(coarse_n - 1, 1)
+    col_scale = (m - 1) / max(coarse_m - 1, 1)
+    for ci, cj in path:
+        i = int(round(ci * row_scale))
+        j = int(round(cj * col_scale))
+        lo_i = max(0, i - radius)
+        hi_i = min(n - 1, i + radius)
+        lo_j = max(0, j - radius)
+        hi_j = min(m - 1, j + radius)
+        mask[lo_i: hi_i + 1, lo_j: hi_j + 1] = True
+    mask[0, 0] = True
+    mask[n - 1, m - 1] = True
+    return mask_to_band(mask)
+
+
+def multiscale_sdtw(
+    x: Union[Sequence[float], np.ndarray],
+    y: Union[Sequence[float], np.ndarray],
+    constraint: str = "ac,aw",
+    config: Optional[SDTWConfig] = None,
+    *,
+    reduction: int = 4,
+    radius: int = 3,
+    engine: Optional[SDTW] = None,
+) -> MultiscaleSDTWResult:
+    """Compute an sDTW distance with an additional multi-resolution pass.
+
+    Parameters
+    ----------
+    x, y:
+        The two time series.
+    constraint:
+        sDTW constraint family used at both resolutions.
+    config:
+        sDTW configuration (shared by both resolutions).
+    reduction:
+        Down-sampling factor of the coarse pass (>= 2).  The coarse series
+        have ``ceil(len / reduction)`` samples.
+    radius:
+        Expansion radius (in full-resolution samples) applied to the
+        projected coarse warp path.
+    engine:
+        Optional shared :class:`SDTW` engine (reuses its feature cache).
+
+    Returns
+    -------
+    MultiscaleSDTWResult
+    """
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    reduction = check_int_at_least(reduction, 2, "reduction")
+    radius = check_int_at_least(radius, 1, "radius")
+    if engine is None:
+        engine = SDTW(config)
+    n, m = xs.size, ys.size
+
+    coarse_n = max(8, int(np.ceil(n / reduction)))
+    coarse_m = max(8, int(np.ceil(m / reduction)))
+    coarse_x = resample_linear(xs, coarse_n)
+    coarse_y = resample_linear(ys, coarse_m)
+
+    # Coarse pass: sDTW band + constrained DP with path recovery.
+    coarse_band, _ = engine.build_band(coarse_x, coarse_y, constraint)
+    coarse_result: BandedDTWResult = banded_dtw(
+        coarse_x, coarse_y, coarse_band, engine.config.pointwise_distance,
+        return_path=True,
+    )
+
+    # Project the coarse path to the full grid and intersect with the
+    # full-resolution sDTW band.
+    projected = _project_path_band(
+        coarse_result.path, coarse_n, coarse_m, n, m, radius
+    )
+    full_band, _ = engine.build_band(xs, ys, constraint)
+    combined = validate_band(
+        intersect_bands(projected, full_band), n, m, repair=True
+    )
+
+    final = banded_dtw(
+        xs, ys, combined, engine.config.pointwise_distance, return_path=False
+    )
+    return MultiscaleSDTWResult(
+        distance=final.distance,
+        cells_filled=final.cells_filled,
+        coarse_cells_filled=coarse_result.cells_filled,
+        total_cells=n * m,
+        band=final.band,
+    )

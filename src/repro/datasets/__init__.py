@@ -1,0 +1,62 @@
+"""Data-set substrate: synthetic UCR-style collections and UCR file I/O.
+
+The paper evaluates on three UCR archive data sets (Gun, Trace, 50Words).
+The archive is not redistributable and this environment has no network
+access, so :mod:`repro.datasets.synthetic` generates class-structured
+collections with the same lengths, sizes, class counts and salient-feature
+density profiles; :mod:`repro.datasets.ucr` reads/writes the UCR text
+format so real archive files can be dropped in unchanged.
+"""
+
+from .base import Dataset, TimeSeries
+from .generators import (
+    bell_curve,
+    dip,
+    flat_segment,
+    plateau,
+    ramp,
+    sine_wave,
+    step_edge,
+)
+from .registry import available_datasets, load_dataset
+from .synthetic import (
+    make_fiftywords_like,
+    make_gun_like,
+    make_synthetic_dataset,
+    make_trace_like,
+)
+from .transforms import (
+    add_noise,
+    amplitude_scale,
+    baseline_shift,
+    local_time_warp,
+    time_shift,
+    time_stretch,
+)
+from .ucr import read_ucr_file, write_ucr_file
+
+__all__ = [
+    "Dataset",
+    "TimeSeries",
+    "add_noise",
+    "amplitude_scale",
+    "available_datasets",
+    "baseline_shift",
+    "bell_curve",
+    "dip",
+    "flat_segment",
+    "load_dataset",
+    "local_time_warp",
+    "make_fiftywords_like",
+    "make_gun_like",
+    "make_synthetic_dataset",
+    "make_trace_like",
+    "plateau",
+    "ramp",
+    "read_ucr_file",
+    "sine_wave",
+    "step_edge",
+    "time_shift",
+    "time_stretch",
+    "write_ucr_file",
+]

@@ -1,0 +1,139 @@
+"""Core data structures for labelled time-series collections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series
+from ..exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A single labelled time series.
+
+    Attributes
+    ----------
+    values:
+        The sample values (1-D float array).
+    label:
+        Class label (integer), or ``None`` for unlabelled data.
+    identifier:
+        A stable identifier within its data set (e.g. ``"gun-017"``).
+    """
+
+    values: np.ndarray
+    label: Optional[int] = None
+    identifier: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", as_series(self.values, "values"))
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    @property
+    def length(self) -> int:
+        """Number of samples."""
+        return int(self.values.size)
+
+
+@dataclass
+class Dataset:
+    """A named collection of labelled time series.
+
+    Attributes
+    ----------
+    name:
+        Data-set name (e.g. ``"gun"``).
+    series:
+        The member series.
+    metadata:
+        Free-form provenance information (generator parameters, seed, …).
+    """
+
+    name: str
+    series: List[TimeSeries] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        return iter(self.series)
+
+    def __getitem__(self, index: int) -> TimeSeries:
+        return self.series[index]
+
+    @property
+    def labels(self) -> List[Optional[int]]:
+        """Labels of all member series, in order."""
+        return [ts.label for ts in self.series]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct (non-None) class labels."""
+        return len({ts.label for ts in self.series if ts.label is not None})
+
+    @property
+    def lengths(self) -> List[int]:
+        """Lengths of all member series."""
+        return [ts.length for ts in self.series]
+
+    def values_list(self) -> List[np.ndarray]:
+        """The raw value arrays of all member series, in order."""
+        return [ts.values for ts in self.series]
+
+    def by_class(self) -> Dict[int, List[TimeSeries]]:
+        """Group the member series by class label (unlabelled series skipped)."""
+        groups: Dict[int, List[TimeSeries]] = {}
+        for ts in self.series:
+            if ts.label is None:
+                continue
+            groups.setdefault(ts.label, []).append(ts)
+        return groups
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """A new data set containing only the series at *indices*."""
+        picked = [self.series[i] for i in indices]
+        return Dataset(
+            name=name or f"{self.name}-subset",
+            series=picked,
+            metadata=dict(self.metadata, parent=self.name),
+        )
+
+    def sample(self, count: int, rng: np.random.Generator,
+               name: Optional[str] = None) -> "Dataset":
+        """A random subset of *count* series (without replacement)."""
+        if count > len(self.series):
+            raise DatasetError(
+                f"cannot sample {count} series from a data set of {len(self.series)}"
+            )
+        indices = rng.choice(len(self.series), size=count, replace=False)
+        return self.subset(sorted(int(i) for i in indices), name=name)
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` if the data set is empty or inconsistent."""
+        if not self.series:
+            raise DatasetError(f"data set {self.name!r} contains no series")
+        for ts in self.series:
+            if ts.length < 2:
+                raise DatasetError(
+                    f"series {ts.identifier!r} in {self.name!r} is too short"
+                )
+
+    def summary(self) -> Dict[str, object]:
+        """Summary statistics matching the columns of the paper's Table 1."""
+        lengths = self.lengths
+        return {
+            "name": self.name,
+            "length": int(np.median(lengths)) if lengths else 0,
+            "num_series": len(self.series),
+            "num_classes": self.num_classes,
+        }

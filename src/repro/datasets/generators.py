@@ -1,0 +1,85 @@
+"""Shape primitives for synthetic time-series generation.
+
+These parametric building blocks (bells, dips, ramps, steps, plateaus,
+sinusoids) are composed by :mod:`repro.datasets.synthetic` into
+class-structured series whose salient-feature profiles mimic the three UCR
+data sets the paper evaluates on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_int_at_least, check_positive
+from ..exceptions import ValidationError
+
+
+def _positions(length: int) -> np.ndarray:
+    return np.arange(check_int_at_least(length, 1, "length"), dtype=float)
+
+
+def flat_segment(length: int, value: float = 0.0) -> np.ndarray:
+    """A constant segment of the given length and value."""
+    return np.full(check_int_at_least(length, 1, "length"), float(value))
+
+
+def bell_curve(length: int, center: float, width: float, height: float = 1.0) -> np.ndarray:
+    """A Gaussian bump of the given centre, width (σ) and height."""
+    width = check_positive(width, "width")
+    positions = _positions(length)
+    return height * np.exp(-((positions - center) ** 2) / (2.0 * width * width))
+
+
+def dip(length: int, center: float, width: float, depth: float = 1.0) -> np.ndarray:
+    """A downward Gaussian dip (negative bump)."""
+    return -bell_curve(length, center, width, depth)
+
+
+def plateau(length: int, start: float, end: float, height: float = 1.0,
+            ramp_width: float = 3.0) -> np.ndarray:
+    """A smooth plateau rising at *start* and falling at *end*.
+
+    Built from two logistic edges so the plateau has continuous gradients
+    (sharp discontinuities would create artificial fine-scale keypoints at
+    every plateau corner).
+    """
+    if end <= start:
+        raise ValidationError("plateau end must follow its start")
+    ramp_width = check_positive(ramp_width, "ramp_width")
+    positions = _positions(length)
+    rise = 1.0 / (1.0 + np.exp(-(positions - start) / ramp_width))
+    fall = 1.0 / (1.0 + np.exp(-(positions - end) / ramp_width))
+    return height * (rise - fall)
+
+
+def ramp(length: int, start: float, end: float, height: float = 1.0) -> np.ndarray:
+    """A linear ramp from 0 to *height* between positions *start* and *end*."""
+    if end <= start:
+        raise ValidationError("ramp end must follow its start")
+    positions = _positions(length)
+    values = (positions - start) / (end - start)
+    return height * np.clip(values, 0.0, 1.0)
+
+
+def step_edge(length: int, position: float, height: float = 1.0,
+              smoothness: float = 1.0) -> np.ndarray:
+    """A smoothed step edge at *position* with the given height."""
+    smoothness = check_positive(smoothness, "smoothness")
+    positions = _positions(length)
+    return height / (1.0 + np.exp(-(positions - position) / smoothness))
+
+
+def sine_wave(length: int, cycles: float, amplitude: float = 1.0,
+              phase: float = 0.0) -> np.ndarray:
+    """A sinusoid with the given number of cycles over the series."""
+    positions = _positions(length)
+    if length > 1:
+        positions = positions / (length - 1)
+    return amplitude * np.sin(2.0 * np.pi * cycles * positions + phase)
+
+
+def random_walk(length: int, rng: np.random.Generator, step_std: float = 0.05) -> np.ndarray:
+    """A cumulative-sum random walk (used as slow background drift)."""
+    step_std = check_positive(step_std, "step_std")
+    steps = rng.normal(0.0, step_std, size=check_int_at_least(length, 1, "length"))
+    return np.cumsum(steps)

@@ -1,0 +1,272 @@
+"""Synthetic analogues of the paper's three evaluation data sets.
+
+The UCR archive data used in the paper (Gun, Trace, 50Words) is not
+redistributable and cannot be downloaded in this environment, so these
+generators create collections with matching structural characteristics:
+
+* ``gun``-like: length 150, 50 series, 2 classes.  Motion-capture-style
+  curves dominated by one large, smooth plateau/peak per series (the paper
+  notes Gun has the highest number of *large-scale* features).
+* ``trace``-like: length 275, 100 series, 4 classes.  Transient signals
+  with a class-specific mix of a step level change and an oscillatory
+  burst at different positions.
+* ``50words``-like: length 270, 450 series, 50 classes.  Word-profile-like
+  curves built from many small bumps; classes differ in the bump layout,
+  giving many fine-scale features and very few large ones (matching the
+  paper's Table 2 observation).
+
+Each class has a deterministic prototype; members are produced by applying
+monotone local time warps, mild time shifts/stretches, amplitude scaling
+and additive noise — the deformation model the paper assumes (order of
+temporal features preserved, time skewed differently in different places).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_int_at_least
+from ..exceptions import DatasetError
+from ..utils.rng import derive_seed, rng_from_seed
+from .base import Dataset, TimeSeries
+from .generators import bell_curve, dip, plateau, sine_wave, step_edge
+from .transforms import add_noise, amplitude_scale, local_time_warp, time_stretch
+
+
+def _gun_prototype(length: int, class_label: int, rng: np.random.Generator) -> np.ndarray:
+    """Prototype for a Gun-like class: one broad plateau with class-specific shape.
+
+    Class 0 ("gun-draw"-like) has a wide flat-topped plateau with a small
+    overshoot bump on the rising edge; class 1 ("point"-like) has a
+    narrower, rounder peak without the overshoot and a slightly later
+    onset.  Both are dominated by a single large-scale feature.
+    """
+    center = length * (0.48 if class_label == 0 else 0.55)
+    if class_label == 0:
+        base = plateau(length, start=center - length * 0.22,
+                       end=center + length * 0.22, height=1.0,
+                       ramp_width=length * 0.03)
+        base += bell_curve(length, center - length * 0.20, length * 0.02, 0.12)
+    else:
+        base = bell_curve(length, center, length * 0.16, 1.0)
+    # Broad secondary structure: a slow lead-in swell and a wide settling
+    # hump after the main movement, mimicking the smooth arm motion of the
+    # original Gun/Point recordings (large-scale features dominate).
+    base += bell_curve(length, length * 0.12, length * 0.09, 0.18)
+    base += bell_curve(length, length * 0.88, length * 0.08, 0.15)
+    return base
+
+
+def _trace_prototype(length: int, class_label: int, rng: np.random.Generator) -> np.ndarray:
+    """Prototype for a Trace-like class: a level change plus an oscillatory burst.
+
+    The four classes differ in whether the level change rises or falls and
+    in where the oscillatory transient sits relative to it — the same kind
+    of structure the original nuclear-instrumentation Trace data exhibits.
+    """
+    rising = class_label in (0, 1)
+    early_burst = class_label in (0, 2)
+    edge_pos = length * 0.55
+    direction = 1.0 if rising else -1.0
+    base = direction * step_edge(length, edge_pos, height=1.0,
+                                 smoothness=length * 0.01)
+    burst_center = length * (0.25 if early_burst else 0.78)
+    burst_width = length * 0.06
+    window = bell_curve(length, burst_center, burst_width, 1.0)
+    oscillation = sine_wave(length, cycles=10.0, amplitude=0.35)
+    base += window * oscillation
+    base += bell_curve(length, burst_center, burst_width * 2.0, 0.25)
+    return base
+
+
+def _fiftywords_prototype(length: int, class_label: int,
+                          rng: np.random.Generator) -> np.ndarray:
+    """Prototype for a 50Words-like class: many small bumps, few large ones.
+
+    Each class gets a random (but class-seeded, hence deterministic) layout
+    of 6–10 narrow bumps and dips of varying small widths across the
+    series, so the collection contains many fine-scale salient features
+    and almost no large-scale ones.
+    """
+    class_rng = rng_from_seed(derive_seed(1789, "fiftywords-proto", class_label))
+    num_bumps = int(class_rng.integers(8, 14))
+    base = np.zeros(length)
+    positions = np.sort(class_rng.uniform(0.06, 0.94, size=num_bumps)) * length
+    for k, pos in enumerate(positions):
+        # Narrow bumps and dips of alternating prevalence: fine-scale
+        # features dominate and only a handful of larger undulations remain
+        # at coarse temporal scales (the 50Words profile of Table 2).
+        width = class_rng.uniform(0.008, 0.022) * length
+        height = class_rng.uniform(0.35, 0.9)
+        if class_rng.uniform() < 0.35:
+            base += dip(length, pos, width, height * 0.8)
+        else:
+            base += bell_curve(length, pos, width, height)
+    return base
+
+
+_PROTOTYPES = {
+    "gun": _gun_prototype,
+    "trace": _trace_prototype,
+    "50words": _fiftywords_prototype,
+}
+
+
+def make_synthetic_dataset(
+    name: str,
+    length: int,
+    num_series: int,
+    num_classes: int,
+    *,
+    seed: int = 7,
+    noise_std: float = 0.02,
+    warp_strength: float = 0.25,
+    warp_knots: int = 4,
+    skew_strength: float = 0.0,
+    stretch_range: float = 0.08,
+    amplitude_range: float = 0.08,
+    prototype_kind: Optional[str] = None,
+) -> Dataset:
+    """Generate a class-structured synthetic data set.
+
+    Parameters
+    ----------
+    name:
+        Data-set name; if it matches a known prototype family ("gun",
+        "trace", "50words") that family's prototypes are used, otherwise
+        the 50words-style generic bump prototypes are used.
+    length:
+        Length of every series.
+    num_series:
+        Total number of series; distributed as evenly as possible over the
+        classes.
+    num_classes:
+        Number of classes.
+    seed:
+        Base seed; all randomness is derived from it deterministically.
+    noise_std, warp_strength, warp_knots, stretch_range, amplitude_range:
+        Deformation magnitudes applied to the class prototypes.
+    skew_strength:
+        Strength of an additional single-knot monotone warp that skews the
+        whole series, moving the temporal features substantially earlier or
+        later.  This models the "major shifts and skews" the paper
+        attributes to the Gun and Trace data (where fixed-core bands fail)
+        while the 50Words data keeps only minor deformations around the
+        diagonal.
+    prototype_kind:
+        Explicit prototype family overriding the name-based choice.
+
+    Returns
+    -------
+    Dataset
+    """
+    length = check_int_at_least(length, 8, "length")
+    num_series = check_int_at_least(num_series, 1, "num_series")
+    num_classes = check_int_at_least(num_classes, 1, "num_classes")
+    if num_classes > num_series:
+        raise DatasetError("cannot have more classes than series")
+
+    kind = (prototype_kind or name).lower()
+    prototype_fn = _PROTOTYPES.get(kind, _fiftywords_prototype)
+
+    series: List[TimeSeries] = []
+    per_class = [num_series // num_classes] * num_classes
+    for extra in range(num_series % num_classes):
+        per_class[extra] += 1
+
+    proto_rng = rng_from_seed(derive_seed(seed, name, "prototypes"))
+    prototypes = [prototype_fn(length, c, proto_rng) for c in range(num_classes)]
+
+    for class_label, count in enumerate(per_class):
+        for member in range(count):
+            member_seed = derive_seed(seed, name, class_label, member)
+            rng = rng_from_seed(member_seed)
+            values = prototypes[class_label].copy()
+            if skew_strength > 0.0:
+                # A single-knot warp produces a global skew: the middle of
+                # the series moves by up to skew_strength / 2 of its length.
+                values = local_time_warp(values, rng, num_knots=1,
+                                         strength=skew_strength)
+            values = local_time_warp(values, rng, num_knots=warp_knots,
+                                     strength=warp_strength)
+            stretch = 1.0 + rng.uniform(-stretch_range, stretch_range)
+            values = time_stretch(values, stretch, length=length)
+            scale = 1.0 + rng.uniform(-amplitude_range, amplitude_range)
+            values = amplitude_scale(values, scale)
+            values = add_noise(values, rng, noise_std)
+            series.append(
+                TimeSeries(
+                    values=values,
+                    label=class_label,
+                    identifier=f"{name}-{class_label:02d}-{member:03d}",
+                )
+            )
+    dataset = Dataset(
+        name=name,
+        series=series,
+        metadata={
+            "synthetic": True,
+            "seed": seed,
+            "length": length,
+            "num_series": num_series,
+            "num_classes": num_classes,
+            "prototype_kind": kind,
+            "noise_std": noise_std,
+            "warp_strength": warp_strength,
+            "skew_strength": skew_strength,
+        },
+    )
+    dataset.validate()
+    return dataset
+
+
+def make_gun_like(num_series: int = 50, length: int = 150, *, seed: int = 7,
+                  noise_std: float = 0.02) -> Dataset:
+    """Gun-like data set: 150-sample series, 2 classes (paper Table 1 row 1).
+
+    Members of a class share one broad movement profile but are skewed
+    substantially in time, reproducing the major shifts that make fixed
+    Sakoe–Chiba bands inaccurate on the original Gun data.
+    """
+    return make_synthetic_dataset(
+        "gun", length=length, num_series=num_series, num_classes=2, seed=seed,
+        noise_std=noise_std, warp_strength=0.30, warp_knots=3,
+        skew_strength=0.35,
+    )
+
+
+def make_trace_like(num_series: int = 100, length: int = 275, *, seed: int = 7,
+                    noise_std: float = 0.02) -> Dataset:
+    """Trace-like data set: 275-sample series, 4 classes (paper Table 1 row 2).
+
+    The transient burst and the level change drift considerably between
+    members of the same class (large skews), which is what makes intra-class
+    distance estimation hard for fixed-core bands (paper Figure 15).
+    """
+    return make_synthetic_dataset(
+        "trace", length=length, num_series=num_series, num_classes=4, seed=seed,
+        noise_std=noise_std, warp_strength=0.25, warp_knots=4,
+        skew_strength=0.45,
+    )
+
+
+def make_fiftywords_like(num_series: int = 450, length: int = 270, *, seed: int = 7,
+                         noise_std: float = 0.015) -> Dataset:
+    """50Words-like data set: 270-sample series, 50 classes (paper Table 1 row 3).
+
+    When fewer than 50 series are requested (reduced variants for tests and
+    quick experiments) the number of classes is capped at the series count so
+    every class keeps at least one member.
+
+    Unlike the Gun- and Trace-like collections, members only undergo minor
+    deformations around the diagonal (no large skews), matching the paper's
+    characterisation of the 50Words data.
+    """
+    return make_synthetic_dataset(
+        "50words", length=length, num_series=num_series,
+        num_classes=min(50, num_series), seed=seed,
+        noise_std=noise_std, warp_strength=0.15, warp_knots=6,
+        skew_strength=0.06,
+    )

@@ -1,0 +1,412 @@
+"""DTW restricted to an arbitrary per-row window ("band").
+
+Every constraint family in the paper — Sakoe–Chiba, Itakura, and all four
+sDTW locally relevant constraint types — ultimately reduces to the same
+primitive: for each index ``i`` of the first series, a contiguous window
+``[lo_i, hi_i]`` of indices of the second series that the warp path may
+visit.  This module implements the dynamic program over such a window,
+counting exactly how many grid cells are filled (the basis of the paper's
+time-gain measure) and backtracking the constrained-optimal warp path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series
+from ..exceptions import BandError, ValidationError
+from .distances import PointwiseDistance, get_pointwise_distance
+from .path import WarpPath
+
+# A band is an integer array of shape (N, 2): row i holds the inclusive
+# column window [lo_i, hi_i] of the second series reachable from x_i.
+Band = np.ndarray
+
+
+def validate_band(band: np.ndarray, n: int, m: int, *, repair: bool = False) -> np.ndarray:
+    """Validate (and optionally repair) a per-row window band.
+
+    A usable band must
+
+    * have shape ``(n, 2)`` with integer ``lo <= hi`` per row,
+    * keep every window inside ``[0, m - 1]``,
+    * include the corner cells ``(0, 0)`` and ``(n - 1, m - 1)``,
+    * be *connected*: consecutive windows must overlap or touch diagonally
+      (``lo[i] <= hi[i - 1] + 1``) and must not move backwards in a way the
+      warp-path step pattern cannot follow (``hi[i] >= lo[i - 1]``).
+
+    With ``repair=True`` the band is widened just enough to restore the
+    corner and connectivity requirements (this is the "gap bridging" the
+    paper describes for empty intervals in Section 3.3.2); otherwise a
+    :class:`BandError` is raised for violations.
+    """
+    arr = np.array(band, dtype=int, copy=True)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise BandError(f"band must have shape (n, 2), got {arr.shape}")
+    if arr.shape[0] != n:
+        raise BandError(f"band has {arr.shape[0]} rows but the series has {n} points")
+
+    arr[:, 0] = np.clip(arr[:, 0], 0, m - 1)
+    arr[:, 1] = np.clip(arr[:, 1], 0, m - 1)
+    if np.any(arr[:, 0] > arr[:, 1]):
+        if repair:
+            bad = arr[:, 0] > arr[:, 1]
+            arr[bad] = arr[bad][:, ::-1]
+        else:
+            raise BandError("band has rows with lo > hi")
+
+    # Corner cells must be inside the band for a warp path to exist.
+    if arr[0, 0] != 0:
+        if repair:
+            arr[0, 0] = 0
+        else:
+            raise BandError("band must contain the start cell (0, 0)")
+    if arr[n - 1, 1] != m - 1:
+        if repair:
+            arr[n - 1, 1] = m - 1
+        else:
+            raise BandError("band must contain the end cell (n-1, m-1)")
+
+    # Connectivity / monotonicity between consecutive rows.  The common
+    # case (bands produced by this library's builders) needs no repair, so
+    # the violations are detected vectorised and the sequential repair loop
+    # only runs when something is actually wrong.
+    if n > 1:
+        disconnected = arr[1:, 0] > arr[:-1, 1] + 1
+        backwards = arr[1:, 1] < arr[:-1, 0]
+        if disconnected.any() or backwards.any():
+            if not repair:
+                row = int(np.flatnonzero(disconnected | backwards)[0]) + 1
+                if disconnected[row - 1]:
+                    raise BandError(
+                        f"band is disconnected between rows {row - 1} and {row}: "
+                        f"window [{arr[row, 0]}, {arr[row, 1]}] does not touch "
+                        f"[{arr[row - 1, 0]}, {arr[row - 1, 1]}]"
+                    )
+                raise BandError(
+                    f"band moves backwards between rows {row - 1} and {row}"
+                )
+            for i in range(1, n):
+                if arr[i, 0] > arr[i - 1, 1] + 1:
+                    arr[i, 0] = arr[i - 1, 1] + 1
+                if arr[i, 1] < arr[i - 1, 0]:
+                    arr[i, 1] = arr[i - 1, 0]
+                if arr[i, 0] > arr[i, 1]:
+                    arr[i, 0] = arr[i, 1]
+    return arr
+
+
+def band_cell_count(band: np.ndarray) -> int:
+    """Number of grid cells covered by the band (cells the DP will fill)."""
+    arr = np.asarray(band, dtype=int)
+    return int(np.sum(arr[:, 1] - arr[:, 0] + 1))
+
+
+def band_to_mask(band: np.ndarray, m: int) -> np.ndarray:
+    """Expand a per-row window band into a boolean ``(n, m)`` mask."""
+    arr = np.asarray(band, dtype=int)
+    n = arr.shape[0]
+    mask = np.zeros((n, m), dtype=bool)
+    for i in range(n):
+        mask[i, arr[i, 0]: arr[i, 1] + 1] = True
+    return mask
+
+
+def mask_to_band(mask: np.ndarray, *, repair: bool = True) -> np.ndarray:
+    """Collapse a boolean mask into a per-row window band.
+
+    Rows with no True cells get a degenerate window copied from the nearest
+    populated neighbour (a form of gap bridging).  Holes inside a row are
+    filled, because the DP requires contiguous windows.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise BandError("mask must be two-dimensional")
+    n, m = mask.shape
+    band = np.zeros((n, 2), dtype=int)
+    last_window: Optional[Tuple[int, int]] = None
+    missing_rows = []
+    for i in range(n):
+        cols = np.flatnonzero(mask[i])
+        if cols.size == 0:
+            missing_rows.append(i)
+            band[i] = (-1, -1)
+            continue
+        band[i] = (int(cols[0]), int(cols[-1]))
+        last_window = (int(cols[0]), int(cols[-1]))
+    if missing_rows:
+        if last_window is None:
+            raise BandError("mask has no populated rows")
+        # Forward/backward fill empty rows from the nearest populated row.
+        for i in missing_rows:
+            prev_i = i - 1
+            while prev_i >= 0 and band[prev_i, 0] < 0:
+                prev_i -= 1
+            next_i = i + 1
+            while next_i < n and band[next_i, 0] < 0:
+                next_i += 1
+            if prev_i >= 0:
+                band[i] = band[prev_i]
+            elif next_i < n:
+                band[i] = band[next_i]
+    return validate_band(band, n, m, repair=repair)
+
+
+def union_bands(*bands: np.ndarray) -> np.ndarray:
+    """Per-row union (widest cover) of several bands of identical height.
+
+    Used to render adaptive constraints symmetric: the paper suggests
+    running the band construction with the roles of X and Y swapped and
+    performing the dynamic programming over the combined band.
+    """
+    if not bands:
+        raise BandError("union_bands requires at least one band")
+    arrays = [np.asarray(b, dtype=int) for b in bands]
+    heights = {a.shape[0] for a in arrays}
+    if len(heights) != 1:
+        raise BandError("bands must all have the same number of rows")
+    lo = np.min(np.stack([a[:, 0] for a in arrays]), axis=0)
+    hi = np.max(np.stack([a[:, 1] for a in arrays]), axis=0)
+    return np.stack([lo, hi], axis=1)
+
+
+def intersect_bands(*bands: np.ndarray) -> np.ndarray:
+    """Per-row intersection (narrowest cover) of several bands.
+
+    Rows where the intersection would be empty keep a single-cell window at
+    the midpoint of the overlap gap, so the result remains a usable band
+    after repair.
+    """
+    if not bands:
+        raise BandError("intersect_bands requires at least one band")
+    arrays = [np.asarray(b, dtype=int) for b in bands]
+    heights = {a.shape[0] for a in arrays}
+    if len(heights) != 1:
+        raise BandError("bands must all have the same number of rows")
+    lo = np.max(np.stack([a[:, 0] for a in arrays]), axis=0)
+    hi = np.min(np.stack([a[:, 1] for a in arrays]), axis=0)
+    empty = lo > hi
+    if np.any(empty):
+        mid = ((lo + hi) // 2)[empty]
+        lo = lo.copy()
+        hi = hi.copy()
+        lo[empty] = mid
+        hi[empty] = mid
+    return np.stack([lo, hi], axis=1)
+
+
+def transpose_band(band: np.ndarray, n: int, m: int) -> np.ndarray:
+    """Convert a band over an ``(n, m)`` grid into the equivalent band over
+    the transposed ``(m, n)`` grid.
+
+    Needed when combining the X-driven and Y-driven adaptive bands into a
+    symmetric constraint.
+    """
+    mask = band_to_mask(validate_band(band, n, m, repair=True), m)
+    return mask_to_band(mask.T)
+
+
+@dataclass(frozen=True)
+class BandedDTWResult:
+    """Result of a band-constrained DTW computation.
+
+    Attributes
+    ----------
+    distance:
+        Cost of the best warp path restricted to the band.
+    path:
+        The constrained-optimal warp path, or ``None`` when not requested.
+    cells_filled:
+        Number of grid cells the dynamic program evaluated (band area).
+    band:
+        The (validated, possibly repaired) band actually used.
+    """
+
+    distance: float
+    path: Optional[WarpPath]
+    cells_filled: int
+    band: np.ndarray
+
+    @property
+    def cell_fraction(self) -> float:
+        """Fraction of the full N*M grid that was filled."""
+        n = self.band.shape[0]
+        m = int(self.band[:, 1].max()) + 1
+        return self.cells_filled / float(n * m)
+
+
+def banded_dtw(
+    x: Union[Sequence[float], np.ndarray],
+    y: Union[Sequence[float], np.ndarray],
+    band: np.ndarray,
+    distance: Union[str, PointwiseDistance, None] = None,
+    *,
+    return_path: bool = True,
+    repair: bool = True,
+) -> BandedDTWResult:
+    """Compute DTW restricted to a per-row window band.
+
+    Parameters
+    ----------
+    x, y:
+        The two time series (lengths N and M).
+    band:
+        Integer array of shape ``(N, 2)``: inclusive column windows.
+    distance:
+        Pointwise distance name or callable (default absolute difference).
+    return_path:
+        Whether to backtrack the constrained-optimal warp path.
+    repair:
+        Whether to automatically bridge gaps / clip the band so the DP can
+        complete (the paper's gap-bridging rule); if False a malformed band
+        raises :class:`BandError`.
+    """
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    func = get_pointwise_distance(distance)
+    n, m = xs.size, ys.size
+    window = validate_band(band, n, m, repair=repair)
+
+    if return_path:
+        return _banded_dtw_with_path(xs, ys, window, func)
+    return _banded_dtw_distance_only(xs, ys, window, func)
+
+
+def _banded_dtw_distance_only(
+    xs: np.ndarray, ys: np.ndarray, window: np.ndarray, func
+) -> BandedDTWResult:
+    """Distance-only banded DP: lean inner loop, no back-pointer bookkeeping."""
+    n, m = xs.size, ys.size
+    cells = 0
+    prev_lo = prev_hi = -1
+    prev_vals: Optional[np.ndarray] = None
+    inf = np.inf
+    for i in range(n):
+        lo = int(window[i, 0])
+        hi = int(window[i, 1])
+        width = hi - lo + 1
+        cells += width
+        row_cost = func(xs[i], ys[lo: hi + 1])
+        vals = np.empty(width)
+        if prev_vals is None:
+            # First row: only horizontal moves are possible.
+            running = 0.0 if lo == 0 else inf
+            vals[0] = running + row_cost[0] if np.isfinite(running) else inf
+            for idx in range(1, width):
+                vals[idx] = vals[idx - 1] + row_cost[idx]
+        else:
+            # Pre-compute min(up, diag) for the whole row in one pass.
+            padded = np.full(width + 1, inf)
+            overlap_lo = max(lo - 1, prev_lo)
+            overlap_hi = min(hi, prev_hi)
+            if overlap_hi >= overlap_lo:
+                padded[overlap_lo - (lo - 1): overlap_hi - (lo - 1) + 1] = prev_vals[
+                    overlap_lo - prev_lo: overlap_hi - prev_lo + 1
+                ]
+            diag_or_up = np.minimum(padded[:-1], padded[1:])
+            left = inf
+            for idx in range(width):
+                best = diag_or_up[idx]
+                if left < best:
+                    best = left
+                left = best + row_cost[idx]
+                vals[idx] = left
+        prev_lo, prev_hi, prev_vals = lo, hi, vals
+
+    if not (prev_lo <= m - 1 <= prev_hi) or not np.isfinite(prev_vals[m - 1 - prev_lo]):
+        raise BandError(
+            "band does not admit any warp path from (0, 0) to (n-1, m-1); "
+            "use repair=True to bridge gaps"
+        )
+    final = float(prev_vals[m - 1 - prev_lo])
+    return BandedDTWResult(distance=final, path=None, cells_filled=cells, band=window)
+
+
+def _banded_dtw_with_path(
+    xs: np.ndarray, ys: np.ndarray, window: np.ndarray, func
+) -> BandedDTWResult:
+    """Banded DP with back-pointer bookkeeping for warp-path recovery."""
+    n, m = xs.size, ys.size
+    acc_rows = []
+    cells = 0
+    back_pointers: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    prev_lo = prev_hi = None
+    prev_vals: Optional[np.ndarray] = None
+    for i in range(n):
+        lo, hi = int(window[i, 0]), int(window[i, 1])
+        width = hi - lo + 1
+        cells += width
+        row_cost = func(xs[i], ys[lo: hi + 1])
+        vals = np.full(width, np.inf)
+        for idx in range(width):
+            j = lo + idx
+            if i == 0 and j == 0:
+                best = 0.0
+                origin = None
+            else:
+                best = np.inf
+                origin = None
+                # Left neighbour (i, j-1).
+                if idx > 0 and vals[idx - 1] < best:
+                    best = vals[idx - 1]
+                    origin = (i, j - 1)
+                if prev_vals is not None:
+                    # Up neighbour (i-1, j).
+                    if prev_lo <= j <= prev_hi:
+                        cand = prev_vals[j - prev_lo]
+                        if cand < best:
+                            best = cand
+                            origin = (i - 1, j)
+                    # Diagonal neighbour (i-1, j-1).
+                    if prev_lo <= j - 1 <= prev_hi:
+                        cand = prev_vals[j - 1 - prev_lo]
+                        if cand < best:
+                            best = cand
+                            origin = (i - 1, j - 1)
+            if np.isinf(best):
+                vals[idx] = np.inf
+                continue
+            vals[idx] = best + row_cost[idx]
+            if origin is not None:
+                back_pointers[(i, j)] = origin
+        acc_rows.append((lo, hi, vals))
+        prev_lo, prev_hi, prev_vals = lo, hi, vals
+
+    end_lo, end_hi, end_vals = acc_rows[-1]
+    if not (end_lo <= m - 1 <= end_hi) or np.isinf(end_vals[m - 1 - end_lo]):
+        raise BandError(
+            "band does not admit any warp path from (0, 0) to (n-1, m-1); "
+            "use repair=True to bridge gaps"
+        )
+    final = float(end_vals[m - 1 - end_lo])
+
+    pairs = [(n - 1, m - 1)]
+    cursor = (n - 1, m - 1)
+    while cursor != (0, 0):
+        cursor = back_pointers[cursor]
+        pairs.append(cursor)
+    pairs.reverse()
+    path = WarpPath(tuple(pairs))
+
+    return BandedDTWResult(distance=final, path=path, cells_filled=cells, band=window)
+
+
+def dtw_with_band(
+    x: Union[Sequence[float], np.ndarray],
+    y: Union[Sequence[float], np.ndarray],
+    band: Optional[np.ndarray] = None,
+    distance: Union[str, PointwiseDistance, None] = None,
+) -> float:
+    """Convenience wrapper returning just the (banded) DTW distance.
+
+    With ``band=None`` this is the exact DTW distance.
+    """
+    if band is None:
+        from .full import dtw_distance
+
+        return dtw_distance(x, y, distance)
+    return banded_dtw(x, y, band, distance, return_path=False).distance

@@ -1,0 +1,89 @@
+"""Pointwise element distances used inside the DTW recurrences.
+
+The paper defines DTW over an arbitrary element distance ``Delta``.  The
+experiments use the absolute difference between scalar samples; squared
+difference is provided as the other common choice, and a registry makes it
+easy to plug in custom callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from .._validation import as_series
+from ..exceptions import ValidationError
+
+PointwiseDistance = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def absolute_distance(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Element-wise absolute difference ``|x - y|`` (broadcasting)."""
+    return np.abs(np.asarray(x, dtype=float) - np.asarray(y, dtype=float))
+
+
+def squared_distance(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Element-wise squared difference ``(x - y)**2`` (broadcasting)."""
+    diff = np.asarray(x, dtype=float) - np.asarray(y, dtype=float)
+    return diff * diff
+
+
+_REGISTRY: Dict[str, PointwiseDistance] = {
+    "absolute": absolute_distance,
+    "manhattan": absolute_distance,
+    "squared": squared_distance,
+    "euclidean_squared": squared_distance,
+}
+
+
+def register_pointwise_distance(name: str, func: PointwiseDistance) -> None:
+    """Register a custom pointwise distance under *name*.
+
+    The callable must accept two broadcastable float arrays and return the
+    element-wise distance array.
+    """
+    if not callable(func):
+        raise ValidationError("pointwise distance must be callable")
+    _REGISTRY[name.lower()] = func
+
+
+def get_pointwise_distance(
+    distance: Union[str, PointwiseDistance, None]
+) -> PointwiseDistance:
+    """Resolve *distance* to a callable.
+
+    Parameters
+    ----------
+    distance:
+        ``None`` (defaults to absolute difference), a registered name, or a
+        callable which is returned unchanged.
+    """
+    if distance is None:
+        return absolute_distance
+    if callable(distance):
+        return distance
+    try:
+        return _REGISTRY[str(distance).lower()]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValidationError(
+            f"unknown pointwise distance {distance!r}; known distances: {known}"
+        ) from exc
+
+
+def pointwise_cost_matrix(
+    x: np.ndarray,
+    y: np.ndarray,
+    distance: Union[str, PointwiseDistance, None] = None,
+) -> np.ndarray:
+    """Return the full ``N x M`` matrix of element distances between *x* and *y*.
+
+    This is the ``Delta(x_i, y_j)`` term of the DTW recurrence materialised
+    for every grid cell.  Used by the full DTW dynamic program and by tests
+    that cross-check the banded implementations.
+    """
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    func = get_pointwise_distance(distance)
+    return func(xs[:, np.newaxis], ys[np.newaxis, :])

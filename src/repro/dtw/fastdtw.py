@@ -1,0 +1,119 @@
+"""FastDTW: the multi-resolution DTW approximation of Salvador & Chan.
+
+The paper (Section 2.1.4) discusses reduced-representation approaches such
+as FastDTW as an orthogonal family of DTW speed-ups and notes that sDTW can
+be combined with them.  This module provides a from-scratch implementation
+so the benchmark harness can place sDTW next to this classic baseline.
+
+Algorithm sketch (Salvador & Chan, "Toward accurate dynamic time warping in
+linear time and space"):
+
+1. Recursively coarsen both series by halving their resolution.
+2. Solve DTW exactly at the coarsest resolution.
+3. Project the coarse warp path to the next finer resolution, expand it by
+   ``radius`` cells, and run the banded DTW inside that projected window.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series, check_int_at_least
+from .banded import BandedDTWResult, banded_dtw, mask_to_band
+from .distances import PointwiseDistance
+from .full import dtw
+from .path import WarpPath
+
+
+def _reduce_by_half(series: np.ndarray) -> np.ndarray:
+    """Halve the resolution of a series by averaging adjacent pairs."""
+    n = series.size
+    if n % 2 == 1:
+        series = np.append(series, series[-1])
+    return series.reshape(-1, 2).mean(axis=1)
+
+
+def _expanded_window_mask(
+    path: WarpPath, n: int, m: int, radius: int
+) -> np.ndarray:
+    """Project a coarse warp path onto a grid twice its size and dilate it."""
+    mask = np.zeros((n, m), dtype=bool)
+    for (ci, cj) in path:
+        # Each coarse cell corresponds to a 2x2 block at the finer level.
+        for di in range(2):
+            for dj in range(2):
+                i = ci * 2 + di
+                j = cj * 2 + dj
+                lo_i = max(0, i - radius)
+                hi_i = min(n - 1, i + radius)
+                lo_j = max(0, j - radius)
+                hi_j = min(m - 1, j + radius)
+                mask[lo_i: hi_i + 1, lo_j: hi_j + 1] = True
+    mask[0, 0] = True
+    mask[n - 1, m - 1] = True
+    return mask
+
+
+def fastdtw(
+    x: Union[Sequence[float], np.ndarray],
+    y: Union[Sequence[float], np.ndarray],
+    radius: int = 1,
+    distance: Union[str, PointwiseDistance, None] = None,
+    *,
+    min_size: int = 16,
+) -> BandedDTWResult:
+    """Approximate DTW via the FastDTW multi-resolution scheme.
+
+    Parameters
+    ----------
+    x, y:
+        The two time series.
+    radius:
+        Expansion radius applied to the projected coarse path at each level.
+        Larger radii trade speed for accuracy.
+    distance:
+        Pointwise distance name or callable.
+    min_size:
+        Series shorter than this are solved with the exact DTW directly
+        (the recursion base case).
+
+    Returns
+    -------
+    BandedDTWResult
+        Distance, path, number of filled cells (summed over the finest
+        level only, matching how the constrained algorithms are counted),
+        and the final search band.
+    """
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    radius = check_int_at_least(radius, 0, "radius")
+    min_size = check_int_at_least(min_size, 2, "min_size")
+    return _fastdtw_recursive(xs, ys, radius, distance, min_size)
+
+
+def _fastdtw_recursive(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    radius: int,
+    distance,
+    min_size: int,
+) -> BandedDTWResult:
+    n, m = xs.size, ys.size
+    if n <= min_size or m <= min_size:
+        exact = dtw(xs, ys, distance, return_path=True)
+        band = np.zeros((n, 2), dtype=int)
+        band[:, 1] = m - 1
+        return BandedDTWResult(
+            distance=exact.distance,
+            path=exact.path,
+            cells_filled=exact.cells_filled,
+            band=band,
+        )
+    shrunk_x = _reduce_by_half(xs)
+    shrunk_y = _reduce_by_half(ys)
+    coarse = _fastdtw_recursive(shrunk_x, shrunk_y, radius, distance, min_size)
+    mask = _expanded_window_mask(coarse.path, n, m, radius)
+    band = mask_to_band(mask)
+    return banded_dtw(xs, ys, band, distance, return_path=True)

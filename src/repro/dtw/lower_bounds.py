@@ -1,0 +1,116 @@
+"""Lower bounds for DTW: LB_Kim, LB_Yi, and LB_Keogh.
+
+These bounds (Keogh, "Exact indexing of dynamic time warping", VLDB 2002 —
+reference [7] of the paper) are not part of the sDTW contribution but are
+standard retrieval substrate: they let a k-NN search skip full DTW
+computations whose lower bound already exceeds the current best.  They are
+included so the retrieval package can demonstrate the classic pruning
+pipeline next to the paper's constraint-based approach.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series, check_int_at_least
+
+
+def lb_kim(x: Union[Sequence[float], np.ndarray],
+           y: Union[Sequence[float], np.ndarray]) -> float:
+    """LB_Kim lower bound using the first/last/min/max feature quadruple.
+
+    For the absolute-difference ground distance, the DTW distance is at
+    least the largest of the four feature differences, because each of the
+    four features must be matched by at least one path step.
+    """
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    features = (
+        abs(xs[0] - ys[0]),
+        abs(xs[-1] - ys[-1]),
+        abs(xs.max() - ys.max()),
+        abs(xs.min() - ys.min()),
+    )
+    return float(max(features))
+
+
+def lb_yi(x: Union[Sequence[float], np.ndarray],
+          y: Union[Sequence[float], np.ndarray]) -> float:
+    """LB_Yi lower bound: mass of one series outside the other's value range."""
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    lo, hi = ys.min(), ys.max()
+    above = xs[xs > hi] - hi
+    below = lo - xs[xs < lo]
+    return float(above.sum() + below.sum())
+
+
+def keogh_envelope(
+    y: Union[Sequence[float], np.ndarray], radius: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Upper and lower envelope of *y* under a Sakoe–Chiba band of *radius*.
+
+    Returns
+    -------
+    (upper, lower):
+        Arrays where ``upper[i] = max(y[i-r : i+r+1])`` and
+        ``lower[i] = min(y[i-r : i+r+1])``.
+    """
+    ys = as_series(y, "y")
+    radius = check_int_at_least(radius, 0, "radius")
+    m = ys.size
+    upper = np.empty(m)
+    lower = np.empty(m)
+    for i in range(m):
+        lo = max(0, i - radius)
+        hi = min(m, i + radius + 1)
+        window = ys[lo:hi]
+        upper[i] = window.max()
+        lower[i] = window.min()
+    return upper, lower
+
+
+def lb_keogh(
+    x: Union[Sequence[float], np.ndarray],
+    y: Union[Sequence[float], np.ndarray],
+    radius: int,
+    envelope: Tuple[np.ndarray, np.ndarray] = None,
+) -> float:
+    """LB_Keogh lower bound of the DTW distance under a Sakoe–Chiba band.
+
+    Parameters
+    ----------
+    x:
+        Query series.
+    y:
+        Candidate series (its envelope is used).
+    radius:
+        Sakoe–Chiba radius in samples.
+    envelope:
+        Optional precomputed ``(upper, lower)`` envelope of *y*, as returned
+        by :func:`keogh_envelope`, to amortise envelope construction across
+        many queries.
+
+    Notes
+    -----
+    The bound requires equal-length series; unequal lengths are compared
+    over the common prefix, which keeps the bound admissible for the
+    absolute-difference ground distance.
+    """
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    if envelope is None:
+        upper, lower = keogh_envelope(ys, radius)
+    else:
+        upper, lower = envelope
+        upper = np.asarray(upper, dtype=float)
+        lower = np.asarray(lower, dtype=float)
+    length = min(xs.size, upper.size)
+    xs = xs[:length]
+    upper = upper[:length]
+    lower = lower[:length]
+    above = np.where(xs > upper, xs - upper, 0.0)
+    below = np.where(xs < lower, lower - xs, 0.0)
+    return float(np.sum(above + below))

@@ -1,0 +1,157 @@
+"""Warp-path representation and utilities.
+
+A warp path ``W = (w_1, ..., w_K)`` aligns two series ``X`` (length N) and
+``Y`` (length M).  Following Section 2.1.1 of the paper, a valid warp path
+
+* starts at ``(0, 0)`` and ends at ``(N - 1, M - 1)`` (0-based indices),
+* advances by one of ``(1, 0)``, ``(0, 1)`` or ``(1, 1)`` at every step,
+* therefore has ``max(N, M) <= K <= N + M`` elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series
+from ..exceptions import ValidationError
+from .distances import PointwiseDistance, get_pointwise_distance
+
+Step = Tuple[int, int]
+
+_ALLOWED_STEPS = {(1, 0), (0, 1), (1, 1)}
+
+
+@dataclass(frozen=True)
+class WarpPath:
+    """An immutable warp path between two series.
+
+    Attributes
+    ----------
+    pairs:
+        Tuple of ``(i, j)`` index pairs, 0-based, ordered from ``(0, 0)`` to
+        ``(N - 1, M - 1)``.
+    """
+
+    pairs: Tuple[Step, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValidationError("a warp path must contain at least one pair")
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __getitem__(self, index):
+        return self.pairs[index]
+
+    @property
+    def n(self) -> int:
+        """Length of the first series implied by the path."""
+        return self.pairs[-1][0] + 1
+
+    @property
+    def m(self) -> int:
+        """Length of the second series implied by the path."""
+        return self.pairs[-1][1] + 1
+
+    def is_valid(self) -> bool:
+        """Check boundary and step constraints for this path."""
+        return is_valid_warp_path(self.pairs)
+
+    def cost(
+        self,
+        x: Union[Sequence[float], np.ndarray],
+        y: Union[Sequence[float], np.ndarray],
+        distance: Union[str, PointwiseDistance, None] = None,
+    ) -> float:
+        """Total alignment cost of the path over series *x* and *y*."""
+        return path_cost(self.pairs, x, y, distance)
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the path as two parallel integer index arrays ``(I, J)``."""
+        arr = np.asarray(self.pairs, dtype=int)
+        return arr[:, 0], arr[:, 1]
+
+    def expansion_of(self, other: "WarpPath") -> bool:
+        """True if every pair of *other* appears in this path (refinement check)."""
+        mine = set(self.pairs)
+        return all(pair in mine for pair in other.pairs)
+
+
+def is_valid_warp_path(pairs: Iterable[Step], n: int = None, m: int = None) -> bool:
+    """Return True if *pairs* forms a valid warp path.
+
+    If *n* and *m* are given, the path must end exactly at
+    ``(n - 1, m - 1)``; otherwise the end point is taken as given.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return False
+    if tuple(pairs[0]) != (0, 0):
+        return False
+    if n is not None and m is not None and tuple(pairs[-1]) != (n - 1, m - 1):
+        return False
+    for prev, curr in zip(pairs, pairs[1:]):
+        step = (curr[0] - prev[0], curr[1] - prev[1])
+        if step not in _ALLOWED_STEPS:
+            return False
+    end = pairs[-1]
+    k = len(pairs)
+    if not max(end[0] + 1, end[1] + 1) <= k <= (end[0] + 1) + (end[1] + 1):
+        return False
+    return True
+
+
+def path_cost(
+    pairs: Iterable[Step],
+    x: Union[Sequence[float], np.ndarray],
+    y: Union[Sequence[float], np.ndarray],
+    distance: Union[str, PointwiseDistance, None] = None,
+) -> float:
+    """Sum of pointwise distances along a warp path.
+
+    Equivalent to ``Delta(W)`` in Section 2.1.2 of the paper.
+    """
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    func = get_pointwise_distance(distance)
+    pair_list = list(pairs)
+    if not pair_list:
+        raise ValidationError("warp path must contain at least one pair")
+    arr = np.asarray(pair_list, dtype=int)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValidationError("warp path pairs must be (i, j) tuples")
+    if arr[:, 0].max() >= xs.size or arr[:, 1].max() >= ys.size:
+        raise ValidationError("warp path index exceeds series length")
+    if arr.min() < 0:
+        raise ValidationError("warp path contains negative indices")
+    return float(np.sum(func(xs[arr[:, 0]], ys[arr[:, 1]])))
+
+
+def path_from_arrays(i_indices: Sequence[int], j_indices: Sequence[int]) -> WarpPath:
+    """Construct a :class:`WarpPath` from two parallel index sequences."""
+    i_arr = list(int(v) for v in i_indices)
+    j_arr = list(int(v) for v in j_indices)
+    if len(i_arr) != len(j_arr):
+        raise ValidationError("index sequences must have equal length")
+    return WarpPath(tuple(zip(i_arr, j_arr)))
+
+
+def path_to_alignment(path: WarpPath) -> Tuple[List[List[int]], List[List[int]]]:
+    """Return, for each element of X the matched indices of Y, and vice versa.
+
+    Useful for visualising which stretch of one series each element of the
+    other maps onto (the intuition in Figure 2(a) of the paper).
+    """
+    x_to_y: List[List[int]] = [[] for _ in range(path.n)]
+    y_to_x: List[List[int]] = [[] for _ in range(path.m)]
+    for i, j in path:
+        x_to_y[i].append(j)
+        y_to_x[j].append(i)
+    return x_to_y, y_to_x

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value failed validation (wrong shape, dtype, or range)."""
+
+
+class EmptySeriesError(ValidationError):
+    """A time series with zero elements was supplied where data is required."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object holds an inconsistent or out-of-range value."""
+
+
+class BandError(ReproError):
+    """A constraint band is malformed (e.g. it disconnects the DTW grid)."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, parsed, or validated."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown or invalid target."""

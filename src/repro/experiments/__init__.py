@@ -1,0 +1,69 @@
+"""Experiment harness: one module per table/figure of the paper's Section 4.
+
+Every experiment exposes a ``run_*`` function returning an
+:class:`repro.experiments.runner.ExperimentResult` whose rows mirror the
+rows/series the paper reports, plus ``to_text()`` / ``to_csv()`` renderers.
+The benchmark suite under ``benchmarks/`` and the CLI (``python -m repro``)
+call these same functions.
+
+| Module    | Paper artefact | Contents |
+|-----------|----------------|----------|
+| table1    | Table 1        | data-set summaries |
+| table2    | Table 2        | salient-point counts per scale |
+| fig13     | Figure 13      | top-k retrieval accuracy vs. time gain |
+| fig14     | Figure 14      | distance error vs. time gain |
+| fig15     | Figure 15      | intra-class distance errors (Trace) |
+| fig16     | Figure 16      | classification accuracy (50Words) |
+| fig17     | Figure 17      | matching vs. dynamic-programming time |
+| fig18     | Figure 18      | descriptor-length sweep |
+"""
+
+from .noise_robustness import run_noise_robustness
+from .runner import (
+    AlgorithmSpec,
+    DatasetEvaluation,
+    ExperimentResult,
+    default_algorithms,
+    evaluate_dataset,
+    load_experiment_dataset,
+)
+from .table1 import run_table1
+from .table2 import run_table2
+from .fig13 import run_fig13
+from .fig14 import run_fig14
+from .fig15 import run_fig15
+from .fig16 import run_fig16
+from .fig17 import run_fig17
+from .fig18 import run_fig18
+
+__all__ = [
+    "AlgorithmSpec",
+    "DatasetEvaluation",
+    "ExperimentResult",
+    "default_algorithms",
+    "evaluate_dataset",
+    "load_experiment_dataset",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+    "run_fig18",
+    "run_noise_robustness",
+    "run_table1",
+    "run_table2",
+]
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "noise": run_noise_robustness,
+}
+"""Registry mapping experiment identifiers to their run functions
+(``"noise"`` is the extension study, not a paper figure)."""

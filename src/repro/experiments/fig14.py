@@ -1,0 +1,58 @@
+"""Figure 14 — distance error versus time gain per algorithm.
+
+For each data set and algorithm, reports the mean relative error of the
+constrained distance estimates with respect to the optimal DTW distance,
+next to the time gain (and the cell-gain analogue).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .runner import (
+    AlgorithmSpec,
+    ExperimentResult,
+    default_algorithms,
+    evaluate_dataset,
+    load_experiment_dataset,
+)
+
+
+def run_fig14(
+    dataset_names: Sequence[str] = ("gun", "trace", "50words"),
+    num_series: int = 16,
+    seed: int = 7,
+    algorithms: Optional[Sequence[AlgorithmSpec]] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 14 (distance error vs. time gain).
+
+    Parameters mirror :func:`repro.experiments.fig13.run_fig13`.
+    """
+    if algorithms is None:
+        algorithms = default_algorithms()
+    headers = ["Data Set", "Algorithm", "Distance error", "Time gain", "Cell gain"]
+    rows = []
+    for name in dataset_names:
+        dataset = load_experiment_dataset(name, num_series=num_series, seed=seed)
+        evaluation = evaluate_dataset(dataset, algorithms, ks=(5,))
+        for spec in algorithms:
+            result = evaluation.evaluations[spec.label]
+            rows.append([
+                dataset.name,
+                spec.label,
+                result.distance_error,
+                result.time_gain,
+                result.cell_gain,
+            ])
+    return ExperimentResult(
+        experiment="fig14",
+        title="Figure 14: distance error vs. time gain",
+        headers=headers,
+        rows=rows,
+        metadata={
+            "seed": seed,
+            "num_series": num_series,
+            "datasets": list(dataset_names),
+            "algorithms": [spec.label for spec in algorithms],
+        },
+    )

@@ -1,0 +1,102 @@
+"""Figure 18 — impact of the descriptor length on error, accuracy, and gain.
+
+The paper varies the descriptor length between 4 and 128 bins and reports,
+per data set and per adaptive algorithm, the distance error, the top-10
+retrieval accuracy, and the time gain.  This experiment sweeps the same
+descriptor lengths with everything else held at the defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.config import SDTWConfig
+from .runner import (
+    AlgorithmSpec,
+    ExperimentResult,
+    default_algorithms,
+    evaluate_dataset,
+    load_experiment_dataset,
+)
+
+DEFAULT_DESCRIPTOR_LENGTHS = (4, 8, 16, 32, 64, 128)
+
+_ADAPTIVE_LABELS = ("(fc,aw)", "(ac,fw) 10%", "(ac,aw)", "(ac2,aw)")
+
+
+def adaptive_algorithms() -> Sequence[AlgorithmSpec]:
+    """The subset of the roster whose behaviour depends on the descriptors."""
+    return [spec for spec in default_algorithms() if spec.label in _ADAPTIVE_LABELS]
+
+
+def run_fig18(
+    dataset_names: Sequence[str] = ("gun", "trace", "50words"),
+    num_series: int = 12,
+    seed: int = 7,
+    descriptor_lengths: Sequence[int] = DEFAULT_DESCRIPTOR_LENGTHS,
+    algorithms: Optional[Sequence[AlgorithmSpec]] = None,
+    k: int = 10,
+) -> ExperimentResult:
+    """Regenerate Figure 18 (descriptor-length sweep).
+
+    Parameters
+    ----------
+    dataset_names:
+        Data sets to sweep over.
+    num_series:
+        Number of series sampled per data set (kept small by default —
+        the sweep multiplies the work by the number of descriptor lengths).
+    seed:
+        Sampling/generation seed.
+    descriptor_lengths:
+        Descriptor bin counts to sweep (paper: 4 … 128).
+    algorithms:
+        Algorithm roster override; defaults to the adaptive algorithms
+        only, since fixed core & fixed width does not use descriptors.
+    k:
+        Retrieval depth for the accuracy column (paper: 10).
+    """
+    if algorithms is None:
+        algorithms = adaptive_algorithms()
+    headers = [
+        "Data Set",
+        "Descriptor length",
+        "Algorithm",
+        "Distance error",
+        f"Top-{k} accuracy",
+        "Time gain",
+        "Cell gain",
+    ]
+    rows = []
+    for name in dataset_names:
+        dataset = load_experiment_dataset(name, num_series=num_series, seed=seed)
+        for length in descriptor_lengths:
+            base_config = SDTWConfig().with_descriptor_bins(int(length))
+            evaluation = evaluate_dataset(
+                dataset, algorithms, base_config=base_config, ks=(k,)
+            )
+            for spec in algorithms:
+                result = evaluation.evaluations[spec.label]
+                rows.append([
+                    dataset.name,
+                    int(length),
+                    spec.label,
+                    result.distance_error,
+                    result.retrieval_accuracy[k],
+                    result.time_gain,
+                    result.cell_gain,
+                ])
+    return ExperimentResult(
+        experiment="fig18",
+        title="Figure 18: impact of the descriptor length",
+        headers=headers,
+        rows=rows,
+        metadata={
+            "seed": seed,
+            "num_series": num_series,
+            "descriptor_lengths": [int(v) for v in descriptor_lengths],
+            "datasets": list(dataset_names),
+            "algorithms": [spec.label for spec in algorithms],
+            "k": k,
+        },
+    )

@@ -1,0 +1,62 @@
+"""Table 1 — summary of the evaluation data sets.
+
+Reproduces the paper's data-set overview (length, number of series, number
+of classes) for the three collections: Gun, Trace and 50Words (synthetic
+analogues in this repository; see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .runner import ExperimentResult, load_experiment_dataset
+
+PAPER_TABLE1 = {
+    "gun": {"length": 150, "num_series": 50, "num_classes": 2},
+    "trace": {"length": 275, "num_series": 100, "num_classes": 4},
+    "50words": {"length": 270, "num_series": 450, "num_classes": 50},
+}
+"""The values reported in the paper, for side-by-side comparison."""
+
+
+def run_table1(
+    dataset_names: Sequence[str] = ("gun", "trace", "50words"),
+    seed: int = 7,
+    num_series: Optional[int] = None,
+) -> ExperimentResult:
+    """Regenerate Table 1.
+
+    Parameters
+    ----------
+    dataset_names:
+        Registered data-set names to summarise.
+    seed:
+        Generation seed for the synthetic collections.
+    num_series:
+        Optional cap on the number of series loaded per data set (useful
+        for quick runs); ``None`` loads the paper-scale collections.
+    """
+    headers = ["Data Set", "Length", "# of Series", "# of Classes",
+               "Paper Length", "Paper # Series", "Paper # Classes"]
+    rows = []
+    for name in dataset_names:
+        dataset = load_experiment_dataset(name, num_series=num_series, seed=seed)
+        summary = dataset.summary()
+        paper = PAPER_TABLE1.get(name.lower(), {})
+        rows.append([
+            dataset.name,
+            summary["length"],
+            summary["num_series"],
+            summary["num_classes"],
+            paper.get("length"),
+            paper.get("num_series"),
+            paper.get("num_classes"),
+        ])
+    return ExperimentResult(
+        experiment="table1",
+        title="Table 1: data sets used in the experiments",
+        headers=headers,
+        rows=rows,
+        metadata={"seed": seed, "num_series": num_series,
+                  "datasets": list(dataset_names)},
+    )

@@ -1,0 +1,39 @@
+"""Retrieval and classification substrate.
+
+Implements the evaluation machinery of Section 4 of the paper: pairwise
+distance computation with per-pair timing, top-k retrieval, k-NN label
+assignment with the paper's multi-label tie handling, and the four
+evaluation criteria (retrieval accuracy, distance error, classification
+accuracy, time gain).
+"""
+
+from .evaluation import (
+    EvaluationResult,
+    classification_accuracy,
+    distance_error,
+    evaluate_constraint,
+    retrieval_accuracy,
+    time_gain,
+)
+from .feature_store import FeatureStore
+from .index import DistanceIndex, compute_distance_index
+from .knn import knn_indices, knn_labels, top_k_indices
+from .search import SearchHit, SearchResult, TimeSeriesSearchEngine
+
+__all__ = [
+    "DistanceIndex",
+    "EvaluationResult",
+    "FeatureStore",
+    "SearchHit",
+    "SearchResult",
+    "TimeSeriesSearchEngine",
+    "classification_accuracy",
+    "compute_distance_index",
+    "distance_error",
+    "evaluate_constraint",
+    "knn_indices",
+    "knn_labels",
+    "retrieval_accuracy",
+    "time_gain",
+    "top_k_indices",
+]

@@ -1,0 +1,210 @@
+"""Evaluation criteria of Section 4.2: retrieval accuracy, distance error,
+classification accuracy, and time gain.
+
+All four criteria compare a constrained-DTW distance index against the
+reference index built with the optimal (full-grid) DTW:
+
+* retrieval accuracy — average overlap between the top-k result sets,
+* distance error — average relative error of the distance estimates,
+* classification accuracy — average Jaccard overlap between the k-NN label
+  sets,
+* time gain — relative reduction of the per-comparison computation time
+  (matching + dynamic programming), with a cell-count analogue that is
+  independent of the host machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_int_at_least
+from ..exceptions import ValidationError
+from ..utils.stats import relative_error, safe_divide
+from .index import DistanceIndex
+from .knn import knn_labels, top_k_indices
+
+
+def retrieval_accuracy(
+    reference: np.ndarray,
+    estimate: np.ndarray,
+    k: int,
+    *,
+    exclude_self: bool = True,
+) -> float:
+    """Average top-k overlap between two distance matrices.
+
+    ``acc_ret(k) = avg_X |top_ref(X, k) ∩ top_est(X, k)| / k``
+    """
+    ref = np.asarray(reference, dtype=float)
+    est = np.asarray(estimate, dtype=float)
+    if ref.shape != est.shape or ref.ndim != 2 or ref.shape[0] != ref.shape[1]:
+        raise ValidationError("distance matrices must be square and equal-shaped")
+    k = check_int_at_least(k, 1, "k")
+    count = ref.shape[0]
+    overlaps = []
+    for query in range(count):
+        exclude = query if exclude_self else None
+        top_ref = set(top_k_indices(ref[query], k, exclude=exclude))
+        top_est = set(top_k_indices(est[query], k, exclude=exclude))
+        overlaps.append(len(top_ref & top_est) / float(k))
+    return float(np.mean(overlaps))
+
+
+def distance_error(
+    reference: np.ndarray,
+    estimate: np.ndarray,
+    *,
+    pairs: Optional[Sequence[tuple]] = None,
+) -> float:
+    """Average relative error of the estimated distances.
+
+    ``err_dist = avg_{X,Y} (Δ*(X,Y) − Δ_DTW(X,Y)) / Δ_DTW(X,Y)``
+
+    Parameters
+    ----------
+    reference, estimate:
+        Square distance matrices (reference = optimal DTW).
+    pairs:
+        Optional subset of (i, j) index pairs to average over; defaults to
+        every unordered pair with ``i < j``.  Pairs whose reference
+        distance is zero are skipped.
+    """
+    ref = np.asarray(reference, dtype=float)
+    est = np.asarray(estimate, dtype=float)
+    if ref.shape != est.shape or ref.ndim != 2:
+        raise ValidationError("distance matrices must be square and equal-shaped")
+    if pairs is None:
+        count = ref.shape[0]
+        pairs = [(a, b) for a in range(count) for b in range(a + 1, count)]
+    errors: List[float] = []
+    for a, b in pairs:
+        if ref[a, b] == 0:
+            continue
+        errors.append(relative_error(est[a, b], ref[a, b]))
+    finite = [e for e in errors if np.isfinite(e)]
+    if not finite:
+        return 0.0
+    return float(np.mean(finite))
+
+
+def classification_accuracy(
+    reference: np.ndarray,
+    estimate: np.ndarray,
+    labels: Sequence[Optional[int]],
+    k: int,
+) -> float:
+    """Average Jaccard overlap of the k-NN label sets under the two indexes.
+
+    ``acc_cls(k) = avg_X |labels_ref(X, k) ∩ labels_est(X, k)| /
+    |labels_ref(X, k) ∪ labels_est(X, k)|``
+    """
+    ref = np.asarray(reference, dtype=float)
+    est = np.asarray(estimate, dtype=float)
+    if ref.shape != est.shape or ref.ndim != 2:
+        raise ValidationError("distance matrices must be square and equal-shaped")
+    if len(labels) != ref.shape[0]:
+        raise ValidationError("labels length must match the matrix size")
+    k = check_int_at_least(k, 1, "k")
+    scores = []
+    for query in range(ref.shape[0]):
+        ref_labels = knn_labels(ref, labels, query, k)
+        est_labels = knn_labels(est, labels, query, k)
+        union = ref_labels | est_labels
+        if not union:
+            scores.append(1.0)
+            continue
+        scores.append(len(ref_labels & est_labels) / float(len(union)))
+    return float(np.mean(scores))
+
+
+def time_gain(reference_seconds: float, estimate_seconds: float) -> float:
+    """Relative time saving: ``(time_DTW − time_*) / time_DTW``."""
+    return safe_divide(reference_seconds - estimate_seconds, reference_seconds, 0.0)
+
+
+def cell_gain(reference_cells: int, estimate_cells: int) -> float:
+    """Relative saving in DTW grid cells filled (hardware-independent gain)."""
+    return safe_divide(float(reference_cells - estimate_cells),
+                       float(reference_cells), 0.0)
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Evaluation of one constrained index against the full-DTW reference.
+
+    Attributes
+    ----------
+    constraint:
+        The constraint label being evaluated.
+    retrieval_accuracy:
+        Top-k retrieval accuracy per requested k.
+    classification_accuracy:
+        k-NN classification accuracy per requested k (empty when the data
+        set carries no labels).
+    distance_error:
+        Mean relative error of the distance estimates.
+    time_gain:
+        Relative wall-clock saving of tasks (b)+(c) vs. full DTW.
+    cell_gain:
+        Relative saving in DTW cells filled vs. full DTW.
+    matching_seconds, dp_seconds:
+        Absolute cost breakdown of the constrained index (Figure 17 data).
+    reference_seconds:
+        Cost of the full-DTW reference index.
+    """
+
+    constraint: str
+    retrieval_accuracy: Dict[int, float]
+    classification_accuracy: Dict[int, float]
+    distance_error: float
+    time_gain: float
+    cell_gain: float
+    matching_seconds: float
+    dp_seconds: float
+    reference_seconds: float
+
+
+def evaluate_constraint(
+    reference: DistanceIndex,
+    estimate: DistanceIndex,
+    labels: Optional[Sequence[Optional[int]]] = None,
+    ks: Sequence[int] = (5, 10),
+) -> EvaluationResult:
+    """Evaluate a constrained distance index against the full-DTW reference.
+
+    Parameters
+    ----------
+    reference:
+        Index built with ``constraint="full"``.
+    estimate:
+        Index built with any constrained algorithm.
+    labels:
+        Class labels (enables the classification criterion).
+    ks:
+        The k values for the top-k and k-NN criteria (paper: 5 and 10).
+    """
+    retrieval = {
+        k: retrieval_accuracy(reference.distances, estimate.distances, k) for k in ks
+    }
+    classification: Dict[int, float] = {}
+    if labels is not None and any(label is not None for label in labels):
+        classification = {
+            k: classification_accuracy(
+                reference.distances, estimate.distances, labels, k
+            )
+            for k in ks
+        }
+    return EvaluationResult(
+        constraint=estimate.constraint,
+        retrieval_accuracy=retrieval,
+        classification_accuracy=classification,
+        distance_error=distance_error(reference.distances, estimate.distances),
+        time_gain=time_gain(reference.compute_seconds, estimate.compute_seconds),
+        cell_gain=cell_gain(reference.cells_filled, estimate.cells_filled),
+        matching_seconds=estimate.matching_seconds,
+        dp_seconds=estimate.dp_seconds,
+        reference_seconds=reference.compute_seconds,
+    )

@@ -1,0 +1,86 @@
+"""Top-k retrieval and k-nearest-neighbour label assignment.
+
+The paper's classification criterion attaches to each query the set of
+class labels that achieve the maximum count among its k nearest neighbours
+(so ties can yield more than one label); classification accuracy is then
+the Jaccard overlap between the label sets obtained with the optimal DTW
+distances and with the constrained distances.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from .._validation import check_int_at_least
+from ..exceptions import ValidationError
+
+
+def top_k_indices(
+    distances: Sequence[float],
+    k: int,
+    exclude: Optional[int] = None,
+) -> List[int]:
+    """Indices of the *k* smallest distances, optionally excluding one index.
+
+    Ties are broken by index so results are deterministic.
+
+    Parameters
+    ----------
+    distances:
+        Distance from the query to every candidate.
+    k:
+        Number of neighbours to return (capped at the number of available
+        candidates).
+    exclude:
+        Candidate index to skip — normally the query itself in
+        leave-one-out evaluations.
+    """
+    arr = np.asarray(distances, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError("distances must be a 1-D sequence")
+    k = check_int_at_least(k, 1, "k")
+    order = sorted(range(arr.size), key=lambda idx: (arr[idx], idx))
+    result: List[int] = []
+    for idx in order:
+        if exclude is not None and idx == exclude:
+            continue
+        result.append(idx)
+        if len(result) == k:
+            break
+    return result
+
+
+def knn_indices(
+    distance_matrix: np.ndarray, query: int, k: int, exclude_self: bool = True
+) -> List[int]:
+    """k nearest neighbours of row *query* in a pairwise distance matrix."""
+    matrix = np.asarray(distance_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError("distance_matrix must be square")
+    exclude = query if exclude_self else None
+    return top_k_indices(matrix[query], k, exclude=exclude)
+
+
+def knn_labels(
+    distance_matrix: np.ndarray,
+    labels: Sequence[Optional[int]],
+    query: int,
+    k: int,
+    exclude_self: bool = True,
+) -> Set[int]:
+    """Label set assigned to *query* by the k-NN rule with tie handling.
+
+    All labels achieving the maximum count among the k nearest neighbours
+    are returned (the paper's "more than one label" case).
+    """
+    neighbours = knn_indices(distance_matrix, query, k, exclude_self)
+    votes = Counter(
+        labels[idx] for idx in neighbours if labels[idx] is not None
+    )
+    if not votes:
+        return set()
+    top = max(votes.values())
+    return {label for label, count in votes.items() if count == top}

@@ -1,0 +1,43 @@
+"""Shared utilities: preprocessing, statistics, ASCII plotting, RNG helpers."""
+
+from .plotting import ascii_series, render_band, render_warp_path, side_by_side, sparkline
+from .preprocessing import (
+    gaussian_kernel,
+    gaussian_smooth,
+    min_max_normalize,
+    moving_average,
+    resample_linear,
+    z_normalize,
+)
+from .rng import derive_seed, rng_from_seed
+from .stats import (
+    mean_and_std,
+    pairwise_relative_error,
+    percentile_summary,
+    relative_error,
+    safe_divide,
+)
+from .tables import format_table, table_to_csv
+
+__all__ = [
+    "ascii_series",
+    "derive_seed",
+    "format_table",
+    "gaussian_kernel",
+    "gaussian_smooth",
+    "mean_and_std",
+    "min_max_normalize",
+    "moving_average",
+    "pairwise_relative_error",
+    "percentile_summary",
+    "relative_error",
+    "render_band",
+    "render_warp_path",
+    "resample_linear",
+    "rng_from_seed",
+    "safe_divide",
+    "side_by_side",
+    "sparkline",
+    "table_to_csv",
+    "z_normalize",
+]

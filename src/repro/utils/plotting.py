@@ -1,0 +1,149 @@
+"""ASCII visualisation helpers.
+
+The evaluation environment has no plotting backend, so these helpers render
+time series, constraint bands, and warp paths as monospaced text.  They are
+used by the examples and are handy when inspecting why a particular band
+missed (or found) the optimal warp path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import as_series, check_int_at_least
+from ..exceptions import ValidationError
+
+
+def sparkline(
+    series: Union[Sequence[float], np.ndarray],
+    width: int = 60,
+) -> str:
+    """Render a series as a single-line sparkline using block characters."""
+    values = as_series(series, "series")
+    width = check_int_at_least(width, 1, "width")
+    blocks = "▁▂▃▄▅▆▇█"
+    resampled = np.interp(
+        np.linspace(0, values.size - 1, width),
+        np.arange(values.size),
+        values,
+    )
+    lo, hi = resampled.min(), resampled.max()
+    if hi - lo < 1e-12:
+        return blocks[0] * width
+    levels = ((resampled - lo) / (hi - lo) * (len(blocks) - 1)).astype(int)
+    return "".join(blocks[level] for level in levels)
+
+
+def ascii_series(
+    series: Union[Sequence[float], np.ndarray],
+    width: int = 70,
+    height: int = 12,
+    marker: str = "*",
+) -> str:
+    """Render a series as a multi-line ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        The series to plot.
+    width, height:
+        Character dimensions of the chart area.
+    marker:
+        Character used for data points.
+    """
+    values = as_series(series, "series")
+    width = check_int_at_least(width, 2, "width")
+    height = check_int_at_least(height, 2, "height")
+    if len(marker) != 1:
+        raise ValidationError("marker must be a single character")
+    resampled = np.interp(
+        np.linspace(0, values.size - 1, width),
+        np.arange(values.size),
+        values,
+    )
+    lo, hi = resampled.min(), resampled.max()
+    grid = [[" "] * width for _ in range(height)]
+    span = hi - lo if hi - lo > 1e-12 else 1.0
+    for column, value in enumerate(resampled):
+        row = int(round((value - lo) / span * (height - 1)))
+        grid[height - 1 - row][column] = marker
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"min={lo:.3g}  max={hi:.3g}  n={values.size}")
+    return "\n".join(lines)
+
+
+def render_band(
+    band: np.ndarray,
+    m: int,
+    max_width: int = 70,
+    max_height: int = 30,
+    inside: str = "#",
+    outside: str = ".",
+) -> str:
+    """Render a per-row window band as an ASCII occupancy grid.
+
+    The grid is drawn with the first series on the vertical axis (top row =
+    first element) and the second series on the horizontal axis, matching
+    the orientation used throughout the library.  Large grids are
+    down-sampled to at most ``max_width`` × ``max_height`` characters; a
+    cell is drawn as *inside* if any covered grid cell maps onto it.
+    """
+    arr = np.asarray(band, dtype=int)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValidationError("band must have shape (n, 2)")
+    n = arr.shape[0]
+    rows = min(max_height, n)
+    cols = min(max_width, m)
+    lines: List[str] = []
+    for r in range(rows):
+        i = int(round(r * (n - 1) / max(rows - 1, 1)))
+        lo, hi = arr[i]
+        line = []
+        for c in range(cols):
+            j = int(round(c * (m - 1) / max(cols - 1, 1)))
+            line.append(inside if lo <= j <= hi else outside)
+        lines.append("".join(line))
+    return "\n".join(lines)
+
+
+def render_warp_path(
+    path,
+    n: Optional[int] = None,
+    m: Optional[int] = None,
+    max_width: int = 70,
+    max_height: int = 30,
+    on_path: str = "o",
+    off_path: str = ".",
+) -> str:
+    """Render a warp path as an ASCII grid (down-sampled for large series)."""
+    pairs = list(path)
+    if not pairs:
+        raise ValidationError("warp path is empty")
+    n = n if n is not None else pairs[-1][0] + 1
+    m = m if m is not None else pairs[-1][1] + 1
+    rows = min(max_height, n)
+    cols = min(max_width, m)
+    grid = [[off_path] * cols for _ in range(rows)]
+    for i, j in pairs:
+        r = int(round(i * (rows - 1) / max(n - 1, 1)))
+        c = int(round(j * (cols - 1) / max(m - 1, 1)))
+        grid[r][c] = on_path
+    return "\n".join("".join(row) for row in grid)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Place two multi-line ASCII blocks next to each other."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    height = max(len(left_lines), len(right_lines))
+    left_width = max((len(line) for line in left_lines), default=0)
+    spacer = " " * gap
+    lines = []
+    for row in range(height):
+        l_part = left_lines[row] if row < len(left_lines) else ""
+        r_part = right_lines[row] if row < len(right_lines) else ""
+        lines.append(l_part.ljust(left_width) + spacer + r_part)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Small statistics helpers used by the evaluation metrics and experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+
+def safe_divide(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Divide, returning *default* when the denominator is (near) zero."""
+    if abs(denominator) < 1e-15:
+        return default
+    return numerator / denominator
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """Relative error ``(estimate - reference) / reference``.
+
+    Matches the paper's distance-error definition, where the estimate comes
+    from a constrained DTW and the reference is the optimal DTW distance.
+    A zero reference with a zero estimate yields 0; a zero reference with a
+    non-zero estimate yields ``inf``.
+    """
+    if reference == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return (estimate - reference) / reference
+
+
+def pairwise_relative_error(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Mean relative error over parallel sequences of estimates/references.
+
+    Pairs whose reference distance is zero (identical series) carry no
+    information about constraint quality and are skipped; if every pair is
+    skipped the error is 0.
+    """
+    estimates = list(estimates)
+    references = list(references)
+    if len(estimates) != len(references):
+        raise ValidationError("estimates and references must have equal length")
+    errors = [
+        relative_error(e, r)
+        for e, r in zip(estimates, references)
+        if r != 0
+    ]
+    finite = [e for e in errors if np.isfinite(e)]
+    if not finite:
+        return 0.0
+    return float(np.mean(finite))
+
+
+def mean_and_std(values: Iterable[float]) -> Tuple[float, float]:
+    """Mean and (population) standard deviation of an iterable of floats."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0, 0.0
+    return float(arr.mean()), float(arr.std())
+
+
+def percentile_summary(
+    values: Iterable[float], percentiles: Sequence[float] = (5, 25, 50, 75, 95)
+) -> Dict[str, float]:
+    """Percentile summary of a collection of values (keys like ``"p50"``)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {f"p{int(p)}": float("nan") for p in percentiles}
+    return {f"p{int(p)}": float(np.percentile(arr, p)) for p in percentiles}

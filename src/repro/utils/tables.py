@@ -1,0 +1,73 @@
+"""Plain-text table formatting for the experiment harness.
+
+The experiment modules report their tables both as structured Python
+objects (for programmatic use and tests) and as monospaced text tables
+printed to stdout, mirroring the rows/series of the paper's tables and
+figures.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(value: Cell, float_format: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    float_format: str = ".4f",
+    title: str = None,
+) -> str:
+    """Render headers + rows as an aligned monospaced table string."""
+    header_cells = [str(h) for h in headers]
+    body = [[_render_cell(cell, float_format) for cell in row] for row in rows]
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for idx, cell in enumerate(row):
+            if idx >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: List[str]) -> str:
+        padded = [cells[i].ljust(widths[i]) if i < len(cells) else " " * widths[i]
+                  for i in range(len(widths))]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    for row in body:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def table_to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    float_format: str = ".6f",
+) -> str:
+    """Render headers + rows as CSV text (comma separated, no quoting needed
+    because the harness only emits simple identifiers and numbers)."""
+    buffer = io.StringIO()
+    buffer.write(",".join(str(h) for h in headers) + "\n")
+    for row in rows:
+        buffer.write(",".join(_render_cell(c, float_format) for c in row) + "\n")
+    return buffer.getvalue()

@@ -1,0 +1,99 @@
+"""Shared pytest fixtures for the sDTW reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    DescriptorConfig,
+    MatchingConfig,
+    SDTWConfig,
+    ScaleSpaceConfig,
+)
+from repro.core.sdtw import SDTW
+from repro.datasets.synthetic import (
+    make_fiftywords_like,
+    make_gun_like,
+    make_trace_like,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A deterministic random generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def sine_pair():
+    """Two phase-shifted sinusoids of different lengths (classic DTW input)."""
+    x = np.sin(np.linspace(0.0, 4.0 * np.pi, 120))
+    y = np.sin(np.linspace(0.0, 4.0 * np.pi, 150) - 0.5)
+    return x, y
+
+
+@pytest.fixture(scope="session")
+def bumpy_pair():
+    """Two series with the same bump structure but locally warped time axes."""
+    t = np.linspace(0.0, 1.0, 140)
+    x = (
+        np.exp(-((t - 0.25) ** 2) / 0.002)
+        + 0.8 * np.exp(-((t - 0.6) ** 2) / 0.004)
+        - 0.5 * np.exp(-((t - 0.85) ** 2) / 0.001)
+    )
+    t2 = np.linspace(0.0, 1.0, 160)
+    y = (
+        np.exp(-((t2 - 0.30) ** 2) / 0.002)
+        + 0.8 * np.exp(-((t2 - 0.55) ** 2) / 0.004)
+        - 0.5 * np.exp(-((t2 - 0.82) ** 2) / 0.001)
+    )
+    return x, y
+
+
+@pytest.fixture(scope="session")
+def small_scale_config():
+    """A scale-space configuration with three octaves for multi-scale tests."""
+    return ScaleSpaceConfig(num_octaves=3)
+
+
+@pytest.fixture(scope="session")
+def default_config():
+    """The paper-default sDTW configuration."""
+    return SDTWConfig()
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """A cheaper configuration (short descriptors) for pipeline-level tests."""
+    return SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
+
+
+@pytest.fixture()
+def engine(fast_config):
+    """A fresh SDTW engine per test (feature cache isolated between tests)."""
+    return SDTW(fast_config)
+
+
+@pytest.fixture(scope="session")
+def gun_small():
+    """A small Gun-like data set shared across tests."""
+    return make_gun_like(num_series=8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def trace_small():
+    """A small Trace-like data set shared across tests."""
+    return make_trace_like(num_series=8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def words_small():
+    """A small 50Words-like data set shared across tests."""
+    return make_fiftywords_like(num_series=10, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_series_collection(gun_small):
+    """Value arrays of a handful of short series for distance-matrix tests."""
+    return [ts.values[:60] for ts in gun_small.series[:5]]

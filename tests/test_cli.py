@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLIBasics:
+    def test_no_command_prints_help_and_fails(self, capsys):
+        assert main([]) == 1
+        assert "experiment" in capsys.readouterr().out
+
+    def test_datasets_command_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "gun" in out
+        assert "50words" in out
+
+
+class TestDistanceCommand:
+    def test_distance_between_two_series(self, capsys):
+        code = main([
+            "distance", "gun-small", "0", "1", "--constraint", "fc,fw",
+            "--constraint", "ac,aw",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fc,fw" in out
+        assert "ac,aw" in out
+        assert "distance=" in out
+
+    def test_distance_default_constraints_include_full(self, capsys):
+        assert main(["distance", "gun-small", "0", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "full" in out
+
+    def test_out_of_range_index_reports_error(self, capsys):
+        assert main(["distance", "gun-small", "0", "999"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_dataset_reports_error(self, capsys):
+        assert main(["distance", "no-such-dataset", "0", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_table1_runs_and_prints(self, capsys):
+        assert main(["experiment", "table1", "--num-series", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_unknown_experiment_reports_error(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_csv_output_written(self, tmp_path, capsys):
+        target = tmp_path / "table1.csv"
+        code = main([
+            "experiment", "table1", "--num-series", "4", "--csv", str(target)
+        ])
+        assert code == 0
+        assert target.exists()
+        assert target.read_text().startswith("Data Set,")

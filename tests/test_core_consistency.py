@@ -1,0 +1,176 @@
+"""Tests for inconsistency pruning of matched pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MatchingConfig
+from repro.core.consistency import (
+    ConsistentAlignment,
+    amplitude_percentage_difference,
+    prune_inconsistent_pairs,
+    score_pairs,
+)
+from repro.core.features import SalientFeature
+from repro.core.matching import MatchedPair
+
+
+def make_feature(position, sigma=2.0, amplitude=1.0, mean_amplitude=None):
+    return SalientFeature(
+        position=float(position),
+        sigma=float(sigma),
+        scope_start=float(position) - 3 * sigma,
+        scope_end=float(position) + 3 * sigma,
+        octave=0,
+        level=0,
+        amplitude=float(amplitude),
+        mean_amplitude=float(mean_amplitude if mean_amplitude is not None else amplitude),
+        dog_value=0.1,
+        scale_class="fine",
+        descriptor=np.array([0.5, 0.5, 0.5, 0.5]),
+    )
+
+
+def make_pair(pos_x, pos_y, sigma=2.0, distance=0.1, amplitude=1.0):
+    return MatchedPair(
+        feature_x=make_feature(pos_x, sigma, amplitude),
+        feature_y=make_feature(pos_y, sigma, amplitude),
+        descriptor_distance=distance,
+    )
+
+
+class TestAmplitudeDifference:
+    def test_equal_amplitudes_give_zero(self):
+        assert amplitude_percentage_difference(make_pair(10, 12)) == pytest.approx(0.0)
+
+    def test_difference_is_relative_to_larger_magnitude(self):
+        pair = MatchedPair(
+            make_feature(10, mean_amplitude=1.0),
+            make_feature(12, mean_amplitude=0.5),
+            0.1,
+        )
+        assert amplitude_percentage_difference(pair) == pytest.approx(0.5)
+
+    def test_zero_amplitudes_give_zero(self):
+        pair = MatchedPair(
+            make_feature(10, mean_amplitude=0.0),
+            make_feature(12, mean_amplitude=0.0),
+            0.1,
+        )
+        assert amplitude_percentage_difference(pair) == pytest.approx(0.0)
+
+    def test_capped_at_one(self):
+        pair = MatchedPair(
+            make_feature(10, mean_amplitude=-1.0),
+            make_feature(12, mean_amplitude=1.0),
+            0.1,
+        )
+        assert amplitude_percentage_difference(pair) <= 1.0
+
+
+class TestScorePairs:
+    def test_empty_input(self):
+        assert score_pairs([]) == []
+
+    def test_bigger_and_closer_pairs_score_higher_alignment(self):
+        big_close = make_pair(50, 51, sigma=8.0)
+        small_far = make_pair(50, 90, sigma=1.0)
+        scored = {id(sp.pair): sp for sp in score_pairs([big_close, small_far])}
+        assert (
+            scored[id(big_close)].alignment_score
+            > scored[id(small_far)].alignment_score
+        )
+
+    def test_combined_score_bounded_by_unit_interval(self):
+        pairs = [make_pair(10, 12), make_pair(50, 80, sigma=5.0), make_pair(90, 91)]
+        for sp in score_pairs(pairs):
+            assert 0.0 <= sp.combined_score <= 1.0
+
+    def test_combined_score_is_harmonic_mean_shape(self):
+        # A pair that maximises both normalised scores gets a combined score
+        # of exactly 1.
+        single = make_pair(10, 10, sigma=4.0)
+        scored = score_pairs([single])
+        assert scored[0].combined_score == pytest.approx(1.0)
+
+
+class TestPruning:
+    def test_no_pairs_gives_empty_alignment(self):
+        alignment = prune_inconsistent_pairs([])
+        assert alignment.num_pairs == 0
+        assert alignment.boundaries_x == ()
+        assert alignment.boundaries_y == ()
+
+    def test_consistent_pairs_all_kept(self):
+        pairs = [make_pair(20, 22), make_pair(60, 64), make_pair(100, 95)]
+        alignment = prune_inconsistent_pairs(pairs)
+        assert alignment.num_pairs == 3
+
+    def test_crossing_pairs_pruned(self):
+        # The two pairs cross: x(20)->y(100) and x(100)->y(20).
+        crossing = [
+            make_pair(20, 100, sigma=2.0),
+            make_pair(100, 20, sigma=2.0),
+            make_pair(60, 60, sigma=6.0),
+        ]
+        alignment = prune_inconsistent_pairs(crossing)
+        assert alignment.num_pairs < 3
+        # The retained pairs must be order-consistent.
+        xs = [p.feature_x.position for p in alignment.pairs]
+        ys = [p.feature_y.position for p in alignment.pairs]
+        assert sorted(xs) == xs
+        assert sorted(ys) == ys
+
+    def test_boundary_lists_have_equal_length(self):
+        pairs = [make_pair(20, 25), make_pair(70, 60), make_pair(110, 112)]
+        alignment = prune_inconsistent_pairs(pairs)
+        assert len(alignment.boundaries_x) == len(alignment.boundaries_y)
+        assert len(alignment.boundaries_x) == 2 * alignment.num_pairs
+
+    def test_boundaries_sorted_in_time(self):
+        pairs = [make_pair(20, 25), make_pair(70, 60), make_pair(110, 112)]
+        alignment = prune_inconsistent_pairs(pairs)
+        assert list(alignment.boundaries_x) == sorted(alignment.boundaries_x)
+        assert list(alignment.boundaries_y) == sorted(alignment.boundaries_y)
+
+    def test_higher_scored_pair_survives_conflict(self):
+        # The large, well-aligned pair should win over the crossing small one.
+        strong = make_pair(60, 62, sigma=10.0, distance=0.01)
+        weak = make_pair(20, 100, sigma=1.0, distance=1.5)
+        alignment = prune_inconsistent_pairs([strong, weak])
+        kept_positions = {p.feature_x.position for p in alignment.pairs}
+        assert 60.0 in kept_positions
+
+    def test_pruning_can_be_disabled(self):
+        crossing = [make_pair(20, 100), make_pair(100, 20)]
+        config = MatchingConfig(prune_inconsistencies=False)
+        alignment = prune_inconsistent_pairs(crossing, config)
+        assert alignment.num_pairs == 2
+
+    def test_scored_pairs_reported_for_all_candidates(self):
+        pairs = [make_pair(20, 100), make_pair(100, 20), make_pair(60, 61)]
+        alignment = prune_inconsistent_pairs(pairs)
+        assert len(alignment.scored_pairs) == 3
+
+    def test_kept_pairs_sorted_by_position(self):
+        pairs = [make_pair(110, 112), make_pair(20, 25), make_pair(70, 72)]
+        alignment = prune_inconsistent_pairs(pairs)
+        positions = [p.feature_x.position for p in alignment.pairs]
+        assert positions == sorted(positions)
+
+    def test_nested_scopes_handled(self):
+        # A huge feature whose scope encloses a smaller one: the ordering of
+        # boundaries must remain consistent, whichever is kept.
+        outer = make_pair(60, 60, sigma=15.0)
+        inner = make_pair(60, 62, sigma=1.0)
+        alignment = prune_inconsistent_pairs([outer, inner])
+        assert alignment.num_pairs >= 1
+        assert list(alignment.boundaries_x) == sorted(alignment.boundaries_x)
+
+    def test_identical_boundary_values_accepted_as_ties(self):
+        # Same scope boundaries on both series: the tie exception applies.
+        a = make_pair(50, 50, sigma=4.0)
+        b = make_pair(50, 50, sigma=4.0)
+        alignment = prune_inconsistent_pairs([a, b])
+        assert alignment.num_pairs >= 1

@@ -1,0 +1,130 @@
+"""Tests for the end-to-end salient-feature extraction pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DescriptorConfig, SDTWConfig, ScaleSpaceConfig
+from repro.core.features import (
+    SalientFeature,
+    count_features_by_scale,
+    extract_salient_features,
+)
+from repro.exceptions import EmptySeriesError
+
+
+@pytest.fixture(scope="module")
+def structured_series():
+    t = np.linspace(0, 1, 250)
+    return (
+        np.exp(-((t - 0.2) ** 2) / 0.0008)
+        + 0.7 * np.exp(-((t - 0.55) ** 2) / 0.004)
+        - 0.4 * np.exp(-((t - 0.85) ** 2) / 0.0015)
+    )
+
+
+class TestExtraction:
+    def test_structured_series_yields_features(self, structured_series):
+        features = extract_salient_features(structured_series)
+        assert len(features) > 0
+
+    def test_features_sorted_by_position(self, structured_series):
+        features = extract_salient_features(structured_series)
+        positions = [f.position for f in features]
+        assert positions == sorted(positions)
+
+    def test_descriptor_length_follows_config(self, structured_series):
+        config = SDTWConfig(descriptor=DescriptorConfig(num_bins=8))
+        features = extract_salient_features(structured_series, config)
+        assert all(f.descriptor.size == 8 for f in features)
+
+    def test_scopes_clipped_to_series_extent(self, structured_series):
+        features = extract_salient_features(structured_series)
+        for feature in features:
+            assert feature.scope_start >= 0.0
+            assert feature.scope_end <= structured_series.size - 1
+
+    def test_scope_indices_within_bounds(self, structured_series):
+        features = extract_salient_features(structured_series)
+        for feature in features:
+            start, end = feature.scope_as_indices(structured_series.size)
+            assert 0 <= start <= end <= structured_series.size - 1
+
+    def test_mean_amplitude_matches_scope_average(self, structured_series):
+        features = extract_salient_features(structured_series)
+        feature = features[0]
+        lo = int(np.floor(feature.scope_start))
+        hi = int(np.ceil(feature.scope_end)) + 1
+        assert feature.mean_amplitude == pytest.approx(
+            float(structured_series[lo:hi].mean())
+        )
+
+    def test_center_property_aliases_position(self, structured_series):
+        feature = extract_salient_features(structured_series)[0]
+        assert feature.center == feature.position
+
+    def test_constant_series_yields_no_features(self):
+        assert extract_salient_features(np.full(120, 1.5)) == []
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(EmptySeriesError):
+            extract_salient_features([])
+
+    def test_noise_robustness_feature_positions_stable(self, structured_series):
+        rng = np.random.default_rng(42)
+        noisy = structured_series + rng.normal(0, 0.01, structured_series.size)
+        clean_features = extract_salient_features(structured_series)
+        noisy_features = extract_salient_features(noisy)
+        clean_positions = np.array([f.position for f in clean_features])
+        noisy_positions = np.array([f.position for f in noisy_features])
+        # Every clean large-scope feature should have a nearby counterpart
+        # in the noisy extraction (robustness claim of Section 3.1.2).
+        large = [f for f in clean_features if f.scope_length > 10]
+        for feature in large:
+            assert np.min(np.abs(noisy_positions - feature.position)) < 10.0
+
+    def test_amplitude_shift_does_not_destroy_features(self, structured_series):
+        base = extract_salient_features(structured_series)
+        shifted = extract_salient_features(structured_series + 100.0)
+        assert len(shifted) == len(base)
+        for a, b in zip(base, shifted):
+            assert a.position == pytest.approx(b.position)
+
+    def test_multi_octave_extraction_produces_multiple_scales(self, structured_series):
+        config = SDTWConfig(scale_space=ScaleSpaceConfig(num_octaves=3))
+        features = extract_salient_features(structured_series, config)
+        classes = {f.scale_class for f in features}
+        assert len(classes) >= 2
+
+
+class TestScaleCounts:
+    def test_counts_sum_to_total(self, structured_series):
+        config = SDTWConfig(scale_space=ScaleSpaceConfig(num_octaves=3))
+        features = extract_salient_features(structured_series, config)
+        fine, medium, rough = count_features_by_scale(features)
+        assert fine + medium + rough == len(features)
+
+    def test_empty_feature_list(self):
+        assert count_features_by_scale([]) == (0, 0, 0)
+
+    def test_dataset_scale_profiles_fine_dominated(self, gun_small, words_small):
+        """Within every data set, fine-scale features dominate and rough
+        features are the smallest group -- the within-row shape of the
+        paper's Table 2 (fine > medium > rough)."""
+        config = SDTWConfig(scale_space=ScaleSpaceConfig(num_octaves=3))
+
+        def profile(dataset):
+            totals = np.zeros(3)
+            for ts in dataset.series[:5]:
+                totals += np.array(
+                    count_features_by_scale(
+                        extract_salient_features(ts.values, config)
+                    )
+                )
+            return totals
+
+        for dataset in (gun_small, words_small):
+            fine, medium, rough = profile(dataset)
+            assert fine > medium > rough
+            assert rough > 0

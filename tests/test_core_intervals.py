@@ -1,0 +1,130 @@
+"""Tests for interval partitions induced by consistent scope boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.consistency import prune_inconsistent_pairs
+from repro.core.intervals import (
+    Interval,
+    IntervalPartition,
+    build_interval_partition,
+    partition_from_boundaries,
+)
+from repro.exceptions import ValidationError
+
+
+class TestInterval:
+    def test_length_is_inclusive(self):
+        assert Interval(3, 7).length == 5
+
+    def test_single_point_interval(self):
+        interval = Interval(4, 4)
+        assert interval.length == 1
+        assert interval.is_empty
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            Interval(5, 3)
+
+    def test_contains(self):
+        interval = Interval(2, 6)
+        assert interval.contains(2)
+        assert interval.contains(6)
+        assert not interval.contains(7)
+
+
+class TestPartitionFromBoundaries:
+    def test_no_boundaries_single_interval(self):
+        partition = partition_from_boundaries([], [], n=10, m=12)
+        assert partition.num_intervals == 1
+        assert partition.intervals_x[0] == Interval(0, 9)
+        assert partition.intervals_y[0] == Interval(0, 11)
+
+    def test_boundaries_create_corresponding_intervals(self):
+        partition = partition_from_boundaries([3.0, 7.0], [4.0, 9.0], n=12, m=14)
+        assert partition.num_intervals == 3
+        assert partition.intervals_x[0].start == 0
+        assert partition.intervals_x[-1].end == 11
+        assert partition.intervals_y[-1].end == 13
+
+    def test_intervals_cover_series_without_gaps(self):
+        partition = partition_from_boundaries([2.0, 5.0, 9.0], [3.0, 6.0, 8.0],
+                                               n=15, m=15)
+        for intervals, length in ((partition.intervals_x, 15),
+                                  (partition.intervals_y, 15)):
+            assert intervals[0].start == 0
+            assert intervals[-1].end == length - 1
+            for prev, curr in zip(intervals, intervals[1:]):
+                assert curr.start in (prev.end, prev.end + 1) or curr.start <= prev.end
+
+    def test_unequal_boundary_lists_rejected(self):
+        with pytest.raises(ValidationError):
+            partition_from_boundaries([1.0], [1.0, 2.0], n=5, m=5)
+
+    def test_boundaries_outside_range_clamped(self):
+        partition = partition_from_boundaries([-5.0, 100.0], [0.0, 3.0], n=10, m=10)
+        assert partition.intervals_x[0].start == 0
+        assert partition.intervals_x[-1].end == 9
+
+    def test_duplicate_boundaries_produce_degenerate_intervals(self):
+        partition = partition_from_boundaries([4.0, 4.0], [5.0, 5.0], n=9, m=9)
+        assert partition.num_intervals == 3
+        # Middle interval collapses onto the boundary sample.
+        assert partition.intervals_x[1].length == 1
+
+
+class TestIntervalLookup:
+    @pytest.fixture()
+    def partition(self):
+        return partition_from_boundaries([3.0, 8.0], [4.0, 10.0], n=12, m=16)
+
+    def test_interval_index_for_x(self, partition):
+        assert partition.interval_index_for_x(0) == 0
+        assert partition.interval_index_for_x(5) == 1
+        assert partition.interval_index_for_x(11) == 2
+
+    def test_interval_index_for_y(self, partition):
+        assert partition.interval_index_for_y(0) == 0
+        assert partition.interval_index_for_y(7) == 1
+        assert partition.interval_index_for_y(15) == 2
+
+    def test_corresponding_returns_matching_pair(self, partition):
+        ix, iy = partition.corresponding(1)
+        assert ix == partition.intervals_x[1]
+        assert iy == partition.intervals_y[1]
+
+    def test_mismatched_interval_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            IntervalPartition(
+                intervals_x=(Interval(0, 4),),
+                intervals_y=(Interval(0, 4), Interval(4, 9)),
+                n=5,
+                m=10,
+            )
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValidationError):
+            IntervalPartition(intervals_x=(), intervals_y=(), n=5, m=5)
+
+
+class TestBuildFromAlignment:
+    def test_empty_alignment_gives_single_interval(self):
+        alignment = prune_inconsistent_pairs([])
+        partition = build_interval_partition(alignment, 20, 30)
+        assert partition.num_intervals == 1
+
+    def test_invalid_lengths_rejected(self):
+        alignment = prune_inconsistent_pairs([])
+        with pytest.raises(ValidationError):
+            build_interval_partition(alignment, 0, 10)
+
+    def test_real_alignment_produces_equal_interval_counts(self, engine, bumpy_pair):
+        x, y = bumpy_pair
+        alignment = engine.align(x, y)
+        partition = alignment.partition
+        assert len(partition.intervals_x) == len(partition.intervals_y)
+        assert partition.intervals_x[0].start == 0
+        assert partition.intervals_x[-1].end == x.size - 1
+        assert partition.intervals_y[-1].end == y.size - 1

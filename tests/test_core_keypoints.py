@@ -1,0 +1,124 @@
+"""Tests for keypoint detection on the DoG scale space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ScaleSpaceConfig
+from repro.core.keypoints import (
+    Keypoint,
+    _is_relaxed_extremum,
+    count_by_scale_class,
+    detect_keypoints,
+)
+from repro.core.scale_space import build_scale_space
+
+
+def bump_series(length: int = 200, center: float = 0.5, width: float = 0.02):
+    t = np.linspace(0, 1, length)
+    return np.exp(-((t - center) ** 2) / width ** 2)
+
+
+class TestRelaxedExtremum:
+    def test_strict_maximum_accepted(self):
+        assert _is_relaxed_extremum(1.0, [0.5, 0.4, 0.3], epsilon=0.0)
+
+    def test_near_tie_accepted_with_epsilon(self):
+        # 0.97 >= (1 - 0.05) * 1.0, so it survives with epsilon = 0.05.
+        assert _is_relaxed_extremum(0.97, [1.0], epsilon=0.05)
+
+    def test_near_tie_rejected_without_epsilon(self):
+        assert not _is_relaxed_extremum(0.97, [1.0], epsilon=0.0)
+
+    def test_zero_value_rejected(self):
+        assert not _is_relaxed_extremum(0.0, [0.0, 0.0], epsilon=0.5)
+
+    def test_negative_extrema_use_magnitude(self):
+        assert _is_relaxed_extremum(-1.0, [-0.5, 0.2], epsilon=0.0)
+
+
+class TestDetectKeypoints:
+    def test_bump_produces_keypoint_near_its_center(self):
+        series = bump_series(center=0.5)
+        space = build_scale_space(series, ScaleSpaceConfig(num_octaves=2))
+        keypoints = detect_keypoints(space)
+        assert keypoints, "expected at least one keypoint on a clear bump"
+        positions = np.array([kp.position for kp in keypoints])
+        assert np.min(np.abs(positions - 100)) < 15
+
+    def test_constant_series_has_no_keypoints(self):
+        space = build_scale_space(np.full(128, 2.0))
+        assert detect_keypoints(space) == []
+
+    def test_keypoints_sorted_by_position(self):
+        series = bump_series() + bump_series(center=0.2, width=0.01)
+        space = build_scale_space(series, ScaleSpaceConfig(num_octaves=2))
+        keypoints = detect_keypoints(space)
+        positions = [kp.position for kp in keypoints]
+        assert positions == sorted(positions)
+
+    def test_scope_radius_is_three_sigma_by_default(self):
+        series = bump_series()
+        space = build_scale_space(series)
+        for kp in detect_keypoints(space):
+            assert kp.scope_radius == pytest.approx(3.0 * kp.sigma)
+
+    def test_scope_radius_follows_configuration(self):
+        series = bump_series()
+        config = ScaleSpaceConfig(scope_radius_sigmas=5.0)
+        space = build_scale_space(series, config)
+        for kp in detect_keypoints(space):
+            assert kp.scope_radius == pytest.approx(5.0 * kp.sigma)
+
+    def test_positions_lie_inside_the_series(self):
+        series = bump_series() - 0.5 * bump_series(center=0.8, width=0.05)
+        space = build_scale_space(series, ScaleSpaceConfig(num_octaves=3))
+        for kp in detect_keypoints(space):
+            assert 0 <= kp.position < series.size
+
+    def test_larger_epsilon_keeps_more_keypoints(self):
+        series = bump_series() + 0.3 * np.sin(np.linspace(0, 40, 200))
+        strict = ScaleSpaceConfig(epsilon=0.0)
+        relaxed = ScaleSpaceConfig(epsilon=0.3)
+        n_strict = len(detect_keypoints(build_scale_space(series, strict)))
+        n_relaxed = len(detect_keypoints(build_scale_space(series, relaxed)))
+        assert n_relaxed >= n_strict
+
+    def test_contrast_threshold_filters_small_responses(self):
+        rng = np.random.default_rng(0)
+        series = bump_series() + rng.normal(0, 0.001, 200)
+        low = ScaleSpaceConfig(contrast_threshold=0.0)
+        high = ScaleSpaceConfig(contrast_threshold=0.3)
+        n_low = len(detect_keypoints(build_scale_space(series, low)))
+        n_high = len(detect_keypoints(build_scale_space(series, high)))
+        assert n_high <= n_low
+
+    def test_scale_classes_assigned(self):
+        series = bump_series(width=0.15) + bump_series(center=0.2, width=0.01)
+        space = build_scale_space(series, ScaleSpaceConfig(num_octaves=3))
+        keypoints = detect_keypoints(space)
+        classes = {kp.scale_class for kp in keypoints}
+        assert classes <= {"fine", "medium", "rough"}
+        assert "fine" in classes
+
+    def test_scope_properties_consistent(self):
+        kp = Keypoint(
+            position=10.0, sigma=2.0, scope_radius=6.0, octave=0, level=0,
+            dog_value=0.5, amplitude=1.0, scale_class="fine",
+        )
+        assert kp.scope_start == pytest.approx(4.0)
+        assert kp.scope_end == pytest.approx(16.0)
+        assert kp.scope_length == pytest.approx(12.0)
+
+
+class TestCountByScaleClass:
+    def test_counts_sum_to_total(self):
+        series = bump_series(width=0.1) + bump_series(center=0.25, width=0.015)
+        space = build_scale_space(series, ScaleSpaceConfig(num_octaves=3))
+        keypoints = detect_keypoints(space)
+        fine, medium, rough = count_by_scale_class(keypoints)
+        assert fine + medium + rough == len(keypoints)
+
+    def test_empty_input_gives_zero_counts(self):
+        assert count_by_scale_class([]) == (0, 0, 0)

@@ -1,0 +1,69 @@
+"""Tests for the multi-resolution + sDTW combination (optional extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DescriptorConfig, SDTWConfig
+from repro.core.multiscale import multiscale_sdtw
+from repro.core.sdtw import SDTW
+from repro.dtw.full import dtw_distance
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
+
+
+class TestMultiscaleSDTW:
+    def test_distance_upper_bounds_full_dtw(self, bumpy_pair, config):
+        x, y = bumpy_pair
+        result = multiscale_sdtw(x, y, "ac,aw", config)
+        assert result.distance >= dtw_distance(x, y) - 1e-9
+
+    def test_fills_fewer_cells_than_plain_sdtw(self, bumpy_pair, config):
+        x, y = bumpy_pair
+        engine = SDTW(config)
+        plain = engine.distance(x, y, "ac,aw")
+        combined = multiscale_sdtw(x, y, "ac,aw", config, engine=engine)
+        assert combined.cells_filled <= plain.cells_filled
+        assert combined.cell_savings >= plain.cell_savings - 1e-9
+
+    def test_distance_at_least_plain_sdtw(self, bumpy_pair, config):
+        # The combined band is an intersection, so its constrained optimum
+        # can only be >= the plain sDTW constrained optimum.
+        x, y = bumpy_pair
+        engine = SDTW(config)
+        plain = engine.distance(x, y, "ac,aw").distance
+        combined = multiscale_sdtw(x, y, "ac,aw", config, engine=engine).distance
+        assert combined >= plain - 1e-9
+
+    def test_identical_series_zero_distance(self, config):
+        series = np.sin(np.linspace(0, 7, 180)) + 0.3 * np.cos(np.linspace(0, 23, 180))
+        result = multiscale_sdtw(series, series, "ac,aw", config)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_wider_radius_tightens_the_estimate(self, bumpy_pair, config):
+        x, y = bumpy_pair
+        narrow = multiscale_sdtw(x, y, "ac,aw", config, radius=1).distance
+        wide = multiscale_sdtw(x, y, "ac,aw", config, radius=12).distance
+        assert wide <= narrow + 1e-9
+
+    def test_reports_coarse_work(self, bumpy_pair, config):
+        x, y = bumpy_pair
+        result = multiscale_sdtw(x, y, "ac,aw", config, reduction=4)
+        assert 0 < result.coarse_cells_filled < result.total_cells
+
+    def test_invalid_parameters_rejected(self, bumpy_pair, config):
+        x, y = bumpy_pair
+        with pytest.raises(ValidationError):
+            multiscale_sdtw(x, y, "ac,aw", config, reduction=1)
+        with pytest.raises(ValidationError):
+            multiscale_sdtw(x, y, "ac,aw", config, radius=0)
+
+    def test_works_with_fixed_constraint_too(self, sine_pair, config):
+        x, y = sine_pair
+        result = multiscale_sdtw(x, y, "fc,fw", config)
+        assert np.isfinite(result.distance)

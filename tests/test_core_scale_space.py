@@ -1,0 +1,113 @@
+"""Tests for the 1-D Gaussian scale space / DoG pyramid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ScaleSpaceConfig
+from repro.core.scale_space import ScaleLevel, build_scale_space, classify_scale
+from repro.exceptions import EmptySeriesError
+
+
+@pytest.fixture(scope="module")
+def example_series():
+    t = np.linspace(0, 1, 256)
+    return (
+        np.exp(-((t - 0.3) ** 2) / 0.001)
+        + 0.6 * np.exp(-((t - 0.7) ** 2) / 0.01)
+    )
+
+
+class TestBuildScaleSpace:
+    def test_number_of_levels_per_octave(self, example_series):
+        config = ScaleSpaceConfig(num_octaves=2, levels_per_octave=3)
+        space = build_scale_space(example_series, config)
+        assert len(space.levels_of_octave(0)) == 3
+        assert len(space.levels_of_octave(1)) == 3
+
+    def test_default_octave_rule_applied(self, example_series):
+        space = build_scale_space(example_series)
+        # floor(log2(256)) - 6 = 2 octaves
+        assert space.num_octaves == 2
+
+    def test_octave_downsampling_halves_lengths(self, example_series):
+        config = ScaleSpaceConfig(num_octaves=3)
+        space = build_scale_space(example_series, config)
+        lengths = [space.levels_of_octave(k)[0].length for k in range(3)]
+        assert lengths[1] == lengths[0] // 2
+        assert lengths[2] == lengths[1] // 2
+
+    def test_sigma_grows_monotonically_across_levels(self, example_series):
+        config = ScaleSpaceConfig(num_octaves=3, levels_per_octave=2)
+        space = build_scale_space(example_series, config)
+        sigmas = [level.sigma for level in space.levels]
+        assert all(b > a for a, b in zip(sigmas, sigmas[1:]))
+
+    def test_sigma_doubles_between_octaves(self, example_series):
+        config = ScaleSpaceConfig(num_octaves=2, levels_per_octave=2)
+        space = build_scale_space(example_series, config)
+        first_octave = space.levels_of_octave(0)
+        second_octave = space.levels_of_octave(1)
+        assert second_octave[0].sigma == pytest.approx(2 * first_octave[0].sigma)
+
+    def test_sampling_step_is_power_of_two(self, example_series):
+        config = ScaleSpaceConfig(num_octaves=3)
+        space = build_scale_space(example_series, config)
+        for level in space.levels:
+            assert level.sampling_step == 2 ** level.octave
+
+    def test_position_mapping_back_to_original(self, example_series):
+        config = ScaleSpaceConfig(num_octaves=2)
+        space = build_scale_space(example_series, config)
+        coarse = space.levels_of_octave(1)[0]
+        assert coarse.to_original_position(10) == pytest.approx(20.0)
+
+    def test_dog_of_constant_series_is_zero(self):
+        space = build_scale_space(np.full(64, 3.0))
+        for level in space.levels:
+            np.testing.assert_allclose(level.dog, 0.0, atol=1e-12)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(EmptySeriesError):
+            build_scale_space([])
+
+    def test_short_series_still_produces_one_octave(self):
+        space = build_scale_space(np.arange(10.0))
+        assert space.num_octaves >= 1
+
+    def test_sigma_range_reports_extremes(self, example_series):
+        config = ScaleSpaceConfig(num_octaves=2)
+        space = build_scale_space(example_series, config)
+        low, high = space.sigma_range()
+        assert low == min(level.sigma for level in space.levels)
+        assert high == max(level.sigma for level in space.levels)
+
+    def test_smoothed_series_preserves_mean_roughly(self, example_series):
+        space = build_scale_space(example_series)
+        level = space.levels[0]
+        assert level.smoothed.mean() == pytest.approx(example_series.mean(), rel=0.05)
+
+
+class TestClassifyScale:
+    def _level(self, octave: int) -> ScaleLevel:
+        return ScaleLevel(
+            octave=octave,
+            level=0,
+            sigma=1.0 * 2 ** octave,
+            sampling_step=2 ** octave,
+            smoothed=np.zeros(4),
+            dog=np.zeros(4),
+        )
+
+    def test_single_octave_everything_fine(self):
+        assert classify_scale(self._level(0), num_octaves=1) == "fine"
+
+    def test_two_octaves_fine_and_rough(self):
+        assert classify_scale(self._level(0), num_octaves=2) == "fine"
+        assert classify_scale(self._level(1), num_octaves=2) == "rough"
+
+    def test_three_octaves_fine_medium_rough(self):
+        assert classify_scale(self._level(0), num_octaves=3) == "fine"
+        assert classify_scale(self._level(1), num_octaves=3) == "medium"
+        assert classify_scale(self._level(2), num_octaves=3) == "rough"

@@ -1,0 +1,159 @@
+"""Tests for the Dataset/TimeSeries containers and the synthetic collections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, TimeSeries
+from repro.datasets.synthetic import (
+    make_fiftywords_like,
+    make_gun_like,
+    make_synthetic_dataset,
+    make_trace_like,
+)
+from repro.exceptions import DatasetError
+
+
+class TestTimeSeries:
+    def test_values_validated_and_copied(self):
+        raw = [1, 2, 3]
+        ts = TimeSeries(values=raw, label=1, identifier="t-0")
+        assert ts.length == 3
+        assert ts.values.dtype == float
+
+    def test_iteration_and_len(self):
+        ts = TimeSeries(values=[1.0, 2.0])
+        assert len(ts) == 2
+        assert list(ts) == [1.0, 2.0]
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(Exception):
+            TimeSeries(values=[np.nan])
+
+
+class TestDataset:
+    @pytest.fixture()
+    def dataset(self):
+        series = [
+            TimeSeries(values=np.arange(10.0) + i, label=i % 2, identifier=f"s{i}")
+            for i in range(6)
+        ]
+        return Dataset(name="toy", series=series)
+
+    def test_len_and_indexing(self, dataset):
+        assert len(dataset) == 6
+        assert dataset[0].identifier == "s0"
+
+    def test_labels_and_classes(self, dataset):
+        assert dataset.num_classes == 2
+        assert dataset.labels == [0, 1, 0, 1, 0, 1]
+
+    def test_by_class_grouping(self, dataset):
+        groups = dataset.by_class()
+        assert set(groups) == {0, 1}
+        assert len(groups[0]) == 3
+
+    def test_subset_preserves_order_and_metadata(self, dataset):
+        subset = dataset.subset([0, 2, 4], name="toy-even")
+        assert len(subset) == 3
+        assert subset.name == "toy-even"
+        assert subset.metadata["parent"] == "toy"
+
+    def test_sample_without_replacement(self, dataset):
+        sampled = dataset.sample(4, np.random.default_rng(0))
+        identifiers = [ts.identifier for ts in sampled]
+        assert len(identifiers) == len(set(identifiers)) == 4
+
+    def test_sample_too_many_rejected(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.sample(100, np.random.default_rng(0))
+
+    def test_validate_rejects_empty_dataset(self):
+        with pytest.raises(DatasetError):
+            Dataset(name="empty").validate()
+
+    def test_summary_fields(self, dataset):
+        summary = dataset.summary()
+        assert summary["num_series"] == 6
+        assert summary["num_classes"] == 2
+        assert summary["length"] == 10
+
+    def test_values_list_returns_arrays_in_order(self, dataset):
+        values = dataset.values_list()
+        assert len(values) == 6
+        np.testing.assert_allclose(values[0], np.arange(10.0))
+
+
+class TestSyntheticDatasets:
+    def test_gun_like_matches_paper_dimensions(self):
+        dataset = make_gun_like()
+        summary = dataset.summary()
+        assert summary["length"] == 150
+        assert summary["num_series"] == 50
+        assert summary["num_classes"] == 2
+
+    def test_trace_like_matches_paper_dimensions(self):
+        dataset = make_trace_like(num_series=20)
+        assert dataset[0].length == 275
+        assert dataset.num_classes == 4
+
+    def test_fiftywords_like_matches_paper_dimensions(self):
+        dataset = make_fiftywords_like(num_series=100)
+        assert dataset[0].length == 270
+        assert dataset.num_classes == 50
+
+    def test_generation_is_deterministic_per_seed(self):
+        a = make_gun_like(num_series=6, seed=11)
+        b = make_gun_like(num_series=6, seed=11)
+        for ts_a, ts_b in zip(a, b):
+            np.testing.assert_allclose(ts_a.values, ts_b.values)
+
+    def test_different_seeds_differ(self):
+        a = make_gun_like(num_series=6, seed=11)
+        b = make_gun_like(num_series=6, seed=12)
+        assert any(
+            not np.allclose(ts_a.values, ts_b.values) for ts_a, ts_b in zip(a, b)
+        )
+
+    def test_series_within_class_are_more_similar_than_across(self):
+        """Euclidean sanity check of the class structure: members of the same
+        class should on average be closer than members of different classes."""
+        dataset = make_trace_like(num_series=12, seed=5)
+        values = dataset.values_list()
+        labels = dataset.labels
+        same, cross = [], []
+        for a in range(len(values)):
+            for b in range(a + 1, len(values)):
+                d = float(np.linalg.norm(values[a] - values[b]))
+                (same if labels[a] == labels[b] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)
+
+    def test_classes_balanced_as_evenly_as_possible(self):
+        dataset = make_synthetic_dataset("custom", length=64, num_series=10,
+                                         num_classes=3, seed=1)
+        counts = [len(v) for v in dataset.by_class().values()]
+        assert max(counts) - min(counts) <= 1
+
+    def test_more_classes_than_series_rejected(self):
+        with pytest.raises(DatasetError):
+            make_synthetic_dataset("bad", length=32, num_series=2, num_classes=5)
+
+    def test_metadata_records_generation_parameters(self):
+        dataset = make_gun_like(num_series=4, seed=9)
+        assert dataset.metadata["synthetic"] is True
+        assert dataset.metadata["seed"] == 9
+        assert dataset.metadata["prototype_kind"] == "gun"
+
+    def test_identifiers_unique(self):
+        dataset = make_fiftywords_like(num_series=60, seed=2)
+        identifiers = [ts.identifier for ts in dataset]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_noise_level_respected(self):
+        quiet = make_gun_like(num_series=4, seed=3, noise_std=0.0)
+        noisy = make_gun_like(num_series=4, seed=3, noise_std=0.1)
+        # Same prototypes and warps, different noise: the noisy series must
+        # deviate more from its class prototype than the quiet one.
+        diff = np.mean(np.abs(quiet[0].values - noisy[0].values))
+        assert diff > 0.01

@@ -1,0 +1,151 @@
+"""Tests for the synthetic shape primitives and deformation transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    bell_curve,
+    dip,
+    flat_segment,
+    plateau,
+    ramp,
+    random_walk,
+    sine_wave,
+    step_edge,
+)
+from repro.datasets.transforms import (
+    add_noise,
+    amplitude_scale,
+    baseline_shift,
+    local_time_warp,
+    time_shift,
+    time_stretch,
+)
+from repro.exceptions import ValidationError
+
+
+class TestGenerators:
+    def test_flat_segment_constant(self):
+        np.testing.assert_allclose(flat_segment(5, 2.5), 2.5)
+
+    def test_bell_curve_peaks_at_center(self):
+        curve = bell_curve(101, center=40.0, width=5.0, height=2.0)
+        assert np.argmax(curve) == 40
+        assert curve.max() == pytest.approx(2.0)
+
+    def test_dip_is_negative_bell(self):
+        np.testing.assert_allclose(
+            dip(50, 25.0, 4.0, 1.5), -bell_curve(50, 25.0, 4.0, 1.5)
+        )
+
+    def test_plateau_height_and_extent(self):
+        curve = plateau(100, start=30.0, end=70.0, height=1.0, ramp_width=2.0)
+        assert curve[50] == pytest.approx(1.0, abs=0.01)
+        assert curve[5] == pytest.approx(0.0, abs=0.01)
+        assert curve[95] == pytest.approx(0.0, abs=0.01)
+
+    def test_plateau_requires_ordered_edges(self):
+        with pytest.raises(ValidationError):
+            plateau(50, start=30.0, end=20.0)
+
+    def test_ramp_clips_to_unit_range(self):
+        curve = ramp(100, start=20.0, end=60.0, height=3.0)
+        assert curve[0] == pytest.approx(0.0)
+        assert curve[-1] == pytest.approx(3.0)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_ramp_requires_ordered_edges(self):
+        with pytest.raises(ValidationError):
+            ramp(50, start=30.0, end=30.0)
+
+    def test_step_edge_transitions_at_position(self):
+        curve = step_edge(100, position=50.0, height=2.0, smoothness=1.0)
+        assert curve[10] < 0.1
+        assert curve[90] > 1.9
+        assert curve[50] == pytest.approx(1.0, abs=0.05)
+
+    def test_sine_wave_cycles(self):
+        wave = sine_wave(200, cycles=4.0)
+        # 4 cycles -> 8 zero crossings (excluding endpoints) approximately.
+        crossings = np.sum(np.diff(np.signbit(wave)) != 0)
+        assert 7 <= crossings <= 9
+
+    def test_random_walk_deterministic_per_seed(self):
+        a = random_walk(50, np.random.default_rng(1))
+        b = random_walk(50, np.random.default_rng(1))
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            bell_curve(0, 1.0, 1.0)
+
+
+class TestTransforms:
+    @pytest.fixture()
+    def series(self):
+        t = np.linspace(0, 1, 120)
+        return np.exp(-((t - 0.5) ** 2) / 0.01)
+
+    def test_time_shift_is_circular(self, series):
+        shifted = time_shift(series, 10)
+        np.testing.assert_allclose(shifted[10:], series[:-10])
+
+    def test_time_stretch_preserves_length_by_default(self, series):
+        stretched = time_stretch(series, 1.3)
+        assert stretched.size == series.size
+
+    def test_time_stretch_identity_factor(self, series):
+        np.testing.assert_allclose(time_stretch(series, 1.0), series, atol=1e-9)
+
+    def test_time_stretch_invalid_factor(self, series):
+        with pytest.raises(ValidationError):
+            time_stretch(series, 0.0)
+
+    def test_local_time_warp_preserves_length_and_range(self, series):
+        warped = local_time_warp(series, rng=3, strength=0.3)
+        assert warped.size == series.size
+        assert warped.min() >= series.min() - 1e-9
+        assert warped.max() <= series.max() + 1e-9
+
+    def test_local_time_warp_zero_strength_is_identity(self, series):
+        np.testing.assert_allclose(local_time_warp(series, rng=3, strength=0.0),
+                                   series, atol=1e-9)
+
+    def test_local_time_warp_preserves_feature_order(self):
+        # Two bumps must remain in the same order after warping.
+        t = np.linspace(0, 1, 200)
+        series = np.exp(-((t - 0.3) ** 2) / 0.001) + 2 * np.exp(-((t - 0.7) ** 2) / 0.001)
+        warped = local_time_warp(series, rng=11, strength=0.4)
+        first_peak = np.argmax(warped[:100])
+        second_peak = 100 + np.argmax(warped[100:])
+        assert first_peak < second_peak
+        assert warped[second_peak] > warped[first_peak]
+
+    def test_local_time_warp_deterministic_per_seed(self, series):
+        np.testing.assert_allclose(
+            local_time_warp(series, rng=5), local_time_warp(series, rng=5)
+        )
+
+    def test_local_time_warp_invalid_knots(self, series):
+        with pytest.raises(ValidationError):
+            local_time_warp(series, rng=1, num_knots=0)
+
+    def test_amplitude_scale(self, series):
+        np.testing.assert_allclose(amplitude_scale(series, 2.0), 2.0 * series)
+
+    def test_baseline_shift(self, series):
+        np.testing.assert_allclose(baseline_shift(series, -1.0), series - 1.0)
+
+    def test_add_noise_changes_values_but_not_length(self, series):
+        noisy = add_noise(series, rng=7, noise_std=0.05)
+        assert noisy.size == series.size
+        assert not np.allclose(noisy, series)
+
+    def test_add_noise_zero_std_is_identity(self, series):
+        np.testing.assert_allclose(add_noise(series, rng=7, noise_std=0.0), series)
+
+    def test_add_noise_negative_std_rejected(self, series):
+        with pytest.raises(ValidationError):
+            add_noise(series, rng=7, noise_std=-0.1)

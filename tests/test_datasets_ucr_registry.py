@@ -1,0 +1,122 @@
+"""Tests for the UCR file format I/O and the data-set registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, TimeSeries
+from repro.datasets.registry import available_datasets, load_dataset, register_dataset
+from repro.datasets.synthetic import make_gun_like
+from repro.datasets.ucr import read_ucr_file, write_ucr_file
+from repro.exceptions import DatasetError
+
+
+class TestUCRFormat:
+    def test_round_trip_comma_separated(self, tmp_path):
+        original = make_gun_like(num_series=5, seed=2)
+        path = tmp_path / "gun_train.txt"
+        write_ucr_file(original, path)
+        loaded = read_ucr_file(path, name="gun")
+        assert len(loaded) == 5
+        assert loaded.labels == original.labels
+        for a, b in zip(original, loaded):
+            np.testing.assert_allclose(a.values, b.values, atol=1e-5)
+
+    def test_whitespace_separated_files_supported(self, tmp_path):
+        path = tmp_path / "space.txt"
+        path.write_text("1 0.5 0.7 0.9\n2 0.1 0.2 0.3\n")
+        dataset = read_ucr_file(path)
+        assert len(dataset) == 2
+        assert dataset[0].label == 1
+        np.testing.assert_allclose(dataset[1].values, [0.1, 0.2, 0.3])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blanks.txt"
+        path.write_text("1,0.5,0.7\n\n2,0.1,0.2\n\n")
+        assert len(read_ucr_file(path)) == 2
+
+    def test_float_labels_rounded_to_int(self, tmp_path):
+        path = tmp_path / "floatlabel.txt"
+        path.write_text("1.0,0.5,0.7\n")
+        assert read_ucr_file(path)[0].label == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_ucr_file(tmp_path / "does_not_exist.txt")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1,abc,def\n")
+        with pytest.raises(DatasetError):
+            read_ucr_file(path)
+
+    def test_label_only_line_raises(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text("1\n")
+        with pytest.raises(DatasetError):
+            read_ucr_file(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetError):
+            read_ucr_file(path)
+
+    def test_default_name_from_filename(self, tmp_path):
+        path = tmp_path / "MyDataset_TRAIN.txt"
+        path.write_text("1,0.5,0.7,0.8\n2,0.2,0.1,0.0\n")
+        assert read_ucr_file(path).name == "MyDataset_TRAIN"
+
+
+class TestRegistry:
+    def test_paper_datasets_registered(self):
+        names = available_datasets()
+        assert "gun" in names
+        assert "trace" in names
+        assert "50words" in names
+
+    def test_small_variants_registered(self):
+        names = available_datasets()
+        assert "gun-small" in names
+        assert "50words-small" in names
+
+    def test_load_by_name(self):
+        dataset = load_dataset("gun-small")
+        assert len(dataset) == 16
+        assert dataset.num_classes == 2
+
+    def test_load_by_name_case_insensitive(self):
+        assert len(load_dataset("GUN-SMALL")) == 16
+
+    def test_load_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("not-a-dataset")
+
+    def test_load_from_ucr_path(self, tmp_path):
+        original = make_gun_like(num_series=4, seed=2)
+        path = tmp_path / "file.txt"
+        write_ucr_file(original, path)
+        loaded = load_dataset(str(path))
+        assert len(loaded) == 4
+
+    def test_register_custom_builder(self):
+        register_dataset(
+            "two-lines",
+            lambda seed=7: Dataset(
+                name="two-lines",
+                series=[
+                    TimeSeries(values=np.arange(10.0), label=0),
+                    TimeSeries(values=np.arange(10.0)[::-1], label=1),
+                ],
+            ),
+        )
+        dataset = load_dataset("two-lines")
+        assert len(dataset) == 2
+
+    def test_seed_changes_synthetic_content(self):
+        a = load_dataset("gun-small", seed=1)
+        b = load_dataset("gun-small", seed=2)
+        assert any(
+            not np.allclose(x.values, y.values) for x, y in zip(a, b)
+        )

@@ -1,0 +1,223 @@
+"""Tests for the band-constrained DTW dynamic program and band utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw.banded import (
+    band_cell_count,
+    band_to_mask,
+    banded_dtw,
+    dtw_with_band,
+    intersect_bands,
+    mask_to_band,
+    transpose_band,
+    union_bands,
+    validate_band,
+)
+from repro.dtw.constraints import full_band, sakoe_chiba_band
+from repro.dtw.full import dtw_distance
+from repro.dtw.path import is_valid_warp_path
+from repro.exceptions import BandError
+
+
+class TestValidateBand:
+    def test_valid_band_passes_unchanged(self):
+        band = full_band(5, 7)
+        validated = validate_band(band, 5, 7)
+        np.testing.assert_array_equal(validated, band)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(BandError):
+            validate_band(np.zeros((5, 3), dtype=int), 5, 7)
+
+    def test_wrong_row_count_rejected(self):
+        with pytest.raises(BandError):
+            validate_band(full_band(4, 7), 5, 7)
+
+    def test_lo_greater_than_hi_rejected_without_repair(self):
+        band = full_band(3, 5)
+        band[1] = (4, 2)
+        with pytest.raises(BandError):
+            validate_band(band, 3, 5, repair=False)
+
+    def test_missing_start_cell_rejected(self):
+        band = full_band(3, 5)
+        band[0, 0] = 1
+        with pytest.raises(BandError):
+            validate_band(band, 3, 5, repair=False)
+
+    def test_missing_end_cell_rejected(self):
+        band = full_band(3, 5)
+        band[2, 1] = 3
+        with pytest.raises(BandError):
+            validate_band(band, 3, 5, repair=False)
+
+    def test_disconnected_band_rejected(self):
+        band = np.array([[0, 1], [3, 4], [3, 4]])
+        with pytest.raises(BandError, match="disconnected"):
+            validate_band(band, 3, 5, repair=False)
+
+    def test_disconnected_band_repaired(self):
+        band = np.array([[0, 1], [3, 4], [3, 4]])
+        repaired = validate_band(band, 3, 5, repair=True)
+        # After repair consecutive windows must touch.
+        for i in range(1, 3):
+            assert repaired[i, 0] <= repaired[i - 1, 1] + 1
+
+    def test_backwards_band_rejected(self):
+        band = np.array([[0, 4], [3, 4], [0, 0]])
+        band[2] = (0, 0)
+        with pytest.raises(BandError):
+            validate_band(np.array([[0, 4], [3, 4], [0, 2]]), 3, 5, repair=False)
+
+    def test_out_of_range_columns_clipped(self):
+        band = np.array([[-2, 10], [0, 10], [0, 99]])
+        validated = validate_band(band, 3, 5, repair=True)
+        assert validated.min() >= 0
+        assert validated.max() <= 4
+
+
+class TestBandHelpers:
+    def test_cell_count_of_full_band(self):
+        assert band_cell_count(full_band(4, 6)) == 24
+
+    def test_mask_round_trip(self):
+        band = sakoe_chiba_band(10, 10, 2)
+        mask = band_to_mask(band, 10)
+        recovered = mask_to_band(mask)
+        np.testing.assert_array_equal(recovered, band)
+
+    def test_mask_with_empty_rows_gets_bridged(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        mask[3, 3] = True
+        band = mask_to_band(mask)
+        assert band.shape == (4, 2)
+        # The DP must be able to run on the bridged band.
+        x = np.arange(4.0)
+        y = np.arange(4.0)
+        result = banded_dtw(x, y, band)
+        assert np.isfinite(result.distance)
+
+    def test_union_is_at_least_as_wide_as_inputs(self):
+        a = sakoe_chiba_band(12, 12, 1)
+        b = sakoe_chiba_band(12, 12, 3)
+        union = union_bands(a, b)
+        assert np.all(union[:, 0] <= a[:, 0])
+        assert np.all(union[:, 1] >= a[:, 1])
+        np.testing.assert_array_equal(union, b)
+
+    def test_intersection_is_no_wider_than_inputs(self):
+        a = sakoe_chiba_band(12, 12, 1)
+        b = sakoe_chiba_band(12, 12, 3)
+        inter = intersect_bands(a, b)
+        np.testing.assert_array_equal(inter, a)
+
+    def test_union_rejects_mismatched_heights(self):
+        with pytest.raises(BandError):
+            union_bands(full_band(3, 4), full_band(4, 4))
+
+    def test_union_requires_at_least_one_band(self):
+        with pytest.raises(BandError):
+            union_bands()
+
+    def test_transpose_band_swaps_grid_orientation(self):
+        band = sakoe_chiba_band(8, 12, 2)
+        transposed = transpose_band(band, 8, 12)
+        assert transposed.shape == (12, 2)
+        # Transposing twice must give back a band covering the original cells.
+        double = transpose_band(transposed, 12, 8)
+        mask_original = band_to_mask(band, 12)
+        mask_double = band_to_mask(double, 12)
+        assert np.array_equal(mask_original, mask_double)
+
+
+class TestBandedDTW:
+    def test_full_band_matches_unconstrained_dtw(self, sine_pair):
+        x, y = sine_pair
+        band = full_band(x.size, y.size)
+        result = banded_dtw(x, y, band, return_path=False)
+        assert result.distance == pytest.approx(dtw_distance(x, y))
+        assert result.cells_filled == x.size * y.size
+
+    def test_banded_distance_upper_bounds_full_dtw(self, bumpy_pair):
+        x, y = bumpy_pair
+        band = sakoe_chiba_band(x.size, y.size, 5)
+        constrained = banded_dtw(x, y, band, return_path=False).distance
+        assert constrained >= dtw_distance(x, y) - 1e-9
+
+    def test_narrower_band_never_improves_distance(self, bumpy_pair):
+        x, y = bumpy_pair
+        wide = banded_dtw(x, y, sakoe_chiba_band(x.size, y.size, 20),
+                          return_path=False).distance
+        narrow = banded_dtw(x, y, sakoe_chiba_band(x.size, y.size, 3),
+                            return_path=False).distance
+        assert narrow >= wide - 1e-9
+
+    def test_path_stays_inside_band(self, sine_pair):
+        x, y = sine_pair
+        band = sakoe_chiba_band(x.size, y.size, 8)
+        result = banded_dtw(x, y, band, return_path=True)
+        for i, j in result.path:
+            assert band[i, 0] <= j <= band[i, 1]
+
+    def test_path_is_valid_warp_path(self, sine_pair):
+        x, y = sine_pair
+        band = sakoe_chiba_band(x.size, y.size, 8)
+        result = banded_dtw(x, y, band, return_path=True)
+        assert is_valid_warp_path(result.path.pairs, x.size, y.size)
+
+    def test_path_and_distance_only_variants_agree(self, bumpy_pair):
+        x, y = bumpy_pair
+        band = sakoe_chiba_band(x.size, y.size, 6)
+        with_path = banded_dtw(x, y, band, return_path=True)
+        without_path = banded_dtw(x, y, band, return_path=False)
+        assert with_path.distance == pytest.approx(without_path.distance)
+        assert with_path.cells_filled == without_path.cells_filled
+
+    def test_cells_filled_equals_band_area(self, sine_pair):
+        x, y = sine_pair
+        band = sakoe_chiba_band(x.size, y.size, 4)
+        result = banded_dtw(x, y, band, return_path=False)
+        assert result.cells_filled == band_cell_count(band)
+
+    def test_identical_series_zero_distance_under_any_band(self):
+        series = np.cos(np.linspace(0, 5, 60))
+        band = sakoe_chiba_band(60, 60, 2)
+        assert banded_dtw(series, series, band,
+                          return_path=False).distance == pytest.approx(0.0)
+
+    def test_single_column_band(self):
+        # Degenerate band: every x element aligned to the single y element.
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([2.0])
+        band = np.array([[0, 0], [0, 0], [0, 0]])
+        result = banded_dtw(x, y, band, return_path=True)
+        assert result.distance == pytest.approx(1.0 + 0.0 + 1.0)
+        assert result.path.pairs == ((0, 0), (1, 0), (2, 0))
+
+    def test_cell_fraction_property(self, sine_pair):
+        x, y = sine_pair
+        band = sakoe_chiba_band(x.size, y.size, 4)
+        result = banded_dtw(x, y, band, return_path=False)
+        assert 0.0 < result.cell_fraction < 1.0
+
+    def test_dtw_with_band_none_equals_full(self, sine_pair):
+        x, y = sine_pair
+        assert dtw_with_band(x, y, None) == pytest.approx(dtw_distance(x, y))
+
+    def test_dtw_with_band_wrapper(self, sine_pair):
+        x, y = sine_pair
+        band = sakoe_chiba_band(x.size, y.size, 6)
+        expected = banded_dtw(x, y, band, return_path=False).distance
+        assert dtw_with_band(x, y, band) == pytest.approx(expected)
+
+    def test_equal_length_band_radius_zero_is_pointwise_sum(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([1.0, 1.0, 2.0, 5.0])
+        band = sakoe_chiba_band(4, 4, 0)
+        # Radius-0 band on equal-length series restricts to the diagonal.
+        expected = float(np.sum(np.abs(x - y)))
+        assert banded_dtw(x, y, band, return_path=False).distance == pytest.approx(expected)

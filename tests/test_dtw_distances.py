@@ -1,0 +1,82 @@
+"""Tests for pointwise distances and the cost matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw.distances import (
+    absolute_distance,
+    get_pointwise_distance,
+    pointwise_cost_matrix,
+    register_pointwise_distance,
+    squared_distance,
+)
+from repro.exceptions import ValidationError
+
+
+class TestElementDistances:
+    def test_absolute_distance_scalar(self):
+        assert absolute_distance(np.array(3.0), np.array(5.0)) == 2.0
+
+    def test_absolute_distance_broadcasting(self):
+        out = absolute_distance(np.array([[1.0], [2.0]]), np.array([1.0, 3.0]))
+        assert out.shape == (2, 2)
+        assert out[1, 1] == 1.0
+
+    def test_squared_distance_scalar(self):
+        assert squared_distance(np.array(3.0), np.array(5.0)) == 4.0
+
+    def test_squared_distance_is_non_negative(self):
+        values = np.linspace(-2, 2, 7)
+        assert np.all(squared_distance(values, values[::-1]) >= 0)
+
+
+class TestRegistry:
+    def test_none_resolves_to_absolute(self):
+        assert get_pointwise_distance(None) is absolute_distance
+
+    def test_name_lookup_case_insensitive(self):
+        assert get_pointwise_distance("ABSOLUTE") is absolute_distance
+        assert get_pointwise_distance("Squared") is squared_distance
+
+    def test_callable_passthrough(self):
+        func = lambda a, b: np.abs(a - b)  # noqa: E731
+        assert get_pointwise_distance(func) is func
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError, match="unknown pointwise distance"):
+            get_pointwise_distance("no-such-distance")
+
+    def test_register_custom_distance(self):
+        register_pointwise_distance("half_abs", lambda a, b: 0.5 * np.abs(a - b))
+        func = get_pointwise_distance("half_abs")
+        assert func(np.array(2.0), np.array(6.0)) == 2.0
+
+    def test_register_non_callable_rejected(self):
+        with pytest.raises(ValidationError):
+            register_pointwise_distance("bad", "not callable")
+
+
+class TestCostMatrix:
+    def test_shape_matches_series_lengths(self):
+        matrix = pointwise_cost_matrix([1.0, 2.0, 3.0], [0.0, 1.0])
+        assert matrix.shape == (3, 2)
+
+    def test_values_are_pairwise_absolute_differences(self):
+        matrix = pointwise_cost_matrix([1.0, 4.0], [2.0, 2.0, 0.0])
+        expected = np.array([[1.0, 1.0, 1.0], [2.0, 2.0, 4.0]])
+        np.testing.assert_allclose(matrix, expected)
+
+    def test_squared_variant(self):
+        matrix = pointwise_cost_matrix([1.0, 4.0], [2.0], distance="squared")
+        np.testing.assert_allclose(matrix, [[1.0], [4.0]])
+
+    def test_identical_series_zero_diagonal(self):
+        series = np.linspace(0, 1, 10)
+        matrix = pointwise_cost_matrix(series, series)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(Exception):
+            pointwise_cost_matrix([], [1.0])

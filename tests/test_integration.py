@@ -1,0 +1,111 @@
+"""End-to-end integration tests: do the paper's headline claims hold?
+
+These tests run the full pipeline on small (but non-trivial) synthetic data
+and check the *qualitative* findings of Section 4:
+
+* constrained distances always upper-bound the optimal DTW distance;
+* adaptive-core constraints approximate the optimal distance far better
+  than fixed-core fixed-width bands of comparable size;
+* matching/inconsistency-removal time is a minor share of the total;
+* all algorithms save a large fraction of the DTW grid cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DescriptorConfig, SDTWConfig
+from repro.core.sdtw import SDTW
+from repro.datasets.synthetic import make_trace_like
+from repro.experiments.runner import AlgorithmSpec, evaluate_dataset
+from repro.retrieval.index import compute_distance_index
+
+
+@pytest.fixture(scope="module")
+def trace_eval():
+    """Evaluate a representative algorithm subset on a Trace-like sample."""
+    dataset = make_trace_like(num_series=10, seed=21)
+    algorithms = [
+        AlgorithmSpec("(fc,fw) 6%", "fc,fw", 0.06),
+        AlgorithmSpec("(fc,fw) 10%", "fc,fw", 0.10),
+        AlgorithmSpec("(ac,fw) 10%", "ac,fw", 0.10),
+        AlgorithmSpec("(ac,aw)", "ac,aw", 0.10),
+        AlgorithmSpec("(ac2,aw)", "ac2,aw", 0.10),
+    ]
+    base_config = SDTWConfig(descriptor=DescriptorConfig(num_bins=32))
+    return evaluate_dataset(dataset, algorithms, base_config=base_config, ks=(5,))
+
+
+class TestHeadlineClaims:
+    def test_every_constrained_distance_upper_bounds_reference(self, trace_eval):
+        reference = trace_eval.reference.distances
+        for index in trace_eval.indexes.values():
+            assert np.all(index.distances - reference >= -1e-9)
+
+    def test_adaptive_core_beats_fixed_core_on_distance_error(self, trace_eval):
+        evaluations = trace_eval.evaluations
+        fixed_error = evaluations["(fc,fw) 10%"].distance_error
+        adaptive_error = evaluations["(ac,aw)"].distance_error
+        assert adaptive_error < fixed_error
+
+    def test_adaptive_core_retrieval_accuracy_competitive(self, trace_eval):
+        """On a small sample the top-k overlap is a coarse metric, so the
+        adaptive algorithms are required to be at least comparable to the
+        narrow fixed band (the paper's larger-scale runs show clear wins,
+        especially on 50Words where ranking is harder)."""
+        evaluations = trace_eval.evaluations
+        fixed_acc = evaluations["(fc,fw) 6%"].retrieval_accuracy[5]
+        adaptive_acc = evaluations["(ac,aw)"].retrieval_accuracy[5]
+        assert adaptive_acc >= fixed_acc - 0.08
+
+    def test_wider_fixed_band_is_more_accurate(self, trace_eval):
+        evaluations = trace_eval.evaluations
+        assert (
+            evaluations["(fc,fw) 10%"].distance_error
+            <= evaluations["(fc,fw) 6%"].distance_error + 1e-9
+        )
+
+    def test_all_algorithms_save_grid_cells(self, trace_eval):
+        for result in trace_eval.evaluations.values():
+            assert result.cell_gain > 0.3
+
+    def test_matching_is_minor_share_of_total_time(self, trace_eval):
+        adaptive = trace_eval.indexes["(ac,aw)"]
+        share = adaptive.matching_seconds / max(adaptive.compute_seconds, 1e-12)
+        assert share < 0.5
+
+    def test_neighbor_averaged_variant_close_to_plain_adaptive(self, trace_eval):
+        evaluations = trace_eval.evaluations
+        plain = evaluations["(ac,aw)"].distance_error
+        averaged = evaluations["(ac2,aw)"].distance_error
+        assert averaged <= plain * 3 + 0.05
+
+
+class TestCrossConstraintConsistency:
+    def test_distance_matrices_agree_on_self_similarity(self, trace_eval):
+        """The nearest neighbour of a series under every constrained index
+        should usually coincide with the full-DTW nearest neighbour for the
+        adaptive variants (spot-check of the retrieval mechanism)."""
+        reference = trace_eval.reference.distances
+        adaptive = trace_eval.indexes["(ac,aw)"].distances
+        agreements = 0
+        count = reference.shape[0]
+        for query in range(count):
+            ref_order = np.argsort(reference[query] + np.eye(count)[query] * 1e9)
+            est_order = np.argsort(adaptive[query] + np.eye(count)[query] * 1e9)
+            agreements += int(ref_order[0] == est_order[0])
+        assert agreements >= count // 2
+
+
+class TestFeatureCacheAmortisation:
+    def test_shared_engine_reuses_features_across_pairs(self):
+        dataset = make_trace_like(num_series=6, seed=3)
+        values = [ts.values for ts in dataset]
+        engine = SDTW(SDTWConfig(descriptor=DescriptorConfig(num_bins=16)))
+        compute_distance_index(values, "ac,aw", engine, symmetrize=False)
+        # After the index is built every series' features are cached, so a
+        # follow-up extraction must be free.
+        for series in values:
+            _, elapsed = engine.extract_features(series)
+            assert elapsed == 0.0

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bands import build_constraint_band
+from repro.core.consistency import prune_inconsistent_pairs
+from repro.core.intervals import partition_from_boundaries
+from repro.dtw.banded import band_cell_count, banded_dtw, validate_band
+from repro.dtw.constraints import full_band, itakura_band, sakoe_chiba_band
+from repro.dtw.full import dtw, dtw_distance
+from repro.dtw.path import is_valid_warp_path, path_cost
+from repro.utils.preprocessing import gaussian_smooth, resample_linear, z_normalize
+
+# Strategy: short, well-behaved float series.
+series_strategy = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+              allow_infinity=False, width=32),
+    min_size=2,
+    max_size=30,
+).map(lambda values: np.asarray(values, dtype=float))
+
+lengths_strategy = st.integers(min_value=2, max_value=40)
+
+
+class TestDTWProperties:
+    @given(x=series_strategy, y=series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, x, y):
+        assert dtw_distance(x, y) == pytest.approx(dtw_distance(y, x), rel=1e-9)
+
+    @given(x=series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, x):
+        assert dtw_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    @given(x=series_strategy, y=series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_non_negativity(self, x, y):
+        assert dtw_distance(x, y) >= 0.0
+
+    @given(x=series_strategy, y=series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_path_validity_and_cost_consistency(self, x, y):
+        result = dtw(x, y)
+        assert is_valid_warp_path(result.path.pairs, x.size, y.size)
+        assert path_cost(result.path, x, y) == pytest.approx(result.distance,
+                                                             rel=1e-9, abs=1e-9)
+
+    @given(x=series_strategy, y=series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_path_length_bounds(self, x, y):
+        result = dtw(x, y)
+        k = len(result.path)
+        assert max(x.size, y.size) <= k <= x.size + y.size
+
+    @given(x=series_strategy, y=series_strategy, shift=st.floats(-50, 50,
+                                                                 allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_of_both_series_preserves_distance(self, x, y, shift):
+        base = dtw_distance(x, y)
+        translated = dtw_distance(x + shift, y + shift)
+        assert translated == pytest.approx(base, rel=1e-6, abs=1e-6)
+
+
+class TestBandProperties:
+    @given(n=lengths_strategy, m=lengths_strategy,
+           radius=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_sakoe_chiba_band_is_valid_and_bounded(self, n, m, radius):
+        band = sakoe_chiba_band(n, m, radius)
+        validate_band(band, n, m, repair=False)
+        assert band_cell_count(band) <= n * m
+
+    @given(n=lengths_strategy, m=lengths_strategy,
+           slope=st.floats(min_value=1.1, max_value=5.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_itakura_band_is_valid(self, n, m, slope):
+        band = itakura_band(n, m, max_slope=slope)
+        validate_band(band, n, m, repair=False)
+
+    @given(x=series_strategy, y=series_strategy,
+           radius=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_banded_distance_upper_bounds_full(self, x, y, radius):
+        band = sakoe_chiba_band(x.size, y.size, radius)
+        constrained = banded_dtw(x, y, band, return_path=False).distance
+        assert constrained >= dtw_distance(x, y) - 1e-9
+
+    @given(x=series_strategy, y=series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_full_band_reproduces_exact_distance(self, x, y):
+        band = full_band(x.size, y.size)
+        assert banded_dtw(x, y, band, return_path=False).distance == pytest.approx(
+            dtw_distance(x, y), rel=1e-9, abs=1e-9
+        )
+
+    @given(n=lengths_strategy, m=lengths_strategy,
+           cuts_x=st.lists(st.floats(0, 100, allow_nan=False), max_size=6),
+           cuts_y=st.lists(st.floats(0, 100, allow_nan=False), max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_constraint_bands_from_arbitrary_partitions_are_valid(
+        self, n, m, cuts_x, cuts_y
+    ):
+        size = min(len(cuts_x), len(cuts_y))
+        partition = partition_from_boundaries(cuts_x[:size], cuts_y[:size], n, m)
+        for spec in ("fc,aw", "ac,fw", "ac,aw", "ac2,aw"):
+            band = build_constraint_band(n, m, spec, partition)
+            validate_band(band, n, m, repair=False)
+            assert band[0, 0] == 0
+            assert band[-1, 1] == m - 1
+
+
+class TestIntervalProperties:
+    @given(n=lengths_strategy, m=lengths_strategy,
+           cuts=st.lists(st.floats(0, 200, allow_nan=False), max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_covers_both_series(self, n, m, cuts):
+        partition = partition_from_boundaries(cuts, cuts, n, m)
+        assert partition.intervals_x[0].start == 0
+        assert partition.intervals_x[-1].end == n - 1
+        assert partition.intervals_y[0].start == 0
+        assert partition.intervals_y[-1].end == m - 1
+        assert partition.num_intervals == len(cuts) + 1
+
+    @given(n=lengths_strategy, m=lengths_strategy,
+           cuts=st.lists(st.floats(0, 200, allow_nan=False), max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_every_index_maps_to_a_containing_interval(self, n, m, cuts):
+        partition = partition_from_boundaries(cuts, cuts, n, m)
+        for i in range(n):
+            idx = partition.interval_index_for_x(i)
+            assert partition.intervals_x[idx].contains(i)
+
+
+class TestPreprocessingProperties:
+    @given(x=series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_z_normalization_bounds(self, x):
+        normalised = z_normalize(x)
+        assert abs(float(normalised.mean())) < 1e-6
+        assert float(normalised.std()) == pytest.approx(1.0, abs=1e-6) or np.allclose(
+            normalised, 0.0
+        )
+
+    @given(x=series_strategy, sigma=st.floats(0.5, 5.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_gaussian_smoothing_stays_within_range(self, x, sigma):
+        smoothed = gaussian_smooth(x, sigma)
+        assert smoothed.size == x.size
+        assert smoothed.min() >= x.min() - 1e-6
+        assert smoothed.max() <= x.max() + 1e-6
+
+    @given(x=series_strategy, length=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_resampling_preserves_value_range(self, x, length):
+        resampled = resample_linear(x, length)
+        assert resampled.size == length
+        assert resampled.min() >= x.min() - 1e-9
+        assert resampled.max() <= x.max() + 1e-9
+
+
+class TestConsistencyProperties:
+    @given(
+        positions=st.lists(
+            st.tuples(st.floats(0, 100, allow_nan=False),
+                      st.floats(0, 100, allow_nan=False),
+                      st.floats(0.5, 8.0, allow_nan=False)),
+            min_size=0,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pruning_always_yields_order_consistent_pairs(self, positions):
+        from repro.core.features import SalientFeature
+        from repro.core.matching import MatchedPair
+
+        pairs = []
+        for pos_x, pos_y, sigma in positions:
+            fx = SalientFeature(
+                position=pos_x, sigma=sigma, scope_start=pos_x - 3 * sigma,
+                scope_end=pos_x + 3 * sigma, octave=0, level=0, amplitude=1.0,
+                mean_amplitude=1.0, dog_value=0.1, scale_class="fine",
+                descriptor=np.array([0.5, 0.5]),
+            )
+            fy = SalientFeature(
+                position=pos_y, sigma=sigma, scope_start=pos_y - 3 * sigma,
+                scope_end=pos_y + 3 * sigma, octave=0, level=0, amplitude=1.0,
+                mean_amplitude=1.0, dog_value=0.1, scale_class="fine",
+                descriptor=np.array([0.5, 0.5]),
+            )
+            pairs.append(MatchedPair(fx, fy, descriptor_distance=0.1))
+
+        alignment = prune_inconsistent_pairs(pairs)
+        # Invariant: the committed boundary lists never cross, i.e. sorting
+        # one series' boundaries keeps the other series' boundaries sorted.
+        assert list(alignment.boundaries_x) == sorted(alignment.boundaries_x)
+        assert list(alignment.boundaries_y) == sorted(alignment.boundaries_y)
+        assert len(alignment.boundaries_x) == len(alignment.boundaries_y)
+        # The retained set never exceeds the candidate set and each retained
+        # pair contributes exactly two boundaries per series.
+        assert len(alignment.pairs) <= len(pairs)
+        assert len(alignment.boundaries_x) == 2 * len(alignment.pairs)

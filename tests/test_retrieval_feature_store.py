@@ -1,0 +1,127 @@
+"""Tests for the persistent salient-feature store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DescriptorConfig, SDTWConfig
+from repro.core.features import extract_salient_features
+from repro.datasets.synthetic import make_gun_like
+from repro.exceptions import DatasetError, ValidationError
+from repro.retrieval.feature_store import FeatureStore
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return make_gun_like(num_series=4, seed=5)
+
+
+class TestPopulation:
+    def test_add_series_extracts_features(self, config):
+        store = FeatureStore(config=config)
+        series = np.sin(np.linspace(0, 6, 120)) + np.exp(
+            -np.linspace(-3, 3, 120) ** 2
+        )
+        features = store.add_series("s1", series)
+        assert len(features) > 0
+        assert "s1" in store
+        assert len(store) == 1
+
+    def test_add_series_accepts_precomputed_features(self, config):
+        series = np.sin(np.linspace(0, 6, 100))
+        precomputed = extract_salient_features(series, config)
+        store = FeatureStore(config=config)
+        stored = store.add_series("pre", series, features=precomputed)
+        assert len(stored) == len(precomputed)
+
+    def test_empty_identifier_rejected(self, config):
+        store = FeatureStore(config=config)
+        with pytest.raises(ValidationError):
+            store.add_series("", [1.0, 2.0, 3.0])
+
+    def test_add_dataset_uses_series_identifiers(self, config, small_dataset):
+        store = FeatureStore(config=config)
+        store.add_dataset(small_dataset)
+        assert len(store) == len(small_dataset)
+        assert small_dataset[0].identifier in store
+
+    def test_lookup_unknown_identifier_raises(self, config):
+        store = FeatureStore(config=config)
+        with pytest.raises(DatasetError):
+            store.features_of("missing")
+        with pytest.raises(DatasetError):
+            store.series_of("missing")
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, config, small_dataset, tmp_path):
+        store = FeatureStore(config=config)
+        store.add_dataset(small_dataset)
+        path = tmp_path / "features.npz"
+        store.save(path)
+        loaded = FeatureStore.load(path, config=config)
+        assert loaded.identifiers() == store.identifiers()
+        for identifier in store.identifiers():
+            original = store.features_of(identifier)
+            restored = loaded.features_of(identifier)
+            assert len(original) == len(restored)
+            for a, b in zip(original, restored):
+                assert a.position == pytest.approx(b.position)
+                assert a.sigma == pytest.approx(b.sigma)
+                assert a.scale_class == b.scale_class
+                np.testing.assert_allclose(a.descriptor, b.descriptor, atol=1e-12)
+            np.testing.assert_allclose(
+                store.series_of(identifier), loaded.series_of(identifier)
+            )
+
+    def test_load_missing_file_raises(self, config, tmp_path):
+        with pytest.raises(DatasetError):
+            FeatureStore.load(tmp_path / "nope.npz", config=config)
+
+    def test_load_with_mismatched_descriptor_length_rejected(
+        self, config, small_dataset, tmp_path
+    ):
+        store = FeatureStore(config=config)
+        store.add_dataset(small_dataset)
+        path = tmp_path / "features.npz"
+        store.save(path)
+        other_config = SDTWConfig(descriptor=DescriptorConfig(num_bins=64))
+        with pytest.raises(ValidationError):
+            FeatureStore.load(path, config=other_config)
+
+    def test_series_with_no_features_survives_round_trip(self, config, tmp_path):
+        store = FeatureStore(config=config)
+        store.add_series("flat", np.full(64, 1.0))
+        path = tmp_path / "flat.npz"
+        store.save(path)
+        loaded = FeatureStore.load(path, config=config)
+        assert loaded.features_of("flat") == ()
+
+
+class TestEngineWarmup:
+    def test_warm_engine_skips_extraction(self, config, small_dataset):
+        store = FeatureStore(config=config)
+        store.add_dataset(small_dataset)
+        engine = store.warm_engine()
+        for ts in small_dataset:
+            _, elapsed = engine.extract_features(ts.values)
+            assert elapsed == 0.0
+
+    def test_warmed_engine_produces_same_distances(self, config, small_dataset):
+        from repro.core.sdtw import SDTW
+
+        store = FeatureStore(config=config)
+        store.add_dataset(small_dataset)
+        warmed = store.warm_engine()
+        cold = SDTW(config)
+        x = small_dataset[0].values
+        y = small_dataset[1].values
+        assert warmed.distance(x, y, "ac,aw").distance == pytest.approx(
+            cold.distance(x, y, "ac,aw").distance
+        )

@@ -1,0 +1,190 @@
+"""Tests for the distance index and the Section 4.2 evaluation criteria."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sdtw import SDTW
+from repro.exceptions import ValidationError
+from repro.retrieval.evaluation import (
+    classification_accuracy,
+    cell_gain,
+    distance_error,
+    evaluate_constraint,
+    retrieval_accuracy,
+    time_gain,
+)
+from repro.retrieval.index import DistanceIndex, compute_distance_index
+
+
+@pytest.fixture(scope="module")
+def collection(gun_small):
+    return [ts.values[:70] for ts in gun_small.series[:6]]
+
+
+@pytest.fixture(scope="module")
+def labels(gun_small):
+    return [ts.label for ts in gun_small.series[:6]]
+
+
+@pytest.fixture(scope="module")
+def reference_index(collection):
+    return compute_distance_index(collection, "full")
+
+
+@pytest.fixture(scope="module")
+def constrained_index(collection, fast_config):
+    engine = SDTW(fast_config)
+    return compute_distance_index(collection, "ac,aw", engine, symmetrize=False)
+
+
+class TestDistanceIndex:
+    def test_reference_matrix_symmetric_zero_diagonal(self, reference_index):
+        matrix = reference_index.distances
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_reference_counts_full_grid_cells(self, reference_index, collection):
+        n = collection[0].size
+        pairs = len(collection) * (len(collection) - 1) // 2
+        assert reference_index.cells_filled == pairs * n * n
+        assert reference_index.total_cells == reference_index.cells_filled
+
+    def test_constrained_index_fills_fewer_cells(self, constrained_index,
+                                                 reference_index):
+        assert constrained_index.cells_filled < reference_index.cells_filled
+        assert 0.0 < constrained_index.cell_fraction < 1.0
+
+    def test_constrained_distances_upper_bound_reference(self, constrained_index,
+                                                         reference_index):
+        diff = constrained_index.distances - reference_index.distances
+        assert np.all(diff >= -1e-9)
+
+    def test_timing_fields_positive(self, constrained_index):
+        assert constrained_index.dp_seconds > 0.0
+        assert constrained_index.matching_seconds >= 0.0
+        assert constrained_index.compute_seconds > 0.0
+
+    def test_symmetrized_index_is_symmetric(self, collection, fast_config):
+        engine = SDTW(fast_config)
+        index = compute_distance_index(collection[:4], "ac,fw", engine,
+                                       symmetrize=True)
+        np.testing.assert_allclose(index.distances, index.distances.T)
+
+    def test_single_series_rejected(self, collection):
+        with pytest.raises(ValidationError):
+            compute_distance_index(collection[:1], "full")
+
+    def test_progress_callback_invoked(self, collection):
+        calls = []
+        compute_distance_index(collection[:3], "full",
+                               progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (3, 3)
+
+    def test_num_series_property(self, reference_index, collection):
+        assert reference_index.num_series == len(collection)
+
+
+class TestRetrievalAccuracy:
+    def test_identical_matrices_give_perfect_accuracy(self, reference_index):
+        matrix = reference_index.distances
+        assert retrieval_accuracy(matrix, matrix, k=3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_gives_low_accuracy(self):
+        reference = np.array([
+            [0.0, 1.0, 2.0, 3.0],
+            [1.0, 0.0, 1.5, 2.5],
+            [2.0, 1.5, 0.0, 1.0],
+            [3.0, 2.5, 1.0, 0.0],
+        ])
+        inverted = 4.0 - reference
+        np.fill_diagonal(inverted, 0.0)
+        assert retrieval_accuracy(reference, inverted, k=1) < 1.0
+
+    def test_accuracy_bounded_by_unit_interval(self, reference_index,
+                                               constrained_index):
+        value = retrieval_accuracy(reference_index.distances,
+                                   constrained_index.distances, k=3)
+        assert 0.0 <= value <= 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            retrieval_accuracy(np.zeros((3, 3)), np.zeros((4, 4)), k=1)
+
+
+class TestDistanceError:
+    def test_identical_matrices_give_zero_error(self, reference_index):
+        matrix = reference_index.distances
+        assert distance_error(matrix, matrix) == pytest.approx(0.0)
+
+    def test_uniform_overestimate_measured_exactly(self):
+        reference = np.array([[0.0, 2.0], [2.0, 0.0]])
+        estimate = np.array([[0.0, 3.0], [3.0, 0.0]])
+        assert distance_error(reference, estimate) == pytest.approx(0.5)
+
+    def test_restricted_pair_subset(self):
+        reference = np.array([
+            [0.0, 2.0, 4.0],
+            [2.0, 0.0, 8.0],
+            [4.0, 8.0, 0.0],
+        ])
+        estimate = reference.copy()
+        estimate[0, 1] = estimate[1, 0] = 4.0
+        error_all = distance_error(reference, estimate)
+        error_pair = distance_error(reference, estimate, pairs=[(0, 1)])
+        assert error_pair == pytest.approx(1.0)
+        assert error_all == pytest.approx(1.0 / 3.0)
+
+    def test_zero_reference_pairs_skipped(self):
+        reference = np.zeros((2, 2))
+        estimate = np.ones((2, 2))
+        assert distance_error(reference, estimate) == pytest.approx(0.0)
+
+    def test_constrained_error_non_negative(self, reference_index, constrained_index):
+        assert distance_error(reference_index.distances,
+                              constrained_index.distances) >= 0.0
+
+
+class TestClassificationAccuracy:
+    def test_identical_matrices_give_perfect_accuracy(self, reference_index, labels):
+        matrix = reference_index.distances
+        assert classification_accuracy(matrix, matrix, labels, k=3) == pytest.approx(1.0)
+
+    def test_wrong_label_count_rejected(self, reference_index):
+        with pytest.raises(ValidationError):
+            classification_accuracy(reference_index.distances,
+                                    reference_index.distances, [0, 1], k=1)
+
+    def test_accuracy_in_unit_interval(self, reference_index, constrained_index,
+                                       labels):
+        value = classification_accuracy(reference_index.distances,
+                                        constrained_index.distances, labels, k=3)
+        assert 0.0 <= value <= 1.0
+
+
+class TestGains:
+    def test_time_gain_positive_when_estimate_faster(self):
+        assert time_gain(10.0, 4.0) == pytest.approx(0.6)
+
+    def test_time_gain_zero_when_reference_zero(self):
+        assert time_gain(0.0, 1.0) == 0.0
+
+    def test_cell_gain_fraction_of_saved_cells(self):
+        assert cell_gain(1000, 250) == pytest.approx(0.75)
+
+
+class TestEvaluateConstraint:
+    def test_full_evaluation_reports_all_criteria(self, reference_index,
+                                                  constrained_index, labels):
+        result = evaluate_constraint(reference_index, constrained_index,
+                                     labels=labels, ks=(2, 3))
+        assert set(result.retrieval_accuracy) == {2, 3}
+        assert set(result.classification_accuracy) == {2, 3}
+        assert result.distance_error >= 0.0
+        assert result.cell_gain > 0.0
+        assert result.reference_seconds > 0.0
+
+    def test_labels_optional(self, reference_index, constrained_index):
+        result = evaluate_constraint(reference_index, constrained_index, ks=(2,))
+        assert result.classification_accuracy == {}

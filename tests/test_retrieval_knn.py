@@ -1,0 +1,87 @@
+"""Tests for top-k retrieval and k-NN label assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.retrieval.knn import knn_indices, knn_labels, top_k_indices
+
+
+class TestTopK:
+    def test_returns_k_smallest(self):
+        distances = [5.0, 1.0, 3.0, 2.0]
+        assert top_k_indices(distances, 2) == [1, 3]
+
+    def test_exclude_skips_the_query(self):
+        distances = [0.0, 1.0, 3.0, 2.0]
+        assert top_k_indices(distances, 2, exclude=0) == [1, 3]
+
+    def test_ties_broken_by_index(self):
+        distances = [1.0, 1.0, 1.0]
+        assert top_k_indices(distances, 2) == [0, 1]
+
+    def test_k_capped_at_available_candidates(self):
+        assert top_k_indices([1.0, 2.0], 10) == [0, 1]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValidationError):
+            top_k_indices([1.0, 2.0], 0)
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValidationError):
+            top_k_indices(np.zeros((2, 2)), 1)
+
+
+class TestKnnIndices:
+    @pytest.fixture()
+    def matrix(self):
+        # 4 items: 0 and 1 close, 2 and 3 close.
+        return np.array([
+            [0.0, 1.0, 8.0, 9.0],
+            [1.0, 0.0, 7.0, 8.0],
+            [8.0, 7.0, 0.0, 1.0],
+            [9.0, 8.0, 1.0, 0.0],
+        ])
+
+    def test_nearest_neighbour_excluding_self(self, matrix):
+        assert knn_indices(matrix, query=0, k=1) == [1]
+        assert knn_indices(matrix, query=3, k=1) == [2]
+
+    def test_including_self(self, matrix):
+        assert knn_indices(matrix, query=0, k=1, exclude_self=False) == [0]
+
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            knn_indices(np.zeros((2, 3)), 0, 1)
+
+
+class TestKnnLabels:
+    @pytest.fixture()
+    def matrix(self):
+        return np.array([
+            [0.0, 1.0, 2.0, 8.0, 9.0],
+            [1.0, 0.0, 2.5, 7.0, 8.0],
+            [2.0, 2.5, 0.0, 6.0, 7.0],
+            [8.0, 7.0, 6.0, 0.0, 1.0],
+            [9.0, 8.0, 7.0, 1.0, 0.0],
+        ])
+
+    def test_majority_label_returned(self, matrix):
+        labels = [0, 0, 0, 1, 1]
+        assert knn_labels(matrix, labels, query=0, k=2) == {0}
+
+    def test_tie_returns_both_labels(self, matrix):
+        labels = [0, 0, 1, 1, 1]
+        # Neighbours of query 0 at k=2 are items 1 (label 0) and 2 (label 1).
+        assert knn_labels(matrix, labels, query=0, k=2) == {0, 1}
+
+    def test_none_labels_ignored(self, matrix):
+        labels = [0, None, None, 1, 1]
+        assert knn_labels(matrix, labels, query=0, k=2) == set()
+        assert knn_labels(matrix, labels, query=0, k=4) == {1}
+
+    def test_all_none_labels_give_empty_set(self, matrix):
+        labels = [None] * 5
+        assert knn_labels(matrix, labels, query=2, k=3) == set()

@@ -1,0 +1,121 @@
+"""Tests for the query-by-example search engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DescriptorConfig, SDTWConfig
+from repro.datasets.synthetic import make_gun_like
+from repro.exceptions import DatasetError, ValidationError
+from repro.retrieval.search import TimeSeriesSearchEngine
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_gun_like(num_series=10, seed=13)
+
+
+@pytest.fixture(scope="module")
+def engine(config, dataset):
+    search = TimeSeriesSearchEngine(constraint="ac,aw", config=config)
+    search.add_dataset(dataset)
+    return search
+
+
+class TestIndexing:
+    def test_add_returns_identifier(self, config):
+        search = TimeSeriesSearchEngine(config=config)
+        identifier = search.add(np.sin(np.linspace(0, 5, 80)))
+        assert identifier.startswith("series-")
+        assert len(search) == 1
+
+    def test_add_dataset_preserves_labels(self, engine, dataset):
+        assert len(engine) == len(dataset)
+
+    def test_invalid_lb_radius_rejected(self, config):
+        with pytest.raises(ValidationError):
+            TimeSeriesSearchEngine(config=config, lb_radius_fraction=0.0)
+
+    def test_query_on_empty_engine_raises(self, config):
+        search = TimeSeriesSearchEngine(config=config)
+        with pytest.raises(DatasetError):
+            search.query([1.0, 2.0, 3.0], k=1)
+
+
+class TestQuerying:
+    def test_query_returns_k_hits_sorted_by_distance(self, engine, dataset):
+        result = engine.query(dataset[0].values, k=3,
+                              exclude_identifier=dataset[0].identifier)
+        assert len(result.hits) == 3
+        distances = [hit.distance for hit in result.hits]
+        assert distances == sorted(distances)
+
+    def test_self_query_without_exclusion_returns_itself_first(self, engine, dataset):
+        result = engine.query(dataset[2].values, k=1)
+        assert result.hits[0].identifier == dataset[2].identifier
+        assert result.hits[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_exclusion_skips_the_stored_copy(self, engine, dataset):
+        result = engine.query(dataset[2].values, k=3,
+                              exclude_identifier=dataset[2].identifier)
+        assert all(hit.identifier != dataset[2].identifier for hit in result.hits)
+
+    def test_query_accounts_for_work(self, engine, dataset):
+        result = engine.query(dataset[1].values, k=3,
+                              exclude_identifier=dataset[1].identifier)
+        assert result.distances_computed + result.candidates_pruned <= len(dataset)
+        assert result.distances_computed >= 3
+        assert result.cells_filled > 0
+        assert result.elapsed_seconds > 0.0
+
+    def test_nearest_neighbour_usually_same_class(self, engine, dataset):
+        agreements = 0
+        for ts in dataset:
+            result = engine.query(ts.values, k=1, exclude_identifier=ts.identifier)
+            agreements += int(result.hits[0].label == ts.label)
+        assert agreements >= len(dataset) // 2
+
+    def test_full_constraint_supported(self, config, dataset):
+        search = TimeSeriesSearchEngine(constraint="full", config=config,
+                                        lb_radius_fraction=None)
+        search.add_dataset(dataset)
+        result = search.query(dataset[0].values, k=2,
+                              exclude_identifier=dataset[0].identifier)
+        assert len(result.hits) == 2
+        assert result.candidates_pruned == 0
+
+    def test_lower_bound_disabled_computes_every_candidate(self, config, dataset):
+        search = TimeSeriesSearchEngine(constraint="ac,aw", config=config,
+                                        lb_radius_fraction=None)
+        search.add_dataset(dataset)
+        result = search.query(dataset[0].values, k=2,
+                              exclude_identifier=dataset[0].identifier)
+        assert result.distances_computed == len(dataset) - 1
+
+
+class TestClassification:
+    def test_classify_returns_a_known_label(self, engine, dataset):
+        label = engine.classify(dataset[0].values, k=3,
+                                exclude_identifier=dataset[0].identifier)
+        assert label in set(dataset.labels)
+
+    def test_classify_unlabelled_collection_returns_none(self, config):
+        search = TimeSeriesSearchEngine(config=config)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            search.add(np.cumsum(rng.normal(size=60)))
+        assert search.classify(np.cumsum(rng.normal(size=60)), k=2) is None
+
+    def test_leave_one_out_accuracy_reasonable(self, engine, dataset):
+        correct = 0
+        for ts in dataset:
+            predicted = engine.classify(ts.values, k=3,
+                                        exclude_identifier=ts.identifier)
+            correct += int(predicted == ts.label)
+        assert correct / len(dataset) >= 0.5

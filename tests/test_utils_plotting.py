@@ -1,0 +1,111 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtw.constraints import sakoe_chiba_band
+from repro.dtw.full import dtw
+from repro.exceptions import ValidationError
+from repro.utils.plotting import (
+    ascii_series,
+    render_band,
+    render_warp_path,
+    side_by_side,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        assert len(sparkline(np.sin(np.linspace(0, 5, 50)), width=40)) == 40
+
+    def test_constant_series_uses_lowest_block(self):
+        line = sparkline(np.full(20, 3.0), width=10)
+        assert line == line[0] * 10
+
+    def test_peak_uses_highest_block(self):
+        series = np.zeros(30)
+        series[15] = 1.0
+        line = sparkline(series, width=30)
+        assert "█" in line
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([1.0, 2.0], width=0)
+
+
+class TestAsciiSeries:
+    def test_dimensions(self):
+        chart = ascii_series(np.sin(np.linspace(0, 6, 100)), width=40, height=8)
+        lines = chart.splitlines()
+        # 8 chart rows + separator + caption.
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines[:8])
+
+    def test_marker_used(self):
+        chart = ascii_series([0.0, 1.0, 0.0], width=12, height=4, marker="@")
+        assert "@" in chart
+
+    def test_caption_reports_extremes(self):
+        chart = ascii_series([2.0, 8.0], width=10, height=4)
+        assert "min=2" in chart
+        assert "max=8" in chart
+
+    def test_multichar_marker_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_series([1.0, 2.0], marker="**")
+
+
+class TestRenderBand:
+    def test_grid_dimensions_capped(self):
+        band = sakoe_chiba_band(100, 100, 5)
+        rendering = render_band(band, 100, max_width=40, max_height=20)
+        lines = rendering.splitlines()
+        assert len(lines) == 20
+        assert all(len(line) == 40 for line in lines)
+
+    def test_inside_and_outside_markers(self):
+        band = sakoe_chiba_band(30, 30, 2)
+        rendering = render_band(band, 30, max_width=30, max_height=30)
+        assert "#" in rendering
+        assert "." in rendering
+
+    def test_full_band_has_no_outside_cells(self):
+        band = np.zeros((10, 2), dtype=int)
+        band[:, 1] = 9
+        rendering = render_band(band, 10, max_width=10, max_height=10)
+        assert "." not in rendering
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            render_band(np.zeros((5, 3)), 5)
+
+
+class TestRenderWarpPath:
+    def test_path_corners_marked(self):
+        x = np.sin(np.linspace(0, 3, 40))
+        y = np.sin(np.linspace(0, 3, 40) - 0.3)
+        result = dtw(x, y)
+        rendering = render_warp_path(result.path, 40, 40,
+                                     max_width=40, max_height=40)
+        lines = rendering.splitlines()
+        assert lines[0][0] == "o"
+        assert lines[-1][-1] == "o"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValidationError):
+            render_warp_path([], 2, 2)
+
+
+class TestSideBySide:
+    def test_blocks_joined_line_by_line(self):
+        combined = side_by_side("ab\ncd", "XY\nZW", gap=2)
+        lines = combined.splitlines()
+        assert lines[0] == "ab  XY"
+        assert lines[1] == "cd  ZW"
+
+    def test_uneven_heights_padded(self):
+        combined = side_by_side("a", "X\nY")
+        assert len(combined.splitlines()) == 2

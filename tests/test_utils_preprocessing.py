@@ -1,0 +1,134 @@
+"""Tests for the preprocessing utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.preprocessing import (
+    downsample_by_two,
+    gaussian_kernel,
+    gaussian_smooth,
+    min_max_normalize,
+    moving_average,
+    resample_linear,
+    z_normalize,
+)
+
+
+class TestGaussianKernel:
+    def test_kernel_sums_to_one(self):
+        for sigma in (0.5, 1.0, 3.0):
+            assert gaussian_kernel(sigma).sum() == pytest.approx(1.0)
+
+    def test_kernel_is_symmetric(self):
+        kernel = gaussian_kernel(2.0)
+        np.testing.assert_allclose(kernel, kernel[::-1])
+
+    def test_kernel_peak_at_center(self):
+        kernel = gaussian_kernel(1.5)
+        assert np.argmax(kernel) == (kernel.size - 1) // 2
+
+    def test_larger_sigma_gives_larger_kernel(self):
+        assert gaussian_kernel(4.0).size > gaussian_kernel(1.0).size
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            gaussian_kernel(0.0)
+
+
+class TestGaussianSmooth:
+    def test_output_length_matches_input(self):
+        series = np.sin(np.linspace(0, 4, 73))
+        assert gaussian_smooth(series, 2.0).size == 73
+
+    def test_constant_series_unchanged(self):
+        series = np.full(50, 3.3)
+        np.testing.assert_allclose(gaussian_smooth(series, 2.0), series, atol=1e-12)
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=200)
+        smoothed = gaussian_smooth(series, 3.0)
+        assert smoothed.var() < series.var()
+
+    def test_larger_sigma_smooths_more(self):
+        rng = np.random.default_rng(2)
+        series = rng.normal(size=200)
+        mild = gaussian_smooth(series, 1.0)
+        strong = gaussian_smooth(series, 5.0)
+        assert strong.var() < mild.var()
+
+    def test_short_series_does_not_fail(self):
+        result = gaussian_smooth([1.0, 5.0, 1.0], 2.0)
+        assert result.size == 3
+        assert np.all(np.isfinite(result))
+
+    def test_mean_approximately_preserved(self):
+        series = np.sin(np.linspace(0, 6, 100)) + 2.0
+        assert gaussian_smooth(series, 2.0).mean() == pytest.approx(series.mean(),
+                                                                    rel=0.02)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        series = np.arange(10.0)
+        np.testing.assert_allclose(moving_average(series, 1), series)
+
+    def test_output_length_preserved(self):
+        assert moving_average(np.arange(17.0), 5).size == 17
+
+    def test_averaging_flattens_spikes(self):
+        series = np.zeros(21)
+        series[10] = 10.0
+        averaged = moving_average(series, 5)
+        assert averaged.max() < series.max()
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError):
+            moving_average([1.0, 2.0], 0)
+
+
+class TestNormalisation:
+    def test_z_normalize_zero_mean_unit_std(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(5, 3, size=500)
+        normalised = z_normalize(series)
+        assert normalised.mean() == pytest.approx(0.0, abs=1e-9)
+        assert normalised.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_z_normalize_constant_series_gives_zeros(self):
+        np.testing.assert_allclose(z_normalize(np.full(10, 4.2)), 0.0)
+
+    def test_min_max_normalize_range(self):
+        series = np.array([2.0, 8.0, 5.0])
+        normalised = min_max_normalize(series)
+        assert normalised.min() == pytest.approx(0.0)
+        assert normalised.max() == pytest.approx(1.0)
+
+    def test_min_max_constant_series_gives_half(self):
+        np.testing.assert_allclose(min_max_normalize(np.full(5, 9.0)), 0.5)
+
+
+class TestResampling:
+    def test_resample_preserves_endpoints(self):
+        series = np.array([1.0, 5.0, 2.0, 8.0])
+        resampled = resample_linear(series, 11)
+        assert resampled[0] == pytest.approx(1.0)
+        assert resampled[-1] == pytest.approx(8.0)
+
+    def test_resample_to_same_length_is_identity(self):
+        series = np.sin(np.linspace(0, 3, 40))
+        np.testing.assert_allclose(resample_linear(series, 40), series, atol=1e-12)
+
+    def test_resample_single_value_series(self):
+        np.testing.assert_allclose(resample_linear([7.0], 5), np.full(5, 7.0))
+
+    def test_resample_invalid_length_rejected(self):
+        with pytest.raises(ValidationError):
+            resample_linear([1.0, 2.0], 0)
+
+    def test_downsample_by_two_keeps_every_second_sample(self):
+        series = np.arange(10.0)
+        np.testing.assert_allclose(downsample_by_two(series), [0, 2, 4, 6, 8])

@@ -1,0 +1,122 @@
+"""Tests for the statistics, table-formatting and RNG utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import derive_seed, rng_from_seed
+from repro.utils.stats import (
+    mean_and_std,
+    pairwise_relative_error,
+    percentile_summary,
+    relative_error,
+    safe_divide,
+)
+from repro.utils.tables import format_table, table_to_csv
+
+
+class TestSafeDivide:
+    def test_normal_division(self):
+        assert safe_divide(6.0, 3.0) == pytest.approx(2.0)
+
+    def test_zero_denominator_returns_default(self):
+        assert safe_divide(5.0, 0.0, default=-1.0) == -1.0
+
+    def test_near_zero_denominator_returns_default(self):
+        assert safe_divide(5.0, 1e-20) == 0.0
+
+
+class TestRelativeError:
+    def test_positive_overestimate(self):
+        assert relative_error(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_exact_estimate_is_zero(self):
+        assert relative_error(10.0, 10.0) == pytest.approx(0.0)
+
+    def test_zero_reference_zero_estimate(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_reference_nonzero_estimate_is_infinite(self):
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_pairwise_mean_error(self):
+        assert pairwise_relative_error([11.0, 20.0], [10.0, 10.0]) == pytest.approx(
+            (0.1 + 1.0) / 2
+        )
+
+    def test_pairwise_skips_zero_references(self):
+        assert pairwise_relative_error([5.0, 11.0], [0.0, 10.0]) == pytest.approx(0.1)
+
+    def test_pairwise_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            pairwise_relative_error([1.0], [1.0, 2.0])
+
+    def test_pairwise_all_zero_references_gives_zero(self):
+        assert pairwise_relative_error([1.0], [0.0]) == 0.0
+
+
+class TestSummaries:
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([2.0, 4.0, 6.0])
+        assert mean == pytest.approx(4.0)
+        assert std == pytest.approx(np.std([2.0, 4.0, 6.0]))
+
+    def test_mean_and_std_empty(self):
+        assert mean_and_std([]) == (0.0, 0.0)
+
+    def test_percentile_summary_keys(self):
+        summary = percentile_summary(range(101))
+        assert summary["p50"] == pytest.approx(50.0)
+        assert set(summary) == {"p5", "p25", "p50", "p75", "p95"}
+
+    def test_percentile_summary_empty_gives_nan(self):
+        summary = percentile_summary([])
+        assert np.isnan(summary["p50"])
+
+
+class TestTables:
+    def test_format_table_contains_headers_and_values(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["b", 2]], title="T")
+        assert "T" in text
+        assert "name" in text
+        assert "1.5000" in text
+        assert "| b" in text
+
+    def test_format_table_handles_none(self):
+        text = format_table(["x"], [[None]])
+        assert text.count("|") >= 2
+
+    def test_csv_output_rows(self):
+        csv = table_to_csv(["a", "b"], [[1, 2.5], ["x", None]])
+        lines = csv.strip().split("\n")
+        assert lines[0] == "a,b"
+        assert lines[1].startswith("1,2.5")
+        assert lines[2] == "x,"
+
+    def test_format_table_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestRNG:
+    def test_rng_from_int_seed_deterministic(self):
+        a = rng_from_seed(42).normal(size=5)
+        b = rng_from_seed(42).normal(size=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_rng_passthrough_for_generator(self):
+        gen = np.random.default_rng(0)
+        assert rng_from_seed(gen) is gen
+
+    def test_derive_seed_depends_on_labels(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(123, "gun", 4) == derive_seed(123, "gun", 4)
+
+    def test_derive_seed_fits_in_64_bits(self):
+        assert 0 <= derive_seed(1, "x") < 2 ** 63
