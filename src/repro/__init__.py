@@ -38,6 +38,7 @@ from .core.sdtw import SDTW, SDTWAlignment, SDTWResult, sdtw_distance
 from .dtw.full import DTWResult, dtw, dtw_distance
 from .dtw.banded import banded_dtw
 from .dtw.constraints import itakura_band, sakoe_chiba_band
+from .engine import BatchKNNResult, DistanceEngine, EngineStats
 from .exceptions import (
     BandError,
     ConfigurationError,
@@ -52,12 +53,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BandError",
+    "BatchKNNResult",
     "ConfigurationError",
     "DEFAULT_CONFIG",
     "DatasetError",
     "DescriptorConfig",
+    "DistanceEngine",
     "DTWResult",
     "EmptySeriesError",
+    "EngineStats",
     "ExperimentError",
     "MatchingConfig",
     "ReproError",

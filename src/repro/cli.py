@@ -8,6 +8,8 @@ Two entry points are installed:
     print the resulting table (optionally also write CSV).
   - ``distance <dataset> <i> <j>`` — compute the distance between two
     series of a registered data set under one or more constraints.
+  - ``engine <dataset>`` — run a batch k-NN retrieval through the cascaded
+    distance engine and print the per-stage pruning / time breakdown.
   - ``datasets`` — list the registered data sets.
 """
 
@@ -49,6 +51,29 @@ def _build_parser() -> argparse.ArgumentParser:
     dist.add_argument("--constraint", action="append", default=None,
                       help="constraint label (repeatable); defaults to all")
     dist.add_argument("--seed", type=int, default=7, help="generation seed")
+
+    eng = subparsers.add_parser(
+        "engine",
+        help="batch k-NN retrieval through the cascaded distance engine")
+    eng.add_argument("dataset", help="registered data-set name or UCR file path")
+    eng.add_argument("--constraint", default="fc,fw",
+                     help="refinement constraint: full, fc,fw, itakura, "
+                          "fc,aw, ac,fw, ac,aw, ac2,aw (default: fc,fw)")
+    eng.add_argument("--backend", default="serial",
+                     choices=["serial", "vectorized", "multiprocessing"],
+                     help="execution backend (default: serial)")
+    eng.add_argument("--workers", type=int, default=None,
+                     help="worker processes for the multiprocessing backend")
+    eng.add_argument("--k", type=int, default=5, help="neighbours per query")
+    eng.add_argument("--num-queries", type=int, default=5,
+                     help="how many stored series to replay as queries")
+    eng.add_argument("--num-series", type=int, default=None,
+                     help="subsample the collection to this many series")
+    eng.add_argument("--no-cascade", action="store_true",
+                     help="disable the LB_Kim/LB_Keogh pruning stages")
+    eng.add_argument("--no-abandon", action="store_true",
+                     help="disable early-abandoning refinement")
+    eng.add_argument("--seed", type=int, default=7, help="generation/sampling seed")
 
     subparsers.add_parser("datasets", help="list the registered data sets")
     return parser
@@ -97,6 +122,66 @@ def _run_distance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_engine(args: argparse.Namespace) -> int:
+    from .engine import DistanceEngine
+    from .utils.rng import rng_from_seed
+    from .utils.tables import format_table
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    if args.num_series is not None and args.num_series < len(dataset):
+        rng = rng_from_seed(args.seed)
+        dataset = dataset.sample(args.num_series, rng,
+                                 name=f"{dataset.name}-n{args.num_series}")
+    num_queries = max(1, min(args.num_queries, len(dataset)))
+
+    engine = DistanceEngine(
+        args.constraint,
+        backend=args.backend,
+        num_workers=args.workers,
+        prune=not args.no_cascade,
+        early_abandon=not args.no_abandon,
+    )
+    identifiers = engine.add_dataset(dataset)
+
+    queries = [dataset[i].values for i in range(num_queries)]
+    result = engine.knn(queries, k=args.k,
+                        exclude_identifiers=identifiers[:num_queries])
+    stats = result.stats
+
+    print(f"Batch k-NN over {dataset.name}: {len(dataset)} series, "
+          f"{num_queries} queries, k={args.k}")
+    print(f"constraint={engine.constraint} backend={engine.backend}"
+          + (f" workers={args.workers}" if args.workers else ""))
+    print()
+    print(format_table(["stage", "count", "note"], stats.cascade_rows(),
+                       title="Pruning cascade"))
+    print()
+    timing_rows = [
+        ["lower bounds", stats.bound_seconds],
+        ["feature extraction (a)", stats.extract_seconds],
+        ["matching + pruning (b)", stats.matching_seconds],
+        ["dynamic programming (c)", stats.dp_seconds],
+        ["batch wall-clock", result.elapsed_seconds],
+    ]
+    print(format_table(["phase", "seconds"], timing_rows,
+                       float_format=".6f", title="Time breakdown (Figure 17)"))
+    print()
+    correct = 0
+    labelled = 0
+    for qi, query_result in enumerate(result.results):
+        top = query_result.hits[0] if query_result.hits else None
+        label = dataset[qi].label
+        if top is not None and label is not None:
+            labelled += 1
+            correct += int(top.label == label)
+        if top is not None:
+            print(f"query {qi}: nearest={top.identifier} "
+                  f"distance={top.distance:.4f}")
+    if labelled:
+        print(f"top-1 label agreement: {correct}/{labelled}")
+    return 0
+
+
 def _run_datasets() -> int:
     for name in available_datasets():
         print(name)
@@ -115,6 +200,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_experiment(args)
         if args.command == "distance":
             return _run_distance(args)
+        if args.command == "engine":
+            return _run_engine(args)
         if args.command == "datasets":
             return _run_datasets()
     except ReproError as exc:

@@ -92,6 +92,10 @@ class SDTWResult:
         non-salient-feature constraints).
     band:
         The constraint band actually used (``None`` for full DTW).
+    abandoned:
+        True when an ``abandon_threshold`` was given and the dynamic
+        program stopped early because the distance provably exceeds it
+        (``distance`` is then ``inf``).
     """
 
     distance: float
@@ -104,6 +108,7 @@ class SDTWResult:
     dp_seconds: float = 0.0
     alignment: Optional[SDTWAlignment] = None
     band: Optional[np.ndarray] = None
+    abandoned: bool = False
 
     @property
     def compute_seconds(self) -> float:
@@ -252,6 +257,7 @@ class SDTW:
         constraint: Union[str, ConstraintSpec] = "ac,aw",
         *,
         return_path: bool = False,
+        abandon_threshold: Optional[float] = None,
     ) -> SDTWResult:
         """Compute the DTW distance under a constraint family.
 
@@ -264,6 +270,11 @@ class SDTW:
             ``"fc,aw"``, ``"ac,fw"``, ``"ac,aw"``, ``"ac2,aw"``.
         return_path:
             Whether to also backtrack the warp path.
+        abandon_threshold:
+            Early-abandoning threshold (k-NN search): stop the dynamic
+            program as soon as the distance provably exceeds it (see
+            :func:`repro.dtw.banded.banded_dtw`).  Requires
+            ``return_path=False``.
 
         Returns
         -------
@@ -275,6 +286,24 @@ class SDTW:
 
         if isinstance(constraint, str) and constraint.strip().lower() == "full":
             start = time.perf_counter()
+            if abandon_threshold is not None:
+                # The full grid expressed as a band: identical DP, but the
+                # banded kernel supports early abandonment.
+                banded_full = banded_dtw(
+                    xs, ys, full_band(xs.size, ys.size),
+                    self.config.pointwise_distance, return_path=return_path,
+                    abandon_threshold=abandon_threshold,
+                )
+                dp_seconds = time.perf_counter() - start
+                return SDTWResult(
+                    distance=banded_full.distance,
+                    constraint="full",
+                    path=banded_full.path,
+                    cells_filled=banded_full.cells_filled,
+                    total_cells=total_cells,
+                    dp_seconds=dp_seconds,
+                    abandoned=banded_full.abandoned,
+                )
             exact = dtw(xs, ys, self.config.pointwise_distance, return_path=return_path)
             dp_seconds = time.perf_counter() - start
             return SDTWResult(
@@ -300,7 +329,8 @@ class SDTW:
         band, alignment = self.build_band(xs, ys, spec, alignment)
         start = time.perf_counter()
         banded: BandedDTWResult = banded_dtw(
-            xs, ys, band, self.config.pointwise_distance, return_path=return_path
+            xs, ys, band, self.config.pointwise_distance, return_path=return_path,
+            abandon_threshold=abandon_threshold,
         )
         dp_seconds = time.perf_counter() - start
         return SDTWResult(
@@ -314,6 +344,7 @@ class SDTW:
             dp_seconds=dp_seconds,
             alignment=alignment,
             band=banded.band,
+            abandoned=banded.abandoned,
         )
 
     def distance_matrix(

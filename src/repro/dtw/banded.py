@@ -35,8 +35,14 @@ def validate_band(band: np.ndarray, n: int, m: int, *, repair: bool = False) -> 
     * keep every window inside ``[0, m - 1]``,
     * include the corner cells ``(0, 0)`` and ``(n - 1, m - 1)``,
     * be *connected*: consecutive windows must overlap or touch diagonally
-      (``lo[i] <= hi[i - 1] + 1``) and must not move backwards in a way the
-      warp-path step pattern cannot follow (``hi[i] >= lo[i - 1]``).
+      (``lo[i] <= hi[i - 1] + 1``),
+    * be *reachable*: because the warp-path step pattern never decreases
+      the column, only the cells ``[a_i, hi_i]`` of row ``i`` with
+      ``a_i = max(lo_i, a_{i-1})`` can lie on a path; every window must
+      satisfy ``hi_i >= a_{i-1}``.  Comparing only adjacent rows
+      (``hi[i] >= lo[i - 1]``) is not enough: a band of length-1 windows
+      can wiggle backwards, pass every adjacent-row check, and still admit
+      no warp path at all.
 
     With ``repair=True`` the band is widened just enough to restore the
     corner and connectivity requirements (this is the "gap bridging" the
@@ -70,16 +76,20 @@ def validate_band(band: np.ndarray, n: int, m: int, *, repair: bool = False) -> 
         else:
             raise BandError("band must contain the end cell (n-1, m-1)")
 
-    # Connectivity / monotonicity between consecutive rows.  The common
+    # Connectivity / reachability between consecutive rows.  The common
     # case (bands produced by this library's builders) needs no repair, so
     # the violations are detected vectorised and the sequential repair loop
-    # only runs when something is actually wrong.
+    # only runs when something is actually wrong.  ``reach[i]`` is the
+    # leftmost column a warp path can occupy in row i (the running maximum
+    # of the window starts): a window whose end falls left of it can never
+    # be entered, even when it overlaps the adjacent row.
     if n > 1:
+        reach = np.maximum.accumulate(arr[:, 0])
         disconnected = arr[1:, 0] > arr[:-1, 1] + 1
-        backwards = arr[1:, 1] < arr[:-1, 0]
-        if disconnected.any() or backwards.any():
+        unreachable = arr[1:, 1] < reach[:-1]
+        if disconnected.any() or unreachable.any():
             if not repair:
-                row = int(np.flatnonzero(disconnected | backwards)[0]) + 1
+                row = int(np.flatnonzero(disconnected | unreachable)[0]) + 1
                 if disconnected[row - 1]:
                     raise BandError(
                         f"band is disconnected between rows {row - 1} and {row}: "
@@ -87,15 +97,19 @@ def validate_band(band: np.ndarray, n: int, m: int, *, repair: bool = False) -> 
                         f"[{arr[row - 1, 0]}, {arr[row - 1, 1]}]"
                     )
                 raise BandError(
-                    f"band moves backwards between rows {row - 1} and {row}"
+                    f"band moves backwards at row {row}: window "
+                    f"[{arr[row, 0]}, {arr[row, 1]}] ends before the leftmost "
+                    f"reachable column {reach[row - 1]}"
                 )
+            reachable_lo = int(arr[0, 0])
             for i in range(1, n):
                 if arr[i, 0] > arr[i - 1, 1] + 1:
                     arr[i, 0] = arr[i - 1, 1] + 1
-                if arr[i, 1] < arr[i - 1, 0]:
-                    arr[i, 1] = arr[i - 1, 0]
+                if arr[i, 1] < reachable_lo:
+                    arr[i, 1] = reachable_lo
                 if arr[i, 0] > arr[i, 1]:
                     arr[i, 0] = arr[i, 1]
+                reachable_lo = max(reachable_lo, int(arr[i, 0]))
     return arr
 
 
@@ -216,19 +230,26 @@ class BandedDTWResult:
     Attributes
     ----------
     distance:
-        Cost of the best warp path restricted to the band.
+        Cost of the best warp path restricted to the band, or ``inf`` when
+        the computation was abandoned early.
     path:
         The constrained-optimal warp path, or ``None`` when not requested.
     cells_filled:
-        Number of grid cells the dynamic program evaluated (band area).
+        Number of grid cells the dynamic program evaluated (band area, or
+        the cells filled up to the abandoned row).
     band:
         The (validated, possibly repaired) band actually used.
+    abandoned:
+        True when an ``abandon_threshold`` was given and every cell of some
+        row exceeded it, proving the final distance must exceed the
+        threshold; the remaining rows were skipped.
     """
 
     distance: float
     path: Optional[WarpPath]
     cells_filled: int
     band: np.ndarray
+    abandoned: bool = False
 
     @property
     def cell_fraction(self) -> float:
@@ -246,6 +267,7 @@ def banded_dtw(
     *,
     return_path: bool = True,
     repair: bool = True,
+    abandon_threshold: Optional[float] = None,
 ) -> BandedDTWResult:
     """Compute DTW restricted to a per-row window band.
 
@@ -263,6 +285,13 @@ def banded_dtw(
         Whether to automatically bridge gaps / clip the band so the DP can
         complete (the paper's gap-bridging rule); if False a malformed band
         raises :class:`BandError`.
+    abandon_threshold:
+        Early-abandoning threshold for k-NN search: when given, the DP
+        stops as soon as the minimum accumulated cost of a whole row
+        exceeds it (the final distance can then only be larger, because
+        pointwise costs are non-negative) and the result carries
+        ``abandoned=True`` with ``distance=inf``.  Only available on the
+        distance-only path, where no backtracking state is kept.
     """
     xs = as_series(x, "x")
     ys = as_series(y, "y")
@@ -271,14 +300,34 @@ def banded_dtw(
     window = validate_band(band, n, m, repair=repair)
 
     if return_path:
+        if abandon_threshold is not None:
+            raise ValidationError(
+                "abandon_threshold requires return_path=False: an abandoned "
+                "computation has no warp path to backtrack"
+            )
         return _banded_dtw_with_path(xs, ys, window, func)
-    return _banded_dtw_distance_only(xs, ys, window, func)
+    return _banded_dtw_distance_only(xs, ys, window, func, abandon_threshold)
 
 
 def _banded_dtw_distance_only(
-    xs: np.ndarray, ys: np.ndarray, window: np.ndarray, func
+    xs: np.ndarray,
+    ys: np.ndarray,
+    window: np.ndarray,
+    func,
+    abandon_threshold: Optional[float] = None,
 ) -> BandedDTWResult:
-    """Distance-only banded DP: lean inner loop, no back-pointer bookkeeping."""
+    """Distance-only banded DP: vectorised row recurrence, no back-pointers.
+
+    The row update ``vals[j] = cost[j] + min(diag_or_up[j], vals[j - 1])``
+    is a scan, but it has a closed form over the row's cost prefix sums:
+
+        vals[j] = prefix[j] + min_{t <= j} (diag_or_up[t] - prefix[t - 1])
+
+    which turns the per-cell Python loop into ``cumsum`` plus a running
+    minimum (``np.minimum.accumulate``).  The same formulation is applied
+    per candidate row by the batch kernel in :mod:`repro.engine`, so the
+    serial and batched code paths produce bit-identical distances.
+    """
     n, m = xs.size, ys.size
     cells = 0
     prev_lo = prev_hi = -1
@@ -290,15 +339,12 @@ def _banded_dtw_distance_only(
         width = hi - lo + 1
         cells += width
         row_cost = func(xs[i], ys[lo: hi + 1])
-        vals = np.empty(width)
+        prefix = np.cumsum(row_cost)
         if prev_vals is None:
             # First row: only horizontal moves are possible.
-            running = 0.0 if lo == 0 else inf
-            vals[0] = running + row_cost[0] if np.isfinite(running) else inf
-            for idx in range(1, width):
-                vals[idx] = vals[idx - 1] + row_cost[idx]
+            vals = prefix if lo == 0 else np.full(width, inf)
         else:
-            # Pre-compute min(up, diag) for the whole row in one pass.
+            # min(up, diag) for the whole row in one pass.
             padded = np.full(width + 1, inf)
             overlap_lo = max(lo - 1, prev_lo)
             overlap_hi = min(hi, prev_hi)
@@ -307,13 +353,17 @@ def _banded_dtw_distance_only(
                     overlap_lo - prev_lo: overlap_hi - prev_lo + 1
                 ]
             diag_or_up = np.minimum(padded[:-1], padded[1:])
-            left = inf
-            for idx in range(width):
-                best = diag_or_up[idx]
-                if left < best:
-                    best = left
-                left = best + row_cost[idx]
-                vals[idx] = left
+            shifted = np.empty(width)
+            shifted[0] = 0.0
+            shifted[1:] = prefix[:-1]
+            vals = prefix + np.minimum.accumulate(diag_or_up - shifted)
+        if abandon_threshold is not None and vals.min() > abandon_threshold:
+            # Every continuation only adds non-negative costs, so the final
+            # distance is guaranteed to exceed the threshold.
+            return BandedDTWResult(
+                distance=inf, path=None, cells_filled=cells, band=window,
+                abandoned=True,
+            )
         prev_lo, prev_hi, prev_vals = lo, hi, vals
 
     if not (prev_lo <= m - 1 <= prev_hi) or not np.isfinite(prev_vals[m - 1 - prev_lo]):

@@ -13,8 +13,21 @@ from __future__ import annotations
 from typing import Sequence, Tuple, Union
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .._validation import as_series, check_int_at_least
+
+
+def kim_profile(x: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+    """The LB_Kim feature quadruple ``[first, last, min, max]`` of a series.
+
+    Profiles are a constant-size summary that can be precomputed once per
+    stored series and compared in O(1) per pair (the engine's stage-1
+    bound), or stacked into a ``(C, 4)`` matrix for
+    :func:`lb_kim_batch`.
+    """
+    xs = as_series(x, "x")
+    return np.array([xs[0], xs[-1], xs.min(), xs.max()], dtype=float)
 
 
 def lb_kim(x: Union[Sequence[float], np.ndarray],
@@ -34,6 +47,29 @@ def lb_kim(x: Union[Sequence[float], np.ndarray],
         abs(xs.min() - ys.min()),
     )
     return float(max(features))
+
+
+def lb_kim_batch(query_profile: np.ndarray, profiles: np.ndarray) -> np.ndarray:
+    """Vectorised LB_Kim of one query against ``C`` candidate profiles.
+
+    Parameters
+    ----------
+    query_profile:
+        The query's :func:`kim_profile` (shape ``(4,)``).
+    profiles:
+        Stacked candidate profiles, shape ``(C, 4)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(C,)`` array of bounds, identical to calling :func:`lb_kim` per
+        pair.
+    """
+    query_profile = np.asarray(query_profile, dtype=float).reshape(1, 4)
+    profiles = np.asarray(profiles, dtype=float)
+    if profiles.ndim != 2 or profiles.shape[1] != 4:
+        raise ValueError("profiles must have shape (C, 4)")
+    return np.abs(profiles - query_profile).max(axis=1)
 
 
 def lb_yi(x: Union[Sequence[float], np.ndarray],
@@ -61,14 +97,20 @@ def keogh_envelope(
     ys = as_series(y, "y")
     radius = check_int_at_least(radius, 0, "radius")
     m = ys.size
-    upper = np.empty(m)
-    lower = np.empty(m)
-    for i in range(m):
-        lo = max(0, i - radius)
-        hi = min(m, i + radius + 1)
-        window = ys[lo:hi]
-        upper[i] = window.max()
-        lower[i] = window.min()
+    if radius >= m:
+        # Global envelope: every window covers the whole series.  This is
+        # the always-admissible envelope the batch engine uses for
+        # constraints that are not contained in a Sakoe-Chiba band.
+        return np.full(m, ys.max()), np.full(m, ys.min())
+    # Sliding-window extrema via a padded strided view (the pad values are
+    # the identity elements of max/min, so edge windows see only real data).
+    width = 2 * radius + 1
+    padded = np.full(m + 2 * radius, -np.inf)
+    padded[radius: radius + m] = ys
+    upper = sliding_window_view(padded, width).max(axis=1)
+    padded = np.full(m + 2 * radius, np.inf)
+    padded[radius: radius + m] = ys
+    lower = sliding_window_view(padded, width).min(axis=1)
     return upper, lower
 
 
@@ -114,3 +156,41 @@ def lb_keogh(
     above = np.where(xs > upper, xs - upper, 0.0)
     below = np.where(xs < lower, lower - xs, 0.0)
     return float(np.sum(above + below))
+
+
+def lb_keogh_batch(
+    x: Union[Sequence[float], np.ndarray],
+    uppers: np.ndarray,
+    lowers: np.ndarray,
+) -> np.ndarray:
+    """Vectorised LB_Keogh of one query against ``C`` stacked envelopes.
+
+    Parameters
+    ----------
+    x:
+        The query series (length L).
+    uppers, lowers:
+        Candidate envelopes stacked into ``(C, L)`` matrices (equal-length
+        collections only; see :func:`keogh_envelope`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(C,)`` array of bounds, identical to calling :func:`lb_keogh`
+        per pair with the same envelopes (the reductions run over the same
+        contiguous axis, so the floating-point results match bit for bit).
+    """
+    xs = as_series(x, "x")
+    uppers = np.asarray(uppers, dtype=float)
+    lowers = np.asarray(lowers, dtype=float)
+    if uppers.ndim != 2 or uppers.shape != lowers.shape:
+        raise ValueError("uppers and lowers must be equal-shaped (C, L) matrices")
+    if uppers.shape[1] != xs.size:
+        raise ValueError(
+            f"query length {xs.size} does not match envelope length "
+            f"{uppers.shape[1]}"
+        )
+    row = xs[np.newaxis, :]
+    above = np.where(row > uppers, row - uppers, 0.0)
+    below = np.where(row < lowers, lowers - row, 0.0)
+    return np.sum(above + below, axis=1)

@@ -1,0 +1,756 @@
+"""The batch distance engine: cascaded pruning over a stored collection.
+
+:class:`DistanceEngine` answers k-NN queries (and builds full distance
+matrices) against a collection of stored series in one call, running a
+three-stage pruning cascade per query:
+
+1. **LB_Kim** — a constant-time bound from precomputed first/last/min/max
+   profiles; candidates whose bound already exceeds the running k-th best
+   distance are dropped before anything else is computed.
+2. **LB_Keogh** — an O(L) envelope bound.  For the Sakoe–Chiba family over
+   an equal-length collection the envelopes use the band's own radius (the
+   classic admissible pairing from Keogh, VLDB 2002); for every other
+   constraint family the engine falls back to the *global* envelope
+   (min/max of the candidate), which lower-bounds the full DTW and hence
+   every constrained DTW, keeping the cascade exact for all families.
+3. **Early-abandoning banded DTW** — surviving candidates are refined in
+   ascending-bound order; the dynamic program stops as soon as a whole row
+   exceeds the best-so-far k-th distance.
+
+Every stage is *admissible* (bounds never exceed the true constrained
+distance, and abandonment only fires when the distance provably exceeds
+the threshold), so the returned neighbours are identical to an exhaustive
+scan — the property-based suite in ``tests/test_properties.py`` checks
+exactly that.  Bounds are only enabled for the absolute-difference
+pointwise distance they are derived for; other ground distances disable
+stages 1–2 automatically (abandonment stays valid for any non-negative
+pointwise distance).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series, check_int_at_least
+from ..core.bands import parse_constraint_spec
+from ..core.config import SDTWConfig
+from ..core.sdtw import SDTW
+from ..datasets.base import Dataset
+from ..dtw.banded import banded_dtw
+from ..dtw.constraints import full_band, itakura_band, sakoe_chiba_band_fraction
+from ..dtw.distances import get_pointwise_distance
+from ..dtw.lower_bounds import (
+    keogh_envelope,
+    kim_profile,
+    lb_keogh,
+    lb_kim,
+    lb_kim_batch,
+    lb_keogh_batch,
+)
+from ..exceptions import DatasetError, ValidationError
+from .backends import default_num_workers, resolve_backend, run_parallel
+from .kernels import banded_dtw_batch
+from .stats import EngineStats
+
+# Constraint families whose band depends only on the pair of lengths, so a
+# single validated band can drive the batch DP kernel for every candidate.
+_SHARED_BAND_CONSTRAINTS = ("full", "fc,fw", "itakura")
+
+# Pointwise distances the LB_Kim / LB_Keogh derivations hold for.
+_BOUNDABLE_DISTANCES = ("absolute", "manhattan")
+
+
+def normalize_constraint(constraint: Union[str, object]) -> str:
+    """Canonical engine constraint label.
+
+    Accepts ``"full"``, ``"itakura"``, any sDTW constraint label or
+    :class:`~repro.core.bands.ConstraintSpec`, and the usual aliases
+    (``"sakoe-chiba"`` maps to ``"fc,fw"``).
+    """
+    if isinstance(constraint, str):
+        key = constraint.strip().lower().replace(" ", "")
+        if key == "full":
+            return "full"
+        if key == "itakura":
+            return "itakura"
+    try:
+        return parse_constraint_spec(constraint).label
+    except ValidationError as exc:
+        raise ValidationError(f"{exc}; the engine additionally accepts "
+                              f"'full' and 'itakura'") from exc
+
+
+def _global_keogh_one(x: np.ndarray, y_min: float, y_max: float) -> float:
+    """LB via the global envelope: mass of *x* outside ``[y_min, y_max]``.
+
+    Admissible against the full DTW (every point of *x* is matched by at
+    least one path step) and therefore against every constrained DTW.
+    """
+    above = np.maximum(x - y_max, 0.0)
+    below = np.maximum(y_min - x, 0.0)
+    return float(above.sum() + below.sum())
+
+
+def _global_keogh_batch(
+    x: np.ndarray, mins: np.ndarray, maxs: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`_global_keogh_one` against ``C`` candidates."""
+    above = np.maximum(x[np.newaxis, :] - maxs[:, np.newaxis], 0.0)
+    below = np.maximum(mins[:, np.newaxis] - x[np.newaxis, :], 0.0)
+    return above.sum(axis=1) + below.sum(axis=1)
+
+
+def cascade_bounds(
+    x: Union[Sequence[float], np.ndarray],
+    y: Union[Sequence[float], np.ndarray],
+) -> Tuple[float, float]:
+    """The engine's cascading lower bounds for one pair.
+
+    Returns ``(stage1, stage2)`` with ``stage1 <= stage2 <= DTW(x, y)``
+    for the absolute-difference ground distance: stage 1 is LB_Kim and
+    stage 2 sharpens it with the global-envelope LB_Keogh (the running
+    maximum keeps the cascade monotone, which raw LB_Kim / LB_Keogh values
+    alone do not guarantee).
+    """
+    xs = as_series(x, "x")
+    ys = as_series(y, "y")
+    stage1 = lb_kim(xs, ys)
+    stage2 = max(stage1, _global_keogh_one(xs, float(ys.min()), float(ys.max())))
+    return stage1, stage2
+
+
+@dataclass(frozen=True)
+class EngineHit:
+    """One retrieved neighbour."""
+
+    identifier: str
+    index: int
+    distance: float
+    label: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """k-NN hits and work accounting for a single query."""
+
+    hits: Tuple[EngineHit, ...]
+    stats: EngineStats
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        return tuple(hit.index for hit in self.hits)
+
+    @property
+    def labels(self) -> List[Optional[int]]:
+        return [hit.label for hit in self.hits]
+
+
+@dataclass
+class BatchKNNResult:
+    """Result of a batch k-NN call.
+
+    Attributes
+    ----------
+    results:
+        One :class:`QueryResult` per query, in query order.
+    elapsed_seconds:
+        Wall-clock time of the whole batch (with the multiprocessing
+        backend this is smaller than the sum of per-query times).
+    """
+
+    results: List[QueryResult]
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> QueryResult:
+        return self.results[index]
+
+    @property
+    def stats(self) -> EngineStats:
+        """Per-query stats summed over the batch."""
+        return EngineStats.merged([r.stats for r in self.results])
+
+    def rankings(self) -> List[Tuple[int, ...]]:
+        """Hit indices per query (the quantity equivalence tests compare)."""
+        return [result.indices for result in self.results]
+
+
+@dataclass
+class BatchDistanceResult:
+    """A (num_queries, collection_size) distance matrix plus accounting."""
+
+    distances: np.ndarray
+    stats: EngineStats
+
+
+@dataclass
+class _Stored:
+    identifier: str
+    values: np.ndarray
+    label: Optional[int]
+
+
+@dataclass
+class _Prepared:
+    """Per-collection caches built once and shared by every query."""
+
+    lengths: np.ndarray
+    equal_length: bool
+    matrix: Optional[np.ndarray]
+    profiles: np.ndarray
+    mins: np.ndarray
+    maxs: np.ndarray
+    tight_radius: Optional[int] = None
+    tight_upper: Optional[np.ndarray] = None
+    tight_lower: Optional[np.ndarray] = None
+    # Every index stored under an identifier: duplicates must all be
+    # excluded by leave-one-out queries, like the sequential engine did.
+    indices_of: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+
+class DistanceEngine:
+    """Batch k-NN / distance-matrix computation with cascaded pruning.
+
+    Parameters
+    ----------
+    constraint:
+        Constraint family of the refinement distance: ``"full"``,
+        ``"fc,fw"`` (Sakoe–Chiba), ``"itakura"``, or any sDTW locally
+        relevant family (``"fc,aw"``, ``"ac,fw"``, ``"ac,aw"``,
+        ``"ac2,aw"``).
+    config:
+        sDTW configuration (band widths, descriptors, pointwise distance).
+    backend:
+        ``"serial"``, ``"vectorized"`` or ``"multiprocessing"`` (see
+        :mod:`repro.engine.backends`).
+    num_workers:
+        Worker processes for the multiprocessing backend (default: CPU
+        count).
+    prune:
+        Master switch for the lower-bound stages; ``False`` scans every
+        candidate (early abandonment stays on unless also disabled).
+    use_lb_kim, use_lb_keogh, early_abandon:
+        Individual cascade-stage switches.
+    itakura_max_slope:
+        Slope parameter of the ``"itakura"`` constraint.
+    batch_size:
+        Chunk size of the vectorised refinement stage: candidates are
+        refined in ascending-bound chunks of this size so the abandonment
+        threshold tightens between chunks.
+    """
+
+    def __init__(
+        self,
+        constraint: str = "ac,aw",
+        config: Optional[SDTWConfig] = None,
+        *,
+        backend: str = "serial",
+        num_workers: Optional[int] = None,
+        prune: bool = True,
+        use_lb_kim: bool = True,
+        use_lb_keogh: bool = True,
+        early_abandon: bool = True,
+        itakura_max_slope: float = 2.0,
+        batch_size: int = 32,
+    ) -> None:
+        self.constraint = normalize_constraint(constraint)
+        self.config = config if config is not None else SDTWConfig()
+        self.backend = resolve_backend(backend)
+        self.num_workers = num_workers
+        self.use_lb_kim = bool(prune and use_lb_kim)
+        self.use_lb_keogh = bool(prune and use_lb_keogh)
+        self.early_abandon = bool(early_abandon)
+        if itakura_max_slope <= 1.0:
+            raise ValidationError("itakura_max_slope must be greater than 1")
+        self.itakura_max_slope = float(itakura_max_slope)
+        self.batch_size = check_int_at_least(batch_size, 1, "batch_size")
+        self._sdtw = SDTW(self.config)
+        self._stored: List[_Stored] = []
+        self._prepared: Optional[_Prepared] = None
+        distance_name = self.config.pointwise_distance
+        self._bounds_admissible = (
+            isinstance(distance_name, str)
+            and distance_name.strip().lower() in _BOUNDABLE_DISTANCES
+        )
+
+    # ------------------------------------------------------------------ #
+    # Collection management
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._stored)
+
+    def add(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        identifier: Optional[str] = None,
+        label: Optional[int] = None,
+    ) -> str:
+        """Add one series to the collection; returns its identifier.
+
+        Auto-generated identifiers skip names already in use, so an
+        explicit identifier can never be silently aliased (exclusion is
+        identifier-keyed).  Explicitly repeating an identifier is allowed
+        and excludes every copy, like the sequential engine.
+        """
+        array = as_series(values, "values")
+        if identifier is None:
+            counter = len(self._stored)
+            taken = {s.identifier for s in self._stored}
+            identifier = f"series-{counter:05d}"
+            while identifier in taken:
+                counter += 1
+                identifier = f"series-{counter:05d}"
+        self._stored.append(_Stored(identifier=identifier, values=array, label=label))
+        self._prepared = None
+        return identifier
+
+    def add_dataset(self, dataset: Dataset) -> List[str]:
+        """Add every series of a data set (labels preserved).
+
+        Returns the stored identifiers in insertion order, so callers can
+        build leave-one-out exclusion lists without re-deriving the
+        defaulting scheme.
+        """
+        identifiers = []
+        for index, ts in enumerate(dataset):
+            identifier = ts.identifier or f"{dataset.name}-{index:04d}"
+            identifiers.append(
+                self.add(ts.values, identifier=identifier, label=ts.label)
+            )
+        return identifiers
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, *args, **kwargs) -> "DistanceEngine":
+        """Build an engine over a data set in one call."""
+        engine = cls(*args, **kwargs)
+        engine.add_dataset(dataset)
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # Preparation (amortised one-time work, Section 3.4 of the paper)
+    # ------------------------------------------------------------------ #
+    @property
+    def _needs_alignment(self) -> bool:
+        if self.constraint in ("full", "itakura"):
+            return False
+        spec = parse_constraint_spec(self.constraint)
+        return spec.core == "adaptive" or spec.width == "adaptive"
+
+    def prepare(self) -> None:
+        """Build the per-collection caches (profiles, envelopes, features).
+
+        Called automatically by :meth:`knn` / :meth:`distance_matrix`;
+        exposed so the one-time cost can be paid (and measured) up front.
+        """
+        if self._prepared is not None or not self._stored:
+            return
+        lengths = np.array([s.values.size for s in self._stored], dtype=int)
+        equal_length = bool(lengths.size and (lengths == lengths[0]).all())
+        matrix = (
+            np.stack([s.values for s in self._stored]) if equal_length else None
+        )
+        profiles = np.stack([kim_profile(s.values) for s in self._stored])
+        mins = np.array([float(s.values.min()) for s in self._stored])
+        maxs = np.array([float(s.values.max()) for s in self._stored])
+        indices_of: Dict[str, Tuple[int, ...]] = {}
+        for i, stored in enumerate(self._stored):
+            indices_of[stored.identifier] = indices_of.get(stored.identifier, ()) + (i,)
+        prepared = _Prepared(
+            lengths=lengths,
+            equal_length=equal_length,
+            matrix=matrix,
+            profiles=profiles,
+            mins=mins,
+            maxs=maxs,
+            indices_of=indices_of,
+        )
+        if self.constraint == "fc,fw" and equal_length:
+            length = int(lengths[0])
+            # One more sample than the band's half-width, so floor/ceil
+            # rounding in the band builder can never break admissibility.
+            radius = max(1, int(round(self.config.width_fraction * length / 2.0))) + 1
+            envelopes = [keogh_envelope(s.values, radius) for s in self._stored]
+            prepared.tight_radius = radius
+            prepared.tight_upper = np.stack([e[0] for e in envelopes])
+            prepared.tight_lower = np.stack([e[1] for e in envelopes])
+        if self._needs_alignment:
+            # Salient features are a one-time, per-series cost; extracting
+            # them here lets multiprocessing workers inherit a warm cache.
+            for stored in self._stored:
+                self._sdtw.extract_features(stored.values)
+        self._prepared = prepared
+
+    # ------------------------------------------------------------------ #
+    # Constraint plumbing
+    # ------------------------------------------------------------------ #
+    def _shared_band(self, n: int, m: int) -> Optional[np.ndarray]:
+        """The constraint band when it depends only on the grid shape."""
+        if self.constraint == "full":
+            return full_band(n, m)
+        if self.constraint == "fc,fw":
+            return sakoe_chiba_band_fraction(n, m, self.config.width_fraction)
+        if self.constraint == "itakura":
+            return itakura_band(n, m, self.itakura_max_slope)
+        return None
+
+    def _refine(
+        self,
+        query: np.ndarray,
+        stored: _Stored,
+        threshold: Optional[float],
+        band: Optional[np.ndarray] = None,
+    ) -> Tuple[float, int, bool, float, float, float]:
+        """One refinement: ``(distance, cells, abandoned, extract, match, dp)``."""
+        if band is None:
+            band = self._shared_band(query.size, stored.values.size)
+        if band is not None:
+            start = time.perf_counter()
+            result = banded_dtw(
+                query, stored.values, band, self.config.pointwise_distance,
+                return_path=False, abandon_threshold=threshold,
+            )
+            dp_seconds = time.perf_counter() - start
+            return (result.distance, result.cells_filled, result.abandoned,
+                    0.0, 0.0, dp_seconds)
+        result = self._sdtw.distance(
+            query, stored.values, self.constraint, abandon_threshold=threshold
+        )
+        return (result.distance, result.cells_filled, result.abandoned,
+                result.extract_seconds, result.matching_seconds,
+                result.dp_seconds)
+
+    def _keogh_tight_applicable(self, n: int) -> bool:
+        prep = self._prepared
+        return (
+            prep is not None
+            and prep.tight_upper is not None
+            and prep.equal_length
+            and n == int(prep.lengths[0])
+        )
+
+    def _keogh_bound_one(self, query: np.ndarray, index: int) -> float:
+        prep = self._prepared
+        if self._keogh_tight_applicable(query.size):
+            return lb_keogh(
+                query, self._stored[index].values, prep.tight_radius,
+                envelope=(prep.tight_upper[index], prep.tight_lower[index]),
+            )
+        return _global_keogh_one(
+            query, float(prep.mins[index]), float(prep.maxs[index])
+        )
+
+    def _keogh_bounds_batch(self, query: np.ndarray) -> np.ndarray:
+        prep = self._prepared
+        if self._keogh_tight_applicable(query.size):
+            return lb_keogh_batch(query, prep.tight_upper, prep.tight_lower)
+        return _global_keogh_batch(query, prep.mins, prep.maxs)
+
+    # ------------------------------------------------------------------ #
+    # The per-query cascade
+    # ------------------------------------------------------------------ #
+    def _run_query(
+        self,
+        query: np.ndarray,
+        k: int,
+        exclude_indices: Tuple[int, ...],
+        mode: str,
+    ) -> QueryResult:
+        prep = self._prepared
+        started = time.perf_counter()
+        stats = EngineStats(queries=1)
+        n = query.size
+        excluded = set(exclude_indices)
+        include = np.array(
+            [i for i in range(len(self._stored)) if i not in excluded], dtype=int
+        )
+        stats.candidates = int(include.size)
+        stats.total_cells = int(n * prep.lengths[include].sum())
+
+        use_kim = self.use_lb_kim and self._bounds_admissible
+        use_keogh = self.use_lb_keogh and self._bounds_admissible
+        lazy_keogh = mode == "serial" and use_kim and use_keogh
+
+        bound_start = time.perf_counter()
+        kim_all: Optional[np.ndarray] = None
+        keogh_all: Optional[np.ndarray] = None
+        if use_kim:
+            kim_all = lb_kim_batch(kim_profile(query), prep.profiles)
+            stats.lb_kim_computed = int(include.size)
+        if use_keogh and not lazy_keogh:
+            if mode == "serial":
+                keogh_all = np.array(
+                    [self._keogh_bound_one(query, i) for i in range(len(self._stored))]
+                )
+            else:
+                keogh_all = self._keogh_bounds_batch(query)
+            stats.lb_keogh_computed = int(include.size)
+        if kim_all is not None and keogh_all is not None:
+            bound_all = np.maximum(kim_all, keogh_all)
+        elif kim_all is not None:
+            bound_all = kim_all
+        elif keogh_all is not None:
+            bound_all = keogh_all
+        else:
+            bound_all = np.zeros(len(self._stored))
+        stats.bound_seconds += time.perf_counter() - bound_start
+
+        # Ascending bound, index as the deterministic tie-break.
+        order = include[np.lexsort((include, bound_all[include]))]
+
+        kept: List[Tuple[float, int]] = []
+        worst = np.inf
+
+        def prune_remaining(position: int) -> None:
+            for j in order[position:]:
+                if kim_all is not None and kim_all[j] > worst:
+                    stats.pruned_lb_kim += 1
+                elif keogh_all is not None:
+                    stats.pruned_lb_keogh += 1
+                else:
+                    stats.pruned_lb_kim += 1
+
+        def absorb(distance: float, index: int) -> None:
+            nonlocal worst
+            kept.append((float(distance), int(index)))
+            kept.sort()
+            if len(kept) > k:
+                kept.pop()
+            if len(kept) == k:
+                worst = kept[-1][0]
+
+        band = self._shared_band(n, int(prep.lengths[0])) if prep.equal_length else None
+        use_batch_dp = mode == "vectorized" and band is not None
+
+        position = 0
+        while position < order.size:
+            limit = worst if len(kept) == k else np.inf
+            if bound_all[order[position]] > limit:
+                prune_remaining(position)
+                break
+            if use_batch_dp:
+                stop = min(position + self.batch_size, order.size)
+                chunk: List[int] = []
+                for t in range(position, stop):
+                    if bound_all[order[t]] > limit:
+                        break
+                    chunk.append(int(order[t]))
+                threshold = limit if (self.early_abandon and np.isfinite(limit)) else None
+                dp_start = time.perf_counter()
+                dists, cell_counts, abandoned_mask = banded_dtw_batch(
+                    query, prep.matrix[chunk], band,
+                    get_pointwise_distance(self.config.pointwise_distance),
+                    threshold,
+                )
+                stats.dp_seconds += time.perf_counter() - dp_start
+                stats.cells_filled += int(cell_counts.sum())
+                for offset, index in enumerate(chunk):
+                    if abandoned_mask[offset]:
+                        stats.dtw_abandoned += 1
+                    else:
+                        stats.dtw_computed += 1
+                        absorb(dists[offset], index)
+                position += len(chunk)
+                continue
+
+            index = int(order[position])
+            position += 1
+            if lazy_keogh:
+                bound_start = time.perf_counter()
+                keogh_bound = self._keogh_bound_one(query, index)
+                stats.lb_keogh_computed += 1
+                stats.bound_seconds += time.perf_counter() - bound_start
+                if len(kept) == k and keogh_bound > worst:
+                    stats.pruned_lb_keogh += 1
+                    continue
+            threshold = (
+                worst if (self.early_abandon and len(kept) == k) else None
+            )
+            distance, cells, was_abandoned, extract_s, match_s, dp_s = self._refine(
+                query, self._stored[index], threshold, band=band
+            )
+            stats.cells_filled += cells
+            stats.extract_seconds += extract_s
+            stats.matching_seconds += match_s
+            stats.dp_seconds += dp_s
+            if was_abandoned:
+                stats.dtw_abandoned += 1
+                continue
+            stats.dtw_computed += 1
+            absorb(distance, index)
+
+        hits = tuple(
+            EngineHit(
+                identifier=self._stored[index].identifier,
+                index=index,
+                distance=distance,
+                label=self._stored[index].label,
+            )
+            for distance, index in kept
+        )
+        stats.elapsed_seconds = time.perf_counter() - started
+        return QueryResult(hits=hits, stats=stats)
+
+    def _matrix_row(self, query: np.ndarray, mode: str) -> Tuple[np.ndarray, EngineStats]:
+        """All distances from one query to the collection (no pruning)."""
+        prep = self._prepared
+        started = time.perf_counter()
+        stats = EngineStats(queries=1)
+        count = len(self._stored)
+        stats.candidates = count
+        n = query.size
+        stats.total_cells = int(n * prep.lengths.sum())
+        row = np.empty(count)
+        band = self._shared_band(n, int(prep.lengths[0])) if prep.equal_length else None
+        if mode == "vectorized" and band is not None:
+            dp_start = time.perf_counter()
+            row, cell_counts, _ = banded_dtw_batch(
+                query, prep.matrix, band,
+                get_pointwise_distance(self.config.pointwise_distance), None,
+            )
+            stats.dp_seconds += time.perf_counter() - dp_start
+            stats.cells_filled += int(cell_counts.sum())
+            stats.dtw_computed += count
+        else:
+            for index, stored in enumerate(self._stored):
+                distance, cells, _, extract_s, match_s, dp_s = self._refine(
+                    query, stored, None, band=band
+                )
+                row[index] = distance
+                stats.cells_filled += cells
+                stats.extract_seconds += extract_s
+                stats.matching_seconds += match_s
+                stats.dp_seconds += dp_s
+                stats.dtw_computed += 1
+        stats.elapsed_seconds = time.perf_counter() - started
+        return row, stats
+
+    # ------------------------------------------------------------------ #
+    # Public batch API
+    # ------------------------------------------------------------------ #
+    def _require_collection(self) -> None:
+        if not self._stored:
+            raise DatasetError("the distance engine contains no series")
+
+    def _exclude_indices(self, identifier: Optional[str]) -> Tuple[int, ...]:
+        if identifier is None:
+            return ()
+        return self._prepared.indices_of.get(identifier, ())
+
+    def knn(
+        self,
+        queries: Sequence[Union[Sequence[float], np.ndarray]],
+        k: int = 5,
+        *,
+        exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
+    ) -> BatchKNNResult:
+        """k nearest stored series for every query, in one batch call.
+
+        Parameters
+        ----------
+        queries:
+            The query series.
+        k:
+            Neighbours per query.
+        exclude_identifiers:
+            Optional per-query identifier to skip (leave-one-out
+            evaluations); must have one entry per query when given.
+        """
+        self._require_collection()
+        self.prepare()
+        k = check_int_at_least(k, 1, "k")
+        arrays = [as_series(q, f"queries[{i}]") for i, q in enumerate(queries)]
+        if exclude_identifiers is None:
+            excludes: List[Optional[str]] = [None] * len(arrays)
+        else:
+            excludes = list(exclude_identifiers)
+            if len(excludes) != len(arrays):
+                raise ValidationError(
+                    "exclude_identifiers must have one entry per query"
+                )
+        payloads = [
+            (qi, arrays[qi], k, self._exclude_indices(excludes[qi]))
+            for qi in range(len(arrays))
+        ]
+        started = time.perf_counter()
+        if self.backend == "multiprocessing" and len(payloads) > 1:
+            workers = (
+                self.num_workers if self.num_workers is not None
+                else default_num_workers()
+            )
+            outcomes = run_parallel(self, _knn_query_task, payloads, workers)
+        else:
+            mode = "serial" if self.backend == "serial" else "vectorized"
+            outcomes = [
+                (qi, self._run_query(query, k, exclude, mode))
+                for qi, query, k, exclude in payloads
+            ]
+        ordered = [result for _, result in sorted(outcomes, key=lambda item: item[0])]
+        return BatchKNNResult(
+            results=ordered, elapsed_seconds=time.perf_counter() - started
+        )
+
+    def query(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        k: int = 5,
+        *,
+        exclude_identifier: Optional[str] = None,
+    ) -> QueryResult:
+        """Single-query convenience wrapper over :meth:`knn`."""
+        batch = self.knn([values], k, exclude_identifiers=[exclude_identifier])
+        return batch.results[0]
+
+    def distance_matrix(
+        self,
+        queries: Optional[Sequence[Union[Sequence[float], np.ndarray]]] = None,
+    ) -> BatchDistanceResult:
+        """Distances from every query to every stored series (no pruning).
+
+        With ``queries=None`` the stored collection itself is used, giving
+        the square constraint-distance matrix the experiments consume.
+        """
+        self._require_collection()
+        self.prepare()
+        if queries is None:
+            arrays = [s.values for s in self._stored]
+        else:
+            arrays = [as_series(q, f"queries[{i}]") for i, q in enumerate(queries)]
+        payloads = list(enumerate(arrays))
+        started = time.perf_counter()
+        if self.backend == "multiprocessing" and len(payloads) > 1:
+            workers = (
+                self.num_workers if self.num_workers is not None
+                else default_num_workers()
+            )
+            outcomes = run_parallel(self, _matrix_row_task, payloads, workers)
+        else:
+            mode = "serial" if self.backend == "serial" else "vectorized"
+            outcomes = [
+                (qi, self._matrix_row(query, mode)) for qi, query in payloads
+            ]
+        rows: List[Optional[np.ndarray]] = [None] * len(arrays)
+        stats = EngineStats()
+        for qi, (row, row_stats) in outcomes:
+            rows[qi] = row
+            stats.merge(row_stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        stats.queries = len(arrays)
+        return BatchDistanceResult(distances=np.stack(rows), stats=stats)
+
+
+def _knn_query_task(engine: DistanceEngine, payload):
+    """Multiprocessing task: run one query through the vectorised cascade."""
+    qi, query, k, exclude_indices = payload
+    return qi, engine._run_query(query, k, exclude_indices, "vectorized")
+
+
+def _matrix_row_task(engine: DistanceEngine, payload):
+    """Multiprocessing task: one full distance-matrix row."""
+    qi, query = payload
+    return qi, engine._matrix_row(query, "vectorized")

@@ -17,7 +17,7 @@ from .evaluation import (
 )
 from .feature_store import FeatureStore
 from .index import DistanceIndex, compute_distance_index
-from .knn import knn_indices, knn_labels, top_k_indices
+from .knn import batch_top_k, knn_indices, knn_labels, top_k_indices
 from .search import SearchHit, SearchResult, TimeSeriesSearchEngine
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "SearchHit",
     "SearchResult",
     "TimeSeriesSearchEngine",
+    "batch_top_k",
     "classification_accuracy",
     "compute_distance_index",
     "distance_error",

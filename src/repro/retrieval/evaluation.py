@@ -24,7 +24,7 @@ from .._validation import check_int_at_least
 from ..exceptions import ValidationError
 from ..utils.stats import relative_error, safe_divide
 from .index import DistanceIndex
-from .knn import knn_labels, top_k_indices
+from .knn import batch_top_k, knn_labels
 
 
 def retrieval_accuracy(
@@ -44,12 +44,14 @@ def retrieval_accuracy(
         raise ValidationError("distance matrices must be square and equal-shaped")
     k = check_int_at_least(k, 1, "k")
     count = ref.shape[0]
-    overlaps = []
-    for query in range(count):
-        exclude = query if exclude_self else None
-        top_ref = set(top_k_indices(ref[query], k, exclude=exclude))
-        top_est = set(top_k_indices(est[query], k, exclude=exclude))
-        overlaps.append(len(top_ref & top_est) / float(k))
+    excludes = [query if exclude_self else None for query in range(count)]
+    overlaps = [
+        len(set(top_ref) & set(top_est)) / float(k)
+        for top_ref, top_est in zip(
+            batch_top_k(ref, k, exclude=excludes),
+            batch_top_k(est, k, exclude=excludes),
+        )
+    ]
     return float(np.mean(overlaps))
 
 

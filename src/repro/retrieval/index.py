@@ -9,13 +9,16 @@ grid cells filled (a hardware-independent proxy for the same quantity).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core.bands import parse_constraint_spec
 from ..core.sdtw import SDTW, SDTWResult
 from ..dtw.full import dtw
+from ..engine.backends import run_parallel
 from ..exceptions import ValidationError
 
 
@@ -73,6 +76,47 @@ class DistanceIndex:
 
 ProgressCallback = Callable[[int, int], None]
 
+# One computed pair: (a, b, value, matching_s, dp_s, extract_s, cells, grid).
+_PairRecord = Tuple[int, int, float, float, float, float, int, int]
+
+
+def _compute_pair(
+    engine: SDTW, constraint: str, is_full: bool, symmetrize: bool,
+    xa: np.ndarray, xb: np.ndarray, a: int, b: int,
+) -> _PairRecord:
+    grid = xa.size * xb.size
+    if is_full:
+        start = time.perf_counter()
+        result = dtw(xa, xb, engine.config.pointwise_distance, return_path=False)
+        elapsed = time.perf_counter() - start
+        return (a, b, result.distance, 0.0, elapsed, 0.0, result.cells_filled, grid)
+    forward: SDTWResult = engine.distance(xa, xb, constraint)
+    if symmetrize:
+        backward: SDTWResult = engine.distance(xb, xa, constraint)
+        return (
+            a, b, (forward.distance + backward.distance) / 2.0,
+            forward.matching_seconds + backward.matching_seconds,
+            forward.dp_seconds + backward.dp_seconds,
+            forward.extract_seconds + backward.extract_seconds,
+            forward.cells_filled + backward.cells_filled,
+            2 * grid,
+        )
+    return (
+        a, b, forward.distance,
+        forward.matching_seconds, forward.dp_seconds, forward.extract_seconds,
+        forward.cells_filled, grid,
+    )
+
+
+def _pair_chunk_task(state, chunk) -> List[_PairRecord]:
+    """Worker task: compute one chunk of pairs against the shared state."""
+    engine, arrays, constraint, is_full, symmetrize = state
+    return [
+        _compute_pair(engine, constraint, is_full, symmetrize,
+                      arrays[a], arrays[b], a, b)
+        for a, b in chunk
+    ]
+
 
 def compute_distance_index(
     series: Sequence[np.ndarray],
@@ -81,6 +125,7 @@ def compute_distance_index(
     *,
     symmetrize: bool = True,
     progress: Optional[ProgressCallback] = None,
+    num_workers: Optional[int] = None,
 ) -> DistanceIndex:
     """Compute the pairwise distance index of a collection under one constraint.
 
@@ -100,7 +145,13 @@ def compute_distance_index(
         over the two orientations.  Full DTW is symmetric already and is
         computed once per unordered pair regardless.
     progress:
-        Optional callback ``(done_pairs, total_pairs)`` for long runs.
+        Optional callback ``(done_pairs, total_pairs)`` for long runs
+        (called per chunk when workers are used).
+    num_workers:
+        When greater than 1, the unordered pairs are chunked across a
+        process pool (the engine's multiprocessing plumbing).  Features
+        are extracted in the parent first so forked workers inherit a warm
+        salient-feature cache.
 
     Returns
     -------
@@ -113,50 +164,53 @@ def compute_distance_index(
     if engine is None:
         engine = SDTW()
 
+    is_full = constraint.strip().lower() == "full"
+    pair_list = [(a, b) for a in range(count) for b in range(a + 1, count)]
+    total_pairs = len(pair_list)
+
+    workers = 1 if num_workers is None else max(1, int(num_workers))
+    if workers > 1 and total_pairs > 1:
+        if not is_full:
+            # Pay the one-time extraction cost once, in the parent — but
+            # only for constraints whose bands actually consume salient
+            # features; the fixed families never read them.
+            spec = parse_constraint_spec(constraint)
+            if spec.core == "adaptive" or spec.width == "adaptive":
+                for array in arrays:
+                    engine.extract_features(array)
+        chunk_count = min(total_pairs, workers * 4)
+        chunks = [pair_list[i::chunk_count] for i in range(chunk_count)]
+        state = (engine, arrays, constraint, is_full, symmetrize)
+        records: List[_PairRecord] = []
+        done = 0
+        for chunk_records in run_parallel(state, _pair_chunk_task, chunks, workers):
+            records.extend(chunk_records)
+            done += len(chunk_records)
+            if progress is not None:
+                progress(done, total_pairs)
+    else:
+        records = []
+        for done, (a, b) in enumerate(pair_list, start=1):
+            records.append(
+                _compute_pair(engine, constraint, is_full, symmetrize,
+                              arrays[a], arrays[b], a, b)
+            )
+            if progress is not None:
+                progress(done, total_pairs)
+
     distances = np.zeros((count, count))
     matching_seconds = 0.0
     dp_seconds = 0.0
     extract_seconds = 0.0
     cells_filled = 0
     total_cells = 0
-
-    is_full = constraint.strip().lower() == "full"
-    pair_list = [(a, b) for a in range(count) for b in range(a + 1, count)]
-    total_pairs = len(pair_list)
-
-    for done, (a, b) in enumerate(pair_list, start=1):
-        xa, xb = arrays[a], arrays[b]
-        grid = xa.size * xb.size
-        if is_full:
-            import time as _time
-
-            start = _time.perf_counter()
-            result = dtw(xa, xb, engine.config.pointwise_distance, return_path=False)
-            elapsed = _time.perf_counter() - start
-            distances[a, b] = distances[b, a] = result.distance
-            dp_seconds += elapsed
-            cells_filled += result.cells_filled
-            total_cells += grid
-        else:
-            forward: SDTWResult = engine.distance(xa, xb, constraint)
-            if symmetrize:
-                backward: SDTWResult = engine.distance(xb, xa, constraint)
-                value = (forward.distance + backward.distance) / 2.0
-                matching_seconds += forward.matching_seconds + backward.matching_seconds
-                dp_seconds += forward.dp_seconds + backward.dp_seconds
-                extract_seconds += forward.extract_seconds + backward.extract_seconds
-                cells_filled += forward.cells_filled + backward.cells_filled
-                total_cells += 2 * grid
-            else:
-                value = forward.distance
-                matching_seconds += forward.matching_seconds
-                dp_seconds += forward.dp_seconds
-                extract_seconds += forward.extract_seconds
-                cells_filled += forward.cells_filled
-                total_cells += grid
-            distances[a, b] = distances[b, a] = value
-        if progress is not None:
-            progress(done, total_pairs)
+    for a, b, value, match_s, dp_s, extract_s, cells, grid in records:
+        distances[a, b] = distances[b, a] = value
+        matching_seconds += match_s
+        dp_seconds += dp_s
+        extract_seconds += extract_s
+        cells_filled += cells
+        total_cells += grid
 
     return DistanceIndex(
         constraint="full" if is_full else constraint,

@@ -53,6 +53,41 @@ def top_k_indices(
     return result
 
 
+def batch_top_k(
+    distance_matrix: np.ndarray,
+    k: int,
+    *,
+    exclude: Optional[Sequence[Optional[int]]] = None,
+) -> List[List[int]]:
+    """Top-k indices for every row of a (queries × candidates) matrix.
+
+    The batch counterpart of :func:`top_k_indices`, used to rank the
+    distance matrices produced by :class:`repro.engine.DistanceEngine`
+    with exactly the same deterministic tie-breaking as the per-query
+    search path.
+
+    Parameters
+    ----------
+    distance_matrix:
+        ``(Q, C)`` matrix of query-to-candidate distances.
+    k:
+        Neighbours per query.
+    exclude:
+        Optional per-row candidate index to skip (e.g. the query itself in
+        leave-one-out evaluations); one entry per row when given.
+    """
+    matrix = np.asarray(distance_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValidationError("distance_matrix must be two-dimensional")
+    if exclude is not None and len(exclude) != matrix.shape[0]:
+        raise ValidationError("exclude must have one entry per matrix row")
+    rankings: List[List[int]] = []
+    for row in range(matrix.shape[0]):
+        skip = exclude[row] if exclude is not None else None
+        rankings.append(top_k_indices(matrix[row], k, exclude=skip))
+    return rankings
+
+
 def knn_indices(
     distance_matrix: np.ndarray, query: int, k: int, exclude_self: bool = True
 ) -> List[int]:

@@ -1,34 +1,39 @@
-"""Query-by-example time-series search with lower-bound pruning + sDTW.
+"""Query-by-example time-series search with cascaded pruning + sDTW.
 
 The paper motivates sDTW with retrieval: given a query series, find its k
 nearest neighbours in a collection under DTW without paying the full
-O(NM)-per-pair cost.  :class:`TimeSeriesSearchEngine` combines the two
-classic ingredients with the paper's contribution:
+O(NM)-per-pair cost.  :class:`TimeSeriesSearchEngine` is the
+retrieval-facing front end of the batch distance engine
+(:class:`repro.engine.DistanceEngine`), which combines three classic
+ingredients with the paper's contribution:
 
-1. a cheap LB_Keogh lower bound ranks candidates and prunes those whose
-   bound already exceeds the current k-th best distance (Keogh, VLDB 2002);
-2. the surviving candidates are refined with a constrained sDTW distance
-   (any of the paper's constraint families, or the exact DTW).
+1. a constant-time LB_Kim bound and a cheap LB_Keogh lower bound prune
+   candidates whose bound already exceeds the current k-th best distance
+   (Keogh, VLDB 2002);
+2. surviving candidates are refined in ascending-bound order with a
+   constrained sDTW distance (any of the paper's constraint families, the
+   Itakura parallelogram, or the exact DTW), abandoning a dynamic program
+   early once it provably exceeds the k-th best;
+3. queries can be answered in batches over serial, vectorised or
+   multiprocessing execution backends.
 
-The engine reports how many candidates the lower bound eliminated and how
-many DTW grid cells were filled, so callers can see both pruning effects
-compose.
+The engine reports how many candidates each cascade stage eliminated and
+how many DTW grid cells were filled, so callers can see the pruning
+effects and the paper's locally relevant constraints compose.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .._validation import as_series, check_int_at_least
+from .._validation import as_series
 from ..core.config import SDTWConfig
-from ..core.sdtw import SDTW
 from ..datasets.base import Dataset
-from ..dtw.lower_bounds import keogh_envelope, lb_keogh
-from ..exceptions import DatasetError, ValidationError
+from ..engine import DistanceEngine, QueryResult
+from ..exceptions import ValidationError
 
 
 @dataclass(frozen=True)
@@ -62,10 +67,11 @@ class SearchResult:
     hits:
         The k nearest stored series, ordered by distance.
     candidates_pruned:
-        Number of stored series skipped because their LB_Keogh lower bound
-        exceeded the running k-th best distance.
+        Number of stored series skipped because an LB_Kim or LB_Keogh
+        lower bound exceeded the running k-th best distance.
     distances_computed:
-        Number of (constrained) DTW computations actually performed.
+        Number of (constrained) DTW refinements started (including those
+        abandoned early once they provably exceeded the k-th best).
     cells_filled:
         Total DTW grid cells filled across the refinement step.
     elapsed_seconds:
@@ -84,12 +90,23 @@ class SearchResult:
         return [hit.label for hit in self.hits]
 
 
-@dataclass
-class _StoredSeries:
-    identifier: str
-    values: np.ndarray
-    label: Optional[int]
-    envelope: Tuple[np.ndarray, np.ndarray]
+def _to_search_result(result: QueryResult) -> SearchResult:
+    stats = result.stats
+    return SearchResult(
+        hits=tuple(
+            SearchHit(
+                identifier=hit.identifier,
+                index=hit.index,
+                distance=hit.distance,
+                label=hit.label,
+            )
+            for hit in result.hits
+        ),
+        candidates_pruned=stats.pruned,
+        distances_computed=stats.refined,
+        cells_filled=stats.cells_filled,
+        elapsed_seconds=stats.elapsed_seconds,
+    )
 
 
 class TimeSeriesSearchEngine:
@@ -99,13 +116,23 @@ class TimeSeriesSearchEngine:
     ----------
     constraint:
         Constraint family used for the refinement distances (``"full"``
-        gives exact DTW; any sDTW label gives the constrained distance).
+        gives exact DTW; any sDTW label gives the constrained distance;
+        ``"itakura"`` the parallelogram baseline).
     config:
         sDTW configuration (band widths, descriptor length, …).
     lb_radius_fraction:
-        Sakoe–Chiba radius of the LB_Keogh envelopes, as a fraction of the
-        stored series length.  Set to ``None`` to disable lower-bound
-        pruning entirely.
+        Kept for API compatibility with the sequential engine: any value
+        in ``(0, 1]`` enables the lower-bound cascade (the engine now
+        derives admissible envelope radii from the constraint itself);
+        ``None`` disables lower-bound pruning entirely.
+    backend:
+        Execution backend: ``"serial"`` (default), ``"vectorized"`` or
+        ``"multiprocessing"`` (see :mod:`repro.engine.backends`).
+    num_workers:
+        Worker processes for the multiprocessing backend.
+    early_abandon:
+        Whether refinements may stop once they provably exceed the running
+        k-th best distance (exact either way).
     """
 
     def __init__(
@@ -113,20 +140,30 @@ class TimeSeriesSearchEngine:
         constraint: str = "ac,aw",
         config: Optional[SDTWConfig] = None,
         lb_radius_fraction: Optional[float] = 0.10,
+        *,
+        backend: str = "serial",
+        num_workers: Optional[int] = None,
+        early_abandon: bool = True,
     ) -> None:
         if lb_radius_fraction is not None and not 0 < lb_radius_fraction <= 1:
             raise ValidationError("lb_radius_fraction must lie in (0, 1]")
         self.constraint = constraint
         self.config = config if config is not None else SDTWConfig()
         self.lb_radius_fraction = lb_radius_fraction
-        self._engine = SDTW(self.config)
-        self._stored: List[_StoredSeries] = []
+        self.engine = DistanceEngine(
+            constraint,
+            self.config,
+            backend=backend,
+            num_workers=num_workers,
+            prune=lb_radius_fraction is not None,
+            early_abandon=early_abandon,
+        )
 
     # ------------------------------------------------------------------ #
     # Indexing
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._stored)
+        return len(self.engine)
 
     def add(
         self,
@@ -136,31 +173,18 @@ class TimeSeriesSearchEngine:
     ) -> str:
         """Add one series to the searchable collection.
 
-        Features are extracted eagerly (and cached in the engine) so query
-        time only pays for matching and the banded dynamic program.
+        Collection-level caches (LB profiles, envelopes, salient features)
+        are built lazily on the first query and reused afterwards, so
+        query time only pays for matching and the banded dynamic program.
         """
-        array = as_series(values, "values")
-        identifier = identifier or f"series-{len(self._stored):05d}"
-        radius = self._lb_radius(array.size)
-        envelope = keogh_envelope(array, radius) if radius is not None else (None, None)
-        self._stored.append(
-            _StoredSeries(
-                identifier=identifier, values=array, label=label, envelope=envelope
-            )
-        )
-        self._engine.extract_features(array)
-        return identifier
+        return self.engine.add(values, identifier=identifier, label=label)
 
-    def add_dataset(self, dataset: Dataset) -> None:
-        """Add every series of a data set (labels preserved)."""
-        for index, ts in enumerate(dataset):
-            identifier = ts.identifier or f"{dataset.name}-{index:04d}"
-            self.add(ts.values, identifier=identifier, label=ts.label)
+    def add_dataset(self, dataset: Dataset) -> List[str]:
+        """Add every series of a data set (labels preserved).
 
-    def _lb_radius(self, length: int) -> Optional[int]:
-        if self.lb_radius_fraction is None:
-            return None
-        return max(1, int(round(self.lb_radius_fraction * length)))
+        Returns the stored identifiers in insertion order.
+        """
+        return self.engine.add_dataset(dataset)
 
     # ------------------------------------------------------------------ #
     # Querying
@@ -184,64 +208,24 @@ class TimeSeriesSearchEngine:
             Skip the stored series with this identifier (used by
             leave-one-out evaluations when the query itself is stored).
         """
-        if not self._stored:
-            raise DatasetError("the search engine contains no series")
         query = as_series(values, "query")
-        k = check_int_at_least(k, 1, "k")
-        start = time.perf_counter()
+        result = self.engine.query(query, k, exclude_identifier=exclude_identifier)
+        return _to_search_result(result)
 
-        # Rank candidates by their lower bound so good candidates are
-        # refined first and the pruning threshold drops quickly.
-        candidates: List[Tuple[float, int]] = []
-        for index, stored in enumerate(self._stored):
-            if exclude_identifier is not None and stored.identifier == exclude_identifier:
-                continue
-            if stored.envelope[0] is not None:
-                bound = lb_keogh(query, stored.values,
-                                 self._lb_radius(stored.values.size),
-                                 envelope=stored.envelope)
-            else:
-                bound = 0.0
-            candidates.append((bound, index))
-        candidates.sort()
+    def batch_query(
+        self,
+        queries: Sequence[Union[Sequence[float], np.ndarray]],
+        k: int = 5,
+        *,
+        exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[SearchResult]:
+        """Answer many queries in one engine call.
 
-        hits: List[SearchHit] = []
-        pruned = 0
-        computed = 0
-        cells = 0
-        worst_kept = np.inf
-        for bound, index in candidates:
-            if len(hits) >= k and bound > worst_kept:
-                pruned += 1
-                continue
-            stored = self._stored[index]
-            if self.constraint.strip().lower() == "full":
-                result = self._engine.distance(query, stored.values, "full")
-            else:
-                result = self._engine.distance(query, stored.values, self.constraint)
-            computed += 1
-            cells += result.cells_filled
-            hit = SearchHit(
-                identifier=stored.identifier,
-                index=index,
-                distance=result.distance,
-                label=stored.label,
-            )
-            hits.append(hit)
-            hits.sort(key=lambda h: (h.distance, h.index))
-            if len(hits) > k:
-                hits = hits[:k]
-            if len(hits) == k:
-                worst_kept = hits[-1].distance
-
-        elapsed = time.perf_counter() - start
-        return SearchResult(
-            hits=tuple(hits),
-            candidates_pruned=pruned,
-            distances_computed=computed,
-            cells_filled=cells,
-            elapsed_seconds=elapsed,
-        )
+        With the multiprocessing backend the queries are fanned out across
+        worker processes; results arrive in query order regardless.
+        """
+        batch = self.engine.knn(queries, k, exclude_identifiers=exclude_identifiers)
+        return [_to_search_result(result) for result in batch.results]
 
     def classify(
         self,

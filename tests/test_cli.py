@@ -63,3 +63,47 @@ class TestExperimentCommand:
         assert code == 0
         assert target.exists()
         assert target.read_text().startswith("Data Set,")
+
+
+class TestEngineCommand:
+    def test_engine_prints_cascade_and_timing(self, capsys):
+        code = main([
+            "engine", "gun-small", "--num-series", "8", "--num-queries", "2",
+            "--k", "2", "--constraint", "fc,fw",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pruning cascade" in out
+        assert "LB_Kim" in out
+        assert "Time breakdown" in out
+        assert "nearest=" in out
+
+    def test_engine_multiprocessing_backend(self, capsys):
+        code = main([
+            "engine", "gun-small", "--num-series", "8", "--num-queries", "2",
+            "--k", "2", "--constraint", "fc,fw",
+            "--backend", "multiprocessing", "--workers", "2",
+        ])
+        assert code == 0
+        assert "backend=multiprocessing" in capsys.readouterr().out
+
+    def test_engine_no_cascade_flag(self, capsys):
+        code = main([
+            "engine", "gun-small", "--num-series", "6", "--num-queries", "1",
+            "--k", "2", "--constraint", "full", "--no-cascade", "--no-abandon",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        import re
+
+        match = re.search(r"pruned by LB_Kim\s*\|\s*(\d+)", out)
+        assert match is not None and match.group(1) == "0"
+
+    def test_engine_unknown_dataset_reports_error(self, capsys):
+        assert main(["engine", "no-such-dataset"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_engine_unknown_constraint_reports_error(self, capsys):
+        code = main(["engine", "gun-small", "--constraint", "bogus"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

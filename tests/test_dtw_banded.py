@@ -78,6 +78,57 @@ class TestValidateBand:
         assert validated.min() >= 0
         assert validated.max() <= 4
 
+    def test_backwards_wiggle_of_width_one_windows_rejected(self):
+        # Regression: each adjacent pair of windows overlaps or touches, but
+        # the column can never return to 0 after visiting 1 (warp paths are
+        # monotone), so rows 2-3 are unreachable and no path exists.  The
+        # adjacent-row checks alone used to accept this band.
+        band = np.array([[0, 0], [1, 1], [0, 1], [0, 0], [1, 1]])
+        with pytest.raises(BandError, match="backwards"):
+            validate_band(band, 5, 2, repair=False)
+
+    def test_backwards_wiggle_repair_restores_a_warp_path(self):
+        # Regression: with repair=True the same band used to be returned
+        # essentially unchanged and the DP then failed with "band does not
+        # admit any warp path".  The repair must widen the stranded windows.
+        band = np.array([[0, 0], [1, 1], [0, 1], [0, 0], [1, 1]])
+        repaired = validate_band(band, 5, 2, repair=True)
+        validate_band(repaired, 5, 2, repair=False)
+        x = np.arange(5.0)
+        y = np.arange(2.0)
+        for return_path in (False, True):
+            result = banded_dtw(x, y, band, return_path=return_path, repair=True)
+            assert np.isfinite(result.distance)
+
+    def test_repaired_length_one_windows_admit_paths(self):
+        # Exhaustive check over every band of single-cell windows on a tiny
+        # grid: after repair the DP must always find a warp path.
+        n, m = 4, 3
+        x = np.arange(float(n))
+        y = np.arange(float(m))
+        for code in range(m ** n):
+            cols = [(code // m ** i) % m for i in range(n)]
+            band = np.array([[c, c] for c in cols])
+            repaired = validate_band(band, n, m, repair=True)
+            validate_band(repaired, n, m, repair=False)
+            result = banded_dtw(x, y, band, return_path=False, repair=True)
+            assert np.isfinite(result.distance)
+
+    def test_length_one_series_bands_always_repairable(self):
+        # Length-1 series on either axis: any window input must repair to a
+        # usable band.
+        for n, m, band in (
+            (1, 5, np.array([[3, 1]])),
+            (1, 5, np.array([[4, 4]])),
+            (5, 1, np.array([[0, 0]] * 5)),
+            (1, 1, np.array([[0, 0]])),
+        ):
+            repaired = validate_band(band, n, m, repair=True)
+            validate_band(repaired, n, m, repair=False)
+            result = banded_dtw(np.arange(float(n)), np.arange(float(m)),
+                                band, return_path=False, repair=True)
+            assert np.isfinite(result.distance)
+
 
 class TestBandHelpers:
     def test_cell_count_of_full_band(self):
@@ -221,3 +272,43 @@ class TestBandedDTW:
         # Radius-0 band on equal-length series restricts to the diagonal.
         expected = float(np.sum(np.abs(x - y)))
         assert banded_dtw(x, y, band, return_path=False).distance == pytest.approx(expected)
+
+
+class TestEarlyAbandoning:
+    def test_huge_threshold_never_abandons(self, bumpy_pair):
+        x, y = bumpy_pair
+        band = sakoe_chiba_band(x.size, y.size, 6)
+        reference = banded_dtw(x, y, band, return_path=False)
+        result = banded_dtw(x, y, band, return_path=False,
+                            abandon_threshold=reference.distance * 10 + 1.0)
+        assert not result.abandoned
+        assert result.distance == pytest.approx(reference.distance)
+        assert result.cells_filled == reference.cells_filled
+
+    def test_tiny_threshold_abandons_and_saves_cells(self, bumpy_pair):
+        x, y = bumpy_pair
+        band = sakoe_chiba_band(x.size, y.size, 6)
+        reference = banded_dtw(x, y, band, return_path=False)
+        result = banded_dtw(x, y, band, return_path=False,
+                            abandon_threshold=reference.distance / 100.0)
+        assert result.abandoned
+        assert result.distance == np.inf
+        assert 0 < result.cells_filled < reference.cells_filled
+
+    def test_abandon_with_path_request_rejected(self, bumpy_pair):
+        from repro.exceptions import ValidationError
+
+        x, y = bumpy_pair
+        band = sakoe_chiba_band(x.size, y.size, 6)
+        with pytest.raises(ValidationError):
+            banded_dtw(x, y, band, return_path=True, abandon_threshold=1.0)
+
+    def test_threshold_equal_to_distance_does_not_abandon(self):
+        # Abandonment requires a *strict* row-minimum exceedance, so a
+        # threshold exactly at the true distance must return the distance.
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 1.0, 2.0])
+        band = sakoe_chiba_band(3, 3, 1)
+        result = banded_dtw(x, y, band, return_path=False, abandon_threshold=0.0)
+        assert not result.abandoned
+        assert result.distance == pytest.approx(0.0)

@@ -13,6 +13,7 @@ from repro.dtw.banded import band_cell_count, banded_dtw, validate_band
 from repro.dtw.constraints import full_band, itakura_band, sakoe_chiba_band
 from repro.dtw.full import dtw, dtw_distance
 from repro.dtw.path import is_valid_warp_path, path_cost
+from repro.engine import DistanceEngine, cascade_bounds
 from repro.utils.preprocessing import gaussian_smooth, resample_linear, z_normalize
 
 # Strategy: short, well-behaved float series.
@@ -161,6 +162,80 @@ class TestPreprocessingProperties:
         assert resampled.size == length
         assert resampled.min() >= x.min() - 1e-9
         assert resampled.max() <= x.max() + 1e-9
+
+
+class TestPruningCascadeProperties:
+    """Safety of the batch engine's pruning cascade (exactness guarantees)."""
+
+    @given(x=series_strategy, y=series_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_cascade_bounds_are_monotone_and_admissible(self, x, y):
+        # Stage 1 (LB_Kim) <= stage 2 (+ LB_Keogh) <= full DTW: the bound
+        # cascade tightens monotonically and never overshoots the true
+        # distance, so pruning against it is exact.
+        stage1, stage2 = cascade_bounds(x, y)
+        full = dtw_distance(x, y)
+        assert 0.0 <= stage1 <= stage2
+        assert stage2 <= full + 1e-9
+
+    @given(x=series_strategy, y=series_strategy,
+           radius=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_cascade_bounds_underestimate_constrained_distances(
+        self, x, y, radius
+    ):
+        # Constrained DTW only restricts the path set, so it dominates the
+        # full DTW and therefore every cascade bound.
+        _, stage2 = cascade_bounds(x, y)
+        band = sakoe_chiba_band(x.size, y.size, radius)
+        constrained = banded_dtw(x, y, band, return_path=False).distance
+        assert stage2 <= constrained + 1e-9
+
+    @given(x=series_strategy, y=series_strategy,
+           radius=st.integers(min_value=1, max_value=8),
+           fraction=st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_abandoning_is_exact(self, x, y, radius, fraction):
+        # Early abandonment may only fire when the true distance provably
+        # exceeds the threshold; otherwise the distance is unchanged.
+        band = sakoe_chiba_band(x.size, y.size, radius)
+        reference = banded_dtw(x, y, band, return_path=False).distance
+        threshold = reference * fraction
+        result = banded_dtw(x, y, band, return_path=False,
+                            abandon_threshold=threshold)
+        if result.abandoned:
+            assert reference > threshold
+            assert result.distance == np.inf
+        else:
+            assert result.distance == pytest.approx(reference, abs=1e-12)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=5),
+        count=st.integers(min_value=4, max_value=10),
+        length=st.integers(min_value=8, max_value=24),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_early_abandoning_never_changes_the_knn_set(
+        self, seed, k, count, length
+    ):
+        rng = np.random.default_rng(seed)
+        series = np.cumsum(rng.normal(size=(count, length)), axis=1)
+        query = np.cumsum(rng.normal(size=length))
+        abandoning = DistanceEngine("fc,fw", backend="serial")
+        plain = DistanceEngine("fc,fw", backend="serial", prune=False,
+                               early_abandon=False)
+        for row in series:
+            abandoning.add(row)
+            plain.add(row)
+        got = abandoning.query(query, k)
+        want = plain.query(query, k)
+        assert got.indices == want.indices
+        got_distances = [hit.distance for hit in got.hits]
+        want_distances = [hit.distance for hit in want.hits]
+        assert got_distances == pytest.approx(want_distances, abs=1e-9)
+        # The exhaustive reference really did refine everything.
+        assert want.stats.dtw_computed == count
 
 
 class TestConsistencyProperties:
