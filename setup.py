@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``python setup.py develop`` escape hatch for offline environments
+whose setuptools is too old to build PEP 660 editable wheels without the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

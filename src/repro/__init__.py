@@ -39,6 +39,14 @@ from .dtw.full import DTWResult, dtw, dtw_distance
 from .dtw.banded import banded_dtw
 from .dtw.constraints import itakura_band, sakoe_chiba_band
 from .engine import BatchKNNResult, DistanceEngine, EngineStats
+from .streaming import (
+    IncrementalExtractor,
+    SpringMatcher,
+    StreamBuffer,
+    StreamMatch,
+    StreamMonitor,
+    StreamStats,
+)
 from .exceptions import (
     BandError,
     ConfigurationError,
@@ -49,7 +57,7 @@ from .exceptions import (
     ValidationError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BandError",
@@ -63,6 +71,7 @@ __all__ = [
     "EmptySeriesError",
     "EngineStats",
     "ExperimentError",
+    "IncrementalExtractor",
     "MatchingConfig",
     "ReproError",
     "SDTW",
@@ -71,6 +80,11 @@ __all__ = [
     "SDTWResult",
     "SalientFeature",
     "ScaleSpaceConfig",
+    "SpringMatcher",
+    "StreamBuffer",
+    "StreamMatch",
+    "StreamMonitor",
+    "StreamStats",
     "ValidationError",
     "__version__",
     "banded_dtw",

@@ -10,6 +10,10 @@ Two entry points are installed:
     series of a registered data set under one or more constraints.
   - ``engine <dataset>`` — run a batch k-NN retrieval through the cascaded
     distance engine and print the per-stage pruning / time breakdown.
+  - ``stream`` — generate a synthetic stream with embedded pattern
+    occurrences and monitor it online through the streaming subsystem
+    (SPRING subsequence matching or cascaded sliding windows), reporting
+    matches against ground truth plus per-pattern pruning statistics.
   - ``datasets`` — list the registered data sets.
 """
 
@@ -74,6 +78,32 @@ def _build_parser() -> argparse.ArgumentParser:
     eng.add_argument("--no-abandon", action="store_true",
                      help="disable early-abandoning refinement")
     eng.add_argument("--seed", type=int, default=7, help="generation/sampling seed")
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="online pattern monitoring over a synthetic stream")
+    stream.add_argument("--length", type=int, default=4000,
+                        help="stream length in samples (default: 4000)")
+    stream.add_argument("--patterns", type=int, default=2,
+                        help="number of registered query patterns (default: 2)")
+    stream.add_argument("--pattern-length", type=int, default=96,
+                        help="query pattern length (default: 96)")
+    stream.add_argument("--occurrences", type=int, default=3,
+                        help="embedded occurrences per pattern (default: 3)")
+    stream.add_argument("--mode", default="sliding",
+                        choices=["spring", "sliding"],
+                        help="matching mode (default: sliding)")
+    stream.add_argument("--constraint", default="fc,fw",
+                        help="sliding-mode constraint: full, fc,fw, itakura, "
+                             "fc,aw, ac,fw, ac,aw, ac2,aw (default: fc,fw)")
+    stream.add_argument("--threshold", type=float, default=None,
+                        help="match threshold (default: auto-calibrated from "
+                             "the embedded occurrences)")
+    stream.add_argument("--no-cascade", action="store_true",
+                        help="disable the LB_Kim/LB_Keogh pruning stages")
+    stream.add_argument("--no-abandon", action="store_true",
+                        help="disable early-abandoning refinement")
+    stream.add_argument("--seed", type=int, default=7, help="generation seed")
 
     subparsers.add_parser("datasets", help="list the registered data sets")
     return parser
@@ -182,6 +212,85 @@ def _run_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_stream(args) -> int:
+    import time
+
+    from .core.config import DescriptorConfig, SDTWConfig
+    from .datasets.generators import embed_pattern_stream, make_stream_patterns
+    from .streaming import StreamMonitor
+    from .streaming.offline import calibrate_thresholds
+    from .utils.rng import rng_from_seed
+    from .utils.tables import format_table
+
+    rng = rng_from_seed(args.seed)
+    patterns = make_stream_patterns(args.patterns, args.pattern_length, rng)
+    values, truth = embed_pattern_stream(
+        args.length, patterns, rng, occurrences_per_pattern=args.occurrences
+    )
+    # Short descriptors keep adaptive-band construction CLI-friendly.
+    config = SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
+    if args.threshold is not None:
+        thresholds = {index: args.threshold for index in range(len(patterns))}
+    else:
+        thresholds = calibrate_thresholds(
+            values, patterns, truth, config,
+            mode=args.mode, constraint=args.constraint,
+        )
+
+    monitor = StreamMonitor(
+        config, prune=not args.no_cascade, early_abandon=not args.no_abandon
+    )
+    monitor.add_stream("stream", capacity=2 * args.pattern_length + 64)
+    names = []
+    for index, pattern in enumerate(patterns):
+        names.append(monitor.add_pattern(
+            pattern, name=f"pattern-{index}", threshold=thresholds[index],
+            mode=args.mode, constraint=args.constraint,
+        ))
+
+    started = time.perf_counter()
+    matches = monitor.extend("stream", values)
+    matches += monitor.finalize("stream")
+    elapsed = time.perf_counter() - started
+
+    print(f"Monitored {args.length} samples for {len(patterns)} patterns "
+          f"(mode={args.mode}"
+          + (f", constraint={args.constraint}" if args.mode == "sliding" else "")
+          + f", seed={args.seed})")
+    throughput = args.length / elapsed if elapsed > 0 else float("inf")
+    print(f"throughput: {throughput:,.0f} points/sec "
+          f"({elapsed:.3f}s wall-clock)")
+    print()
+
+    detected = set()
+    rows = []
+    for match in sorted(matches, key=lambda m: m.start):
+        hit = ""
+        for ti, occ in enumerate(truth):
+            if (occ.hit_by(match.start, match.end)
+                    and f"pattern-{occ.pattern_index}" == match.pattern):
+                hit = f"occurrence {ti}"
+                detected.add(ti)
+                break
+        rows.append([match.pattern, match.start, match.end,
+                     round(match.distance, 4), hit or "(background)"])
+    if rows:
+        print(format_table(["pattern", "start", "end", "distance", "ground truth"],
+                           rows, title="Reported matches"))
+    else:
+        print("No matches reported.")
+    print()
+    print(f"detected {len(detected)}/{len(truth)} embedded occurrences")
+    print()
+    for index, name in enumerate(names):
+        stats = monitor.stats(name)
+        print(format_table(
+            ["stage", "count", "note"], stats.rows(),
+            title=f"{name} (threshold {thresholds[index]:.3f})"))
+        print()
+    return 0
+
+
 def _run_datasets() -> int:
     for name in available_datasets():
         print(name)
@@ -202,6 +311,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_distance(args)
         if args.command == "engine":
             return _run_engine(args)
+        if args.command == "stream":
+            return _run_stream(args)
         if args.command == "datasets":
             return _run_datasets()
     except ReproError as exc:

@@ -10,13 +10,17 @@ format so real archive files can be dropped in unchanged.
 
 from .base import Dataset, TimeSeries
 from .generators import (
+    StreamOccurrence,
     bell_curve,
     dip,
+    embed_pattern_stream,
     flat_segment,
+    make_stream_patterns,
     plateau,
     ramp,
     sine_wave,
     step_edge,
+    warp_occurrence,
 )
 from .registry import available_datasets, load_dataset
 from .synthetic import (
@@ -37,6 +41,7 @@ from .ucr import read_ucr_file, write_ucr_file
 
 __all__ = [
     "Dataset",
+    "StreamOccurrence",
     "TimeSeries",
     "add_noise",
     "amplitude_scale",
@@ -44,8 +49,10 @@ __all__ = [
     "baseline_shift",
     "bell_curve",
     "dip",
+    "embed_pattern_stream",
     "flat_segment",
     "load_dataset",
+    "make_stream_patterns",
     "local_time_warp",
     "make_fiftywords_like",
     "make_gun_like",
@@ -58,5 +65,6 @@ __all__ = [
     "step_edge",
     "time_shift",
     "time_stretch",
+    "warp_occurrence",
     "write_ucr_file",
 ]

@@ -1,17 +1,27 @@
-"""Shape primitives for synthetic time-series generation.
+"""Shape primitives and stream generators for synthetic time series.
 
-These parametric building blocks (bells, dips, ramps, steps, plateaus,
+The parametric building blocks (bells, dips, ramps, steps, plateaus,
 sinusoids) are composed by :mod:`repro.datasets.synthetic` into
 class-structured series whose salient-feature profiles mimic the three UCR
 data sets the paper evaluates on.
+
+The stream generators (:func:`make_stream_patterns`,
+:func:`embed_pattern_stream`) produce *unbounded-style* series for the
+streaming subsystem: a noisy drifting background with time-warped,
+amplitude-perturbed occurrences of query patterns embedded at known
+positions, so online monitors can be scored against ground truth.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._validation import check_int_at_least, check_positive
 from ..exceptions import ValidationError
+from ..utils.preprocessing import resample_linear
 
 
 def _positions(length: int) -> np.ndarray:
@@ -83,3 +93,170 @@ def random_walk(length: int, rng: np.random.Generator, step_std: float = 0.05) -
     step_std = check_positive(step_std, "step_std")
     steps = rng.normal(0.0, step_std, size=check_int_at_least(length, 1, "length"))
     return np.cumsum(steps)
+
+
+# --------------------------------------------------------------------- #
+# Stream generation for the online monitoring subsystem
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StreamOccurrence:
+    """Ground truth for one embedded pattern occurrence.
+
+    ``start`` / ``end`` are inclusive absolute stream indices of the
+    (possibly time-warped) occurrence.
+    """
+
+    pattern_index: int
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Number of stream samples the occurrence covers."""
+        return self.end - self.start + 1
+
+    def hit_by(self, match_start: int, match_end: int) -> bool:
+        """True when a reported match interval overlaps this occurrence."""
+        return self.start <= match_end and match_start <= self.end
+
+
+def make_stream_patterns(
+    num_patterns: int,
+    length: int,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Generate *num_patterns* structurally distinct query patterns.
+
+    Each pattern combines a different subset of the shape primitives
+    (bell, dip, plateau, sinusoid, ramp) so their salient-feature profiles
+    — and hence their sDTW distances — are well separated, mirroring the
+    class structure of the synthetic data sets.
+    """
+    num_patterns = check_int_at_least(num_patterns, 1, "num_patterns")
+    length = check_int_at_least(length, 8, "length")
+    patterns: List[np.ndarray] = []
+    for index in range(num_patterns):
+        kind = index % 4
+        jitter = 1.0 + 0.1 * float(rng.uniform(-1.0, 1.0))
+        if kind == 0:
+            values = (
+                bell_curve(length, length * 0.3, length * 0.08, 1.2 * jitter)
+                + dip(length, length * 0.7, length * 0.07, 0.9 * jitter)
+            )
+        elif kind == 1:
+            values = (
+                plateau(length, length * 0.2, length * 0.6, 1.0 * jitter,
+                        ramp_width=max(2.0, length * 0.04))
+                + bell_curve(length, length * 0.8, length * 0.05, 0.7 * jitter)
+            )
+        elif kind == 2:
+            values = sine_wave(length, 1.5 * jitter, 0.9) + ramp(
+                length, length * 0.1, length * 0.9, 0.8 * jitter
+            )
+        else:
+            values = (
+                step_edge(length, length * 0.35, 1.1 * jitter,
+                          smoothness=max(1.0, length * 0.03))
+                + dip(length, length * 0.65, length * 0.06, 1.0 * jitter)
+                - step_edge(length, length * 0.9, 0.8 * jitter,
+                            smoothness=max(1.0, length * 0.03))
+            )
+        patterns.append(values)
+    return patterns
+
+
+def warp_occurrence(
+    pattern: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    time_scale_range: Tuple[float, float] = (0.85, 1.2),
+    amplitude_range: Tuple[float, float] = (0.9, 1.1),
+    noise_std: float = 0.02,
+) -> np.ndarray:
+    """One noisy, time-stretched, amplitude-scaled instance of a pattern.
+
+    This is the perturbation model the online matchers are expected to be
+    robust to: global tempo change (handled by DTW warping), amplitude
+    scaling and additive noise.
+    """
+    scale = float(rng.uniform(*time_scale_range))
+    new_length = max(4, int(round(pattern.size * scale)))
+    warped = resample_linear(pattern, new_length)
+    warped = warped * float(rng.uniform(*amplitude_range))
+    if noise_std > 0:
+        warped = warped + rng.normal(0.0, noise_std, size=warped.size)
+    return warped
+
+
+def embed_pattern_stream(
+    length: int,
+    patterns: Sequence[np.ndarray],
+    rng: np.random.Generator,
+    *,
+    occurrences_per_pattern: int = 3,
+    noise_std: float = 0.15,
+    drift_std: float = 0.01,
+    time_scale_range: Tuple[float, float] = (0.85, 1.2),
+    amplitude_range: Tuple[float, float] = (0.9, 1.1),
+    min_gap: Optional[int] = None,
+) -> Tuple[np.ndarray, List[StreamOccurrence]]:
+    """Build a stream with known pattern occurrences embedded in noise.
+
+    Returns
+    -------
+    (stream, truth):
+        The stream values and the ground-truth occurrence list (sorted by
+        start position).  Occurrences never overlap each other.
+
+    Raises
+    ------
+    ValidationError
+        If the requested occurrences cannot be placed without overlap.
+    """
+    length = check_int_at_least(length, 16, "length")
+    if not patterns:
+        raise ValidationError("embed_pattern_stream needs at least one pattern")
+    occurrences_per_pattern = check_int_at_least(
+        occurrences_per_pattern, 0, "occurrences_per_pattern"
+    )
+    background = rng.normal(0.0, noise_std, size=length)
+    if drift_std > 0:
+        background = background + random_walk(length, rng, drift_std)
+    stream = background
+
+    max_length = max(int(round(p.size * time_scale_range[1])) + 1 for p in patterns)
+    if min_gap is None:
+        min_gap = max(4, max_length // 4)
+
+    truth: List[StreamOccurrence] = []
+    taken: List[Tuple[int, int]] = []
+    for pattern_index, pattern in enumerate(patterns):
+        for _ in range(occurrences_per_pattern):
+            instance = warp_occurrence(
+                pattern, rng,
+                time_scale_range=time_scale_range,
+                amplitude_range=amplitude_range,
+                noise_std=noise_std * 0.2,
+            )
+            placed = False
+            for _attempt in range(200):
+                start = int(rng.integers(0, max(1, length - instance.size)))
+                end = start + instance.size - 1
+                if all(
+                    end + min_gap < lo or start - min_gap > hi
+                    for lo, hi in taken
+                ):
+                    placed = True
+                    break
+            if not placed:
+                raise ValidationError(
+                    "could not place all pattern occurrences without overlap; "
+                    "lower occurrences_per_pattern or lengthen the stream"
+                )
+            stream[start: end + 1] = instance + stream[start: end + 1] * 0.1
+            taken.append((start, end))
+            truth.append(
+                StreamOccurrence(pattern_index=pattern_index, start=start, end=end)
+            )
+    truth.sort(key=lambda occ: occ.start)
+    return stream, truth

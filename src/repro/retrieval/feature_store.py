@@ -27,14 +27,25 @@ from ..exceptions import DatasetError, ValidationError
 
 # One feature row in the packed matrix:
 # position, sigma, scope_start, scope_end, octave, level, amplitude,
-# mean_amplitude, dog_value, scale_class_code, descriptor...
-_FIXED_COLUMNS = 10
+# mean_amplitude, dog_value, scale_class_code, descriptor_length,
+# descriptor... (rows are zero-padded to the longest descriptor; the
+# recorded per-row length restores exact sizes on load).
+_FIXED_COLUMNS = 11
+_DESC_LENGTH_COLUMN = 10
+# Version-1 archives predate the descriptor-length column.
+_FIXED_COLUMNS_V1 = 10
 _SCALE_CODES = {"fine": 0.0, "medium": 1.0, "rough": 2.0}
 _SCALE_NAMES = {0: "fine", 1: "medium", 2: "rough"}
 
 
 def _features_to_matrix(features: Sequence[SalientFeature]) -> np.ndarray:
-    """Pack a feature list into a dense float matrix (one row per feature)."""
+    """Pack a feature list into a dense float matrix (one row per feature).
+
+    Descriptors of mixed lengths are zero-padded to the longest one, but
+    each row records its true descriptor length so the round trip is
+    exact (zero padding is otherwise indistinguishable from genuine
+    trailing-zero descriptor bins).
+    """
     if not features:
         return np.zeros((0, _FIXED_COLUMNS))
     descriptor_length = max(f.descriptor.size for f in features)
@@ -50,18 +61,33 @@ def _features_to_matrix(features: Sequence[SalientFeature]) -> np.ndarray:
         matrix[row, 7] = feature.mean_amplitude
         matrix[row, 8] = feature.dog_value
         matrix[row, 9] = _SCALE_CODES.get(feature.scale_class, 0.0)
+        matrix[row, _DESC_LENGTH_COLUMN] = feature.descriptor.size
         matrix[row, _FIXED_COLUMNS: _FIXED_COLUMNS + feature.descriptor.size] = (
             feature.descriptor
         )
     return matrix
 
 
-def _matrix_to_features(matrix: np.ndarray) -> List[SalientFeature]:
-    """Unpack a dense matrix back into a feature list."""
+def _matrix_to_features(matrix: np.ndarray, version: int = 2) -> List[SalientFeature]:
+    """Unpack a dense matrix back into a feature list.
+
+    Version-1 archives did not record per-row descriptor lengths; their
+    descriptors are restored padded (the historical behaviour).
+    """
+    fixed = _FIXED_COLUMNS if version >= 2 else _FIXED_COLUMNS_V1
     features: List[SalientFeature] = []
     for row in np.atleast_2d(matrix):
-        if row.size < _FIXED_COLUMNS:
+        if row.size < fixed:
             raise ValidationError("packed feature row is too short")
+        descriptor = np.asarray(row[fixed:], dtype=float)
+        if version >= 2:
+            length = int(row[_DESC_LENGTH_COLUMN])
+            if not 0 <= length <= descriptor.size:
+                raise ValidationError(
+                    f"packed descriptor length {length} is inconsistent with "
+                    f"a row of {descriptor.size} descriptor columns"
+                )
+            descriptor = descriptor[:length]
         features.append(
             SalientFeature(
                 position=float(row[0]),
@@ -74,7 +100,7 @@ def _matrix_to_features(matrix: np.ndarray) -> List[SalientFeature]:
                 mean_amplitude=float(row[7]),
                 dog_value=float(row[8]),
                 scale_class=_SCALE_NAMES.get(int(row[9]), "fine"),
-                descriptor=np.asarray(row[_FIXED_COLUMNS:], dtype=float),
+                descriptor=descriptor,
             )
         )
     return features
@@ -173,7 +199,7 @@ class FeatureStore:
         manifest = {
             "identifiers": self.identifiers(),
             "descriptor_bins": self.config.descriptor.num_bins,
-            "version": 1,
+            "version": 2,
         }
         for index, identifier in enumerate(manifest["identifiers"]):
             payload[f"series_{index}"] = self._series[identifier]
@@ -202,10 +228,11 @@ class FeatureStore:
                 f"{manifest.get('descriptor_bins')} bins but the supplied "
                 f"configuration expects {store.config.descriptor.num_bins}"
             )
+        version = int(manifest.get("version", 1))
         for index, identifier in enumerate(manifest["identifiers"]):
             values = np.asarray(archive[f"series_{index}"], dtype=float)
             matrix = np.asarray(archive[f"features_{index}"], dtype=float)
-            features = _matrix_to_features(matrix) if matrix.size else []
+            features = _matrix_to_features(matrix, version) if matrix.size else []
             store._series[identifier] = values
             store._features[identifier] = tuple(features)
         return store

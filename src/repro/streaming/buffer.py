@@ -1,0 +1,214 @@
+"""Bounded stream storage with O(1) append and zero-copy trailing windows.
+
+The paper's salient-feature machinery assumes the whole series is in hand;
+an online monitor only ever sees an unbounded stream one sample at a time.
+:class:`StreamBuffer` is the storage substrate of the streaming subsystem
+(the online counterpart of Section 3.4's "store the series once, reuse it
+everywhere" amortisation argument): it retains the trailing ``capacity``
+samples of a stream and serves *contiguous* windowed views of any trailing
+length without copying.
+
+The contiguity trick is the classic double-write ring: every sample is
+written to two mirrored slots ``i % capacity`` and ``i % capacity +
+capacity`` of a ``2 * capacity`` backing array, so every window of up to
+``capacity`` trailing samples is a plain slice.  Appends stay O(1) (two
+scalar writes) and windowed reads are zero-copy, which keeps the per-tick
+cost of the matchers independent of stream length.
+
+:class:`SlidingExtrema` maintains the min/max of the trailing window with
+amortised O(1) updates (monotonic deques), which turns the engine's
+LB_Kim stage-1 bound into a constant-time per-tick test.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_int_at_least
+from ..exceptions import ValidationError
+
+
+class StreamBuffer:
+    """Ring buffer over the trailing ``capacity`` samples of a stream.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of trailing samples retained.  Windowed views of up
+        to this length are always contiguous.
+
+    Notes
+    -----
+    Sample indices are *absolute* stream positions (the first sample ever
+    appended has index 0); the buffer forgets samples older than
+    ``total - capacity`` but the indexing stays absolute, so matchers can
+    report match intervals in stream coordinates.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = check_int_at_least(capacity, 1, "capacity")
+        self._data = np.zeros(2 * self._capacity)
+        self._total = 0
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(self, value: float) -> int:
+        """Append one sample; returns its absolute stream index.
+
+        Non-finite samples are rejected: a single NaN would silently and
+        permanently poison every carried DP column downstream.
+        """
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValidationError(f"stream sample must be finite, got {value}")
+        slot = self._total % self._capacity
+        self._data[slot] = value
+        self._data[slot + self._capacity] = value
+        index = self._total
+        self._total += 1
+        return index
+
+    def extend(self, values: Union[Sequence[float], np.ndarray]) -> int:
+        """Append many samples at once; returns the last absolute index.
+
+        Chunks larger than the capacity only write their trailing
+        ``capacity`` samples (the rest would be immediately forgotten), so
+        bulk replay of a long history stays O(capacity).
+        """
+        chunk = np.asarray(values, dtype=float)
+        if chunk.ndim != 1:
+            raise ValidationError(
+                f"stream chunk must be one-dimensional, got shape {chunk.shape}"
+            )
+        if not np.all(np.isfinite(chunk)):
+            raise ValidationError("stream chunk contains NaN or Inf values")
+        if chunk.size == 0:
+            return self._total - 1
+        skipped = max(0, chunk.size - self._capacity)
+        tail = chunk[skipped:]
+        slots = (self._total + skipped + np.arange(tail.size)) % self._capacity
+        self._data[slots] = tail
+        self._data[slots + self._capacity] = tail
+        self._total += chunk.size
+        return self._total - 1
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples."""
+        return self._capacity
+
+    @property
+    def total(self) -> int:
+        """Total number of samples ever appended."""
+        return self._total
+
+    @property
+    def size(self) -> int:
+        """Number of samples currently retained."""
+        return min(self._total, self._capacity)
+
+    @property
+    def start_index(self) -> int:
+        """Absolute index of the oldest retained sample."""
+        return self._total - self.size
+
+    def view(self, length: int = None) -> np.ndarray:
+        """Zero-copy contiguous view of the trailing *length* samples.
+
+        The returned array is a slice of the backing storage: it is only
+        valid until the next append and must not be mutated.  With
+        ``length=None`` the whole retained content is returned.
+        """
+        if length is None:
+            length = self.size
+        length = check_int_at_least(length, 1, "length")
+        if length > self.size:
+            raise ValidationError(
+                f"requested window of {length} samples but only "
+                f"{self.size} are retained"
+            )
+        end = (self._total - 1) % self._capacity + 1 + self._capacity
+        return self._data[end - length: end]
+
+    def window(self, length: int = None) -> np.ndarray:
+        """Like :meth:`view` but returns an owned copy (safe to keep)."""
+        return self.view(length).copy()
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> float:
+        """Value at an *absolute* stream index (must still be retained)."""
+        index = int(index)
+        if not self.start_index <= index < self._total:
+            raise ValidationError(
+                f"absolute index {index} is outside the retained range "
+                f"[{self.start_index}, {self._total})"
+            )
+        return float(self._data[index % self._capacity])
+
+
+class SlidingExtrema:
+    """Min and max of the trailing *window* samples in amortised O(1).
+
+    The standard monotonic-deque construction: each deque holds (absolute
+    index, value) pairs with values monotone from front to back, so the
+    front is always the extremum of the current window.  This makes the
+    LB_Kim quadruple of a sliding window maintainable at O(1) per tick
+    instead of O(window) — the streaming analogue of the batch engine's
+    precomputed :func:`repro.dtw.lower_bounds.kim_profile` cache.
+    """
+
+    def __init__(self, window: int) -> None:
+        self._window = check_int_at_least(window, 1, "window")
+        self._min: deque = deque()
+        self._max: deque = deque()
+        self._count = 0
+
+    def push(self, value: float) -> None:
+        """Observe the next stream sample."""
+        value = float(value)
+        index = self._count
+        self._count += 1
+        expire = index - self._window
+        while self._min and self._min[0][0] <= expire:
+            self._min.popleft()
+        while self._max and self._max[0][0] <= expire:
+            self._max.popleft()
+        while self._min and self._min[-1][1] >= value:
+            self._min.pop()
+        while self._max and self._max[-1][1] <= value:
+            self._max.pop()
+        self._min.append((index, value))
+        self._max.append((index, value))
+
+    @property
+    def ready(self) -> bool:
+        """True once a full window has been observed."""
+        return self._count >= self._window
+
+    @property
+    def minimum(self) -> float:
+        """Minimum of the trailing window."""
+        if not self._min:
+            raise ValidationError("no samples observed yet")
+        return self._min[0][1]
+
+    @property
+    def maximum(self) -> float:
+        """Maximum of the trailing window."""
+        if not self._max:
+            raise ValidationError("no samples observed yet")
+        return self._max[0][1]
+
+    def extrema(self) -> Tuple[float, float]:
+        """The (min, max) pair of the trailing window."""
+        return self.minimum, self.maximum

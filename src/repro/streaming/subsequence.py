@@ -1,0 +1,631 @@
+"""Online subsequence matchers: SPRING-style sDTW over unbounded streams.
+
+Two complementary matchers monitor a stream for occurrences of a fixed
+query pattern:
+
+* :class:`SpringMatcher` — the SPRING algorithm (Sakurai et al., ICDE
+  2007) adapted to this library's DTW substrate: a "star-padded" dynamic
+  program whose virtual zeroth column lets a warp path start at *any*
+  stream position, so one O(m)-per-tick column update tracks the best
+  matching subsequence ending at the current tick over **all** possible
+  start positions.  The column (and per-cell start bookkeeping) is carried
+  across ticks — nothing is ever recomputed — and the non-overlap
+  reporting discipline guarantees each reported match is the local optimum
+  among all overlapping candidates.
+* :class:`SlidingWindowMatcher` — fixed-length trailing windows scored
+  under any of the paper's constraint families (Sections 3.3.1–3.3.3),
+  guarded by the batch engine's cascading lower bounds (LB_Kim from
+  O(1)-maintained window extrema, then LB_Keogh, then early-abandoning
+  banded DTW).  The adaptive ``ac/aw`` constraints draw their
+  locally relevant bands from an :class:`IncrementalExtractor` feature
+  snapshot, i.e. the streaming analogue of the paper's salient-feature
+  alignment pipeline (Sections 3.1–3.3) with extraction amortised across
+  ticks exactly as Section 3.4 prescribes.
+
+Both matchers report :class:`StreamMatch` intervals in absolute stream
+coordinates and keep :class:`StreamStats` work accounting compatible with
+the paper's cell-based time-gain measure (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series, check_positive
+from ..core.bands import (
+    ConstraintSpec,
+    build_constraint_band,
+    parse_constraint_spec,
+)
+from ..core.config import SDTWConfig
+from ..core.consistency import prune_inconsistent_pairs
+from ..core.features import SalientFeature, extract_salient_features
+from ..core.intervals import build_interval_partition
+from ..core.matching import match_salient_features
+from ..dtw.banded import banded_dtw
+from ..dtw.constraints import full_band, itakura_band, sakoe_chiba_band_fraction
+from ..dtw.distances import PointwiseDistance, get_pointwise_distance
+from ..dtw.lower_bounds import keogh_envelope, lb_keogh
+from ..exceptions import ValidationError
+from .buffer import SlidingExtrema, StreamBuffer
+from .incremental import IncrementalExtractor
+
+# Pointwise distances the LB_Kim / LB_Keogh derivations hold for (same
+# set as the batch engine).
+_BOUNDABLE_DISTANCES = ("absolute", "manhattan")
+
+
+@dataclass(frozen=True)
+class StreamMatch:
+    """One reported occurrence of a pattern in a stream.
+
+    ``start`` and ``end`` are inclusive absolute stream indices: the
+    matched subsequence is ``stream[start .. end]``.
+    """
+
+    pattern: str
+    stream: str
+    start: int
+    end: int
+    distance: float
+
+    @property
+    def length(self) -> int:
+        """Number of stream samples the match covers."""
+        return self.end - self.start + 1
+
+    def overlaps(self, other: "StreamMatch") -> bool:
+        """True when the two match intervals share at least one sample."""
+        return self.start <= other.end and other.start <= self.end
+
+
+@dataclass
+class StreamStats:
+    """Per-pattern work accounting for stream monitoring.
+
+    The counters mirror :class:`repro.engine.stats.EngineStats` so the
+    streaming cascade can be read with the same cost model: ``ticks`` that
+    were pruned by a lower bound contribute no DP cells, and
+    ``cells_filled`` over ``total_cells`` is the paper's
+    hardware-independent time-gain measure applied per tick instead of per
+    stored series.
+    """
+
+    ticks: int = 0
+    evaluated: int = 0
+    pruned_lb_kim: int = 0
+    pruned_lb_keogh: int = 0
+    dp_runs: int = 0
+    dp_abandoned: int = 0
+    cells_filled: int = 0
+    total_cells: int = 0
+    matches: int = 0
+
+    @property
+    def pruned(self) -> int:
+        """Ticks discarded by a lower bound before any DP work."""
+        return self.pruned_lb_kim + self.pruned_lb_keogh
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of evaluated ticks eliminated by the bound cascade."""
+        if self.evaluated == 0:
+            return 0.0
+        return self.pruned / float(self.evaluated)
+
+    @property
+    def cell_fraction(self) -> float:
+        """Fraction of the naive per-tick grid work actually performed."""
+        if self.total_cells == 0:
+            return 0.0
+        return self.cells_filled / float(self.total_cells)
+
+    def rows(self) -> List[List[object]]:
+        """Rows for a summary table (used by the CLI and benchmarks)."""
+        return [
+            ["ticks", self.ticks, ""],
+            ["windows evaluated", self.evaluated, ""],
+            ["pruned by LB_Kim", self.pruned_lb_kim, "O(1) per tick"],
+            ["pruned by LB_Keogh", self.pruned_lb_keogh, ""],
+            ["DP abandoned early", self.dp_abandoned, ""],
+            ["DP completed", self.dp_runs, ""],
+            ["cells filled", self.cells_filled,
+             f"{self.cell_fraction:.1%} of naive"],
+            ["matches", self.matches, ""],
+        ]
+
+
+class MatchSuppressor:
+    """Non-overlapping local-minima selection over a distance profile.
+
+    Both the online sliding matcher and the offline reference scan feed
+    their per-tick window distances through this policy, so "which of
+    several overlapping sub-threshold windows is *the* match" is defined
+    in exactly one place: among overlapping qualifying windows the one
+    with the smallest distance wins, and a candidate is emitted as soon as
+    no later overlapping window can beat it.
+    """
+
+    def __init__(self, window_length: int, threshold: float) -> None:
+        self.window_length = int(window_length)
+        self.threshold = float(threshold)
+        self._best_distance = np.inf
+        self._best_end = -1
+
+    def observe(self, tick: int, distance: float) -> Optional[Tuple[int, int, float]]:
+        """Feed the window distance at *tick*; maybe emit a settled match.
+
+        Pruned ticks (lower bound above threshold) should be fed ``inf``:
+        the bound proves they cannot qualify, but time still advances the
+        non-overlap bookkeeping.
+        """
+        emitted = None
+        if self._best_end >= 0 and tick - self._best_end >= self.window_length:
+            emitted = self.flush()
+        if distance <= self.threshold:
+            if self._best_end < 0 or distance < self._best_distance:
+                self._best_distance = float(distance)
+                self._best_end = int(tick)
+        return emitted
+
+    def flush(self) -> Optional[Tuple[int, int, float]]:
+        """Emit the pending candidate (stream end / teardown)."""
+        if self._best_end < 0:
+            return None
+        start = self._best_end - self.window_length + 1
+        result = (start, self._best_end, self._best_distance)
+        self._best_distance = np.inf
+        self._best_end = -1
+        return result
+
+
+class SpringMatcher:
+    """SPRING-style streaming subsequence DTW against one pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The query pattern ``Y`` (length m).
+    threshold:
+        Matching threshold ε: subsequences with DTW distance ``<= ε`` are
+        match candidates.
+    distance:
+        Pointwise element distance (default absolute difference, the
+        paper's choice).
+    name:
+        Label stamped on reported matches.
+
+    Notes
+    -----
+    The carried state is one DP column ``d[i] = min over start s of
+    DTW(Y[:i+1], X[s..t])`` plus the per-cell optimal start ``s[i]``; both
+    are updated with O(m) vectorised work per tick using the same
+    prefix-sum formulation as the batch banded kernel
+    (:mod:`repro.dtw.banded`), so the matcher never revisits past stream
+    samples.  Reporting follows SPRING's discipline: a candidate is
+    emitted only when no still-open warping path could produce an
+    overlapping match with a smaller distance, which yields
+    non-overlapping, locally optimal match intervals.
+    """
+
+    def __init__(
+        self,
+        pattern: Union[Sequence[float], np.ndarray],
+        threshold: float,
+        *,
+        distance: Union[str, PointwiseDistance, None] = None,
+        name: str = "pattern",
+    ) -> None:
+        self.pattern = as_series(pattern, "pattern")
+        self.threshold = check_positive(float(threshold), "threshold")
+        self.name = str(name)
+        self._dist = get_pointwise_distance(distance)
+        m = self.pattern.size
+        self._m = m
+        self._indices = np.arange(m)
+        self._d = np.full(m, np.inf)
+        self._s = np.zeros(m, dtype=int)
+        self._best_distance = np.inf
+        self._best_start = -1
+        self._best_end = -1
+        self._ticks = 0
+        self.stats = StreamStats()
+
+    @property
+    def window_length(self) -> int:
+        """Pattern length (the matcher needs no stream window at all)."""
+        return self._m
+
+    def update(self, value: float) -> List[StreamMatch]:
+        """Consume the next stream sample; return matches settled this tick."""
+        value = float(value)
+        if not math.isfinite(value):
+            # One NaN would permanently poison the carried column.
+            raise ValidationError(f"stream sample must be finite, got {value}")
+        t = self._ticks
+        self._ticks += 1
+        m = self._m
+        stats = self.stats
+        stats.ticks += 1
+        stats.evaluated += 1
+        stats.cells_filled += m
+        stats.total_cells += m * (t + 1)
+
+        cost = self._dist(float(value), self.pattern)
+        d_prev = self._d
+        s_prev = self._s
+        # Entry values per row: the better of the diagonal predecessor
+        # (d_prev[i-1]) and the vertical predecessor (d_prev[i]); row 0's
+        # diagonal is the virtual star-padding cell (distance 0, start t).
+        diag = np.empty(m)
+        diag[0] = 0.0
+        diag[1:] = d_prev[:-1]
+        diag_s = np.empty(m, dtype=int)
+        diag_s[0] = t
+        diag_s[1:] = s_prev[:-1]
+        take_diag = diag <= d_prev
+        entry = np.where(take_diag, diag, d_prev)
+        entry_s = np.where(take_diag, diag_s, s_prev)
+        # In-column scan d[i] = cost[i] + min(entry[i], d[i-1]) via the
+        # prefix-sum closed form (see _banded_dtw_distance_only), plus a
+        # first-achiever argmin to propagate the start bookkeeping.
+        prefix = np.cumsum(cost)
+        shifted = np.empty(m)
+        shifted[0] = 0.0
+        shifted[1:] = prefix[:-1]
+        offsets = entry - shifted
+        running = np.minimum.accumulate(offsets)
+        d_new = prefix + running
+        previous_running = np.empty(m)
+        previous_running[0] = np.inf
+        previous_running[1:] = running[:-1]
+        improved = offsets < previous_running
+        source = np.maximum.accumulate(np.where(improved, self._indices, -1))
+        s_new = entry_s[source]
+
+        matches: List[StreamMatch] = []
+        if self._best_distance <= self.threshold:
+            # Report once no open path can extend into a better
+            # overlapping match (SPRING's disjoint-match condition).
+            blocked = (d_new < self._best_distance) & (s_new <= self._best_end)
+            if not blocked.any():
+                matches.append(self._emit())
+                self._best_distance = np.inf
+                self._best_start = -1
+                self._best_end = -1
+        if matches:
+            # Invalidate cells belonging to the reported region so no
+            # overlapping match can be reported again.
+            reported = matches[-1]
+            d_new = np.where(s_new <= reported.end, np.inf, d_new)
+        if d_new[m - 1] <= self.threshold and d_new[m - 1] < self._best_distance:
+            self._best_distance = float(d_new[m - 1])
+            self._best_start = int(s_new[m - 1])
+            self._best_end = t
+        self._d = d_new
+        self._s = s_new
+        return matches
+
+    def _emit(self) -> StreamMatch:
+        self.stats.matches += 1
+        return StreamMatch(
+            pattern=self.name,
+            stream="",
+            start=self._best_start,
+            end=self._best_end,
+            distance=self._best_distance,
+        )
+
+    def finalize(self) -> List[StreamMatch]:
+        """Flush the pending candidate at end of stream (if any)."""
+        if self._best_distance <= self.threshold:
+            match = self._emit()
+            self._best_distance = np.inf
+            self._best_start = -1
+            self._best_end = -1
+            self._d = np.where(self._s <= match.end, np.inf, self._d)
+            return [match]
+        return []
+
+
+def shift_snapshot_features(
+    features: Sequence[SalientFeature],
+    shift: int,
+    window_length: int,
+) -> List[SalientFeature]:
+    """Re-express snapshot features in the coordinates of a newer window.
+
+    The extractor's snapshot window starts *shift* ticks before the
+    current one; features that slid off the front are dropped and scopes
+    are clipped to the new window extent, mirroring what batch extraction
+    clips at the series boundary.
+    """
+    if shift == 0:
+        return list(features)
+    shifted: List[SalientFeature] = []
+    limit = float(window_length - 1)
+    for feature in features:
+        position = feature.position - shift
+        if position < 0.0 or position > limit:
+            continue
+        shifted.append(
+            replace(
+                feature,
+                position=position,
+                scope_start=max(0.0, feature.scope_start - shift),
+                scope_end=min(limit, feature.scope_end - shift),
+            )
+        )
+    return shifted
+
+
+def build_stream_band(
+    spec: ConstraintSpec,
+    window_features: Sequence[SalientFeature],
+    pattern_features: Sequence[SalientFeature],
+    window_length: int,
+    pattern_length: int,
+    config: SDTWConfig,
+) -> np.ndarray:
+    """Locally relevant band for (window, pattern) from feature snapshots.
+
+    This is the streaming counterpart of :meth:`repro.core.sdtw.SDTW.build_band`:
+    matching + inconsistency pruning + interval partitioning (Sections
+    3.2–3.3) run on pre-extracted features, so the only per-tick cost is
+    the alignment itself.  Shared by the online matcher and the offline
+    reference scan so both derive identical bands from identical features.
+    """
+    matches = match_salient_features(
+        window_features, pattern_features, config.matching
+    )
+    consistent = prune_inconsistent_pairs(matches, config.matching)
+    partition = build_interval_partition(consistent, window_length, pattern_length)
+    band = build_constraint_band(
+        window_length, pattern_length, spec, partition, config
+    )
+    if config.symmetric_band:
+        from ..core.bands import build_symmetric_band
+
+        reverse_matches = match_salient_features(
+            pattern_features, window_features, config.matching
+        )
+        reverse_consistent = prune_inconsistent_pairs(
+            reverse_matches, config.matching
+        )
+        reverse_partition = build_interval_partition(
+            reverse_consistent, pattern_length, window_length
+        )
+        reverse_band = build_constraint_band(
+            pattern_length, window_length, spec, reverse_partition, config
+        )
+        band = build_symmetric_band(
+            band, reverse_band, window_length, pattern_length
+        )
+    return band
+
+
+class SlidingWindowMatcher:
+    """Cascaded constrained-DTW monitoring of fixed-length trailing windows.
+
+    Every tick the trailing ``m`` samples (m = pattern length) form a
+    candidate window; the matcher prices it through the engine's cascade
+    — O(1) LB_Kim from incrementally maintained window extrema, O(m)
+    LB_Keogh against the pattern's precomputed envelope, then
+    early-abandoning banded DTW under the configured constraint family —
+    and feeds the resulting distance profile through the shared
+    non-overlap suppression policy.  Both bounds lower-bound the *full*
+    DTW and therefore every constrained DTW (the same admissibility
+    argument as :class:`repro.engine.DistanceEngine`), so pruning never
+    changes which matches are reported.
+    """
+
+    def __init__(
+        self,
+        pattern: Union[Sequence[float], np.ndarray],
+        threshold: float,
+        *,
+        constraint: Union[str, ConstraintSpec] = "fc,fw",
+        config: Optional[SDTWConfig] = None,
+        name: str = "pattern",
+        use_lb_kim: bool = True,
+        use_lb_keogh: bool = True,
+        early_abandon: bool = True,
+        extractor_hop: Optional[int] = None,
+        extractor: Optional[IncrementalExtractor] = None,
+        itakura_max_slope: float = 2.0,
+    ) -> None:
+        self.pattern = as_series(pattern, "pattern")
+        self.threshold = check_positive(float(threshold), "threshold")
+        self.config = config if config is not None else SDTWConfig()
+        self.name = str(name)
+        m = self.pattern.size
+        self._m = m
+        self._func = get_pointwise_distance(self.config.pointwise_distance)
+        distance_name = self.config.pointwise_distance
+        admissible = (
+            isinstance(distance_name, str)
+            and distance_name.strip().lower() in _BOUNDABLE_DISTANCES
+        )
+        self.use_lb_kim = bool(use_lb_kim and admissible)
+        self.use_lb_keogh = bool(use_lb_keogh and admissible)
+        self.early_abandon = bool(early_abandon)
+
+        self._spec: Optional[ConstraintSpec] = None
+        self._shared_band: Optional[np.ndarray] = None
+        self._extractor: Optional[IncrementalExtractor] = None
+        self._pattern_features: Tuple[SalientFeature, ...] = ()
+        self.constraint = self._resolve_constraint(
+            constraint, itakura_max_slope, extractor_hop, extractor
+        )
+
+        # Pattern-side precomputation (the paper's one-time cost): LB_Kim
+        # endpoints/extrema and the LB_Keogh envelope.
+        self._y_first = float(self.pattern[0])
+        self._y_last = float(self.pattern[-1])
+        self._y_min = float(self.pattern.min())
+        self._y_max = float(self.pattern.max())
+        if self.constraint == "fc,fw":
+            # One more sample than the band's half-width, matching the
+            # engine's admissible pairing of envelope and band radius.
+            radius = max(
+                1, int(round(self.config.width_fraction * m / 2.0))
+            ) + 1
+            self._envelope = keogh_envelope(self.pattern, radius)
+            self._envelope_radius = radius
+        else:
+            self._envelope = None
+            self._envelope_radius = None
+
+        self._extrema = SlidingExtrema(m)
+        self._suppressor = MatchSuppressor(m, self.threshold)
+        self.stats = StreamStats()
+
+    def _resolve_constraint(
+        self,
+        constraint: Union[str, ConstraintSpec],
+        itakura_max_slope: float,
+        extractor_hop: Optional[int],
+        extractor: Optional[IncrementalExtractor],
+    ) -> str:
+        m = self._m
+        if isinstance(constraint, str):
+            key = constraint.strip().lower().replace(" ", "")
+            if key == "full":
+                self._shared_band = full_band(m, m)
+                return "full"
+            if key == "itakura":
+                if itakura_max_slope <= 1.0:
+                    raise ValidationError("itakura_max_slope must be greater than 1")
+                self._shared_band = itakura_band(m, m, itakura_max_slope)
+                return "itakura"
+        spec = parse_constraint_spec(constraint)
+        if spec.core == "adaptive" or spec.width == "adaptive":
+            self._spec = spec
+            if extractor is not None:
+                # Shared extractor (e.g. one per stream for all patterns of
+                # this length): observe() is idempotent within a tick, so
+                # several matchers can safely drive the same instance.
+                if extractor.window_length != m:
+                    raise ValidationError(
+                        f"shared extractor maintains windows of "
+                        f"{extractor.window_length} samples but the pattern "
+                        f"has {m}"
+                    )
+                self._extractor = extractor
+            else:
+                self._extractor = IncrementalExtractor(
+                    m, self.config, hop=extractor_hop
+                )
+            self._pattern_features = tuple(
+                extract_salient_features(self.pattern, self.config)
+            )
+        else:
+            self._shared_band = sakoe_chiba_band_fraction(
+                m, m, self.config.width_fraction
+            )
+        return spec.label
+
+    @property
+    def window_length(self) -> int:
+        """Length of the trailing windows being scored (= pattern length)."""
+        return self._m
+
+    @property
+    def extractor(self) -> Optional[IncrementalExtractor]:
+        """The incremental feature extractor (adaptive constraints only)."""
+        return self._extractor
+
+    # ------------------------------------------------------------------ #
+    # Per-tick cascade
+    # ------------------------------------------------------------------ #
+    def _window_distance(self, window: np.ndarray, tick: int) -> float:
+        """Price one window through LB_Kim -> LB_Keogh -> banded DTW."""
+        stats = self.stats
+        threshold = self.threshold
+        if self.use_lb_kim:
+            bound = max(
+                abs(float(window[0]) - self._y_first),
+                abs(float(window[-1]) - self._y_last),
+                abs(self._extrema.maximum - self._y_max),
+                abs(self._extrema.minimum - self._y_min),
+            )
+            if bound > threshold:
+                stats.pruned_lb_kim += 1
+                return np.inf
+        if self.use_lb_keogh:
+            if self._envelope is not None:
+                bound = lb_keogh(
+                    window, self.pattern, self._envelope_radius,
+                    envelope=self._envelope,
+                )
+            else:
+                # Global envelope: admissible against the full DTW and
+                # hence against every constrained DTW.
+                above = np.maximum(window - self._y_max, 0.0)
+                below = np.maximum(self._y_min - window, 0.0)
+                bound = float(above.sum() + below.sum())
+            if bound > threshold:
+                stats.pruned_lb_keogh += 1
+                return np.inf
+        band = self._current_band(tick)
+        result = banded_dtw(
+            window, self.pattern, band, self.config.pointwise_distance,
+            return_path=False,
+            abandon_threshold=threshold if self.early_abandon else None,
+        )
+        stats.cells_filled += result.cells_filled
+        if result.abandoned:
+            stats.dp_abandoned += 1
+            return np.inf
+        stats.dp_runs += 1
+        return float(result.distance)
+
+    def _current_band(self, tick: int) -> np.ndarray:
+        if self._shared_band is not None:
+            return self._shared_band
+        window_start = tick - self._m + 1
+        shift = window_start - self._extractor.snapshot_start
+        window_features = shift_snapshot_features(
+            self._extractor.features(), shift, self._m
+        )
+        return build_stream_band(
+            self._spec, window_features, self._pattern_features,
+            self._m, self._m, self.config,
+        )
+
+    def update(self, buffer: StreamBuffer) -> List[StreamMatch]:
+        """Score the window ending at the buffer's newest sample.
+
+        The caller appends the sample to *buffer* first; the matcher reads
+        the trailing window zero-copy.  Returns matches settled this tick.
+        """
+        tick = buffer.total - 1
+        value = buffer.view(1)[0]
+        self._extrema.push(value)
+        if self._extractor is not None:
+            self._extractor.observe(buffer)
+        self.stats.ticks += 1
+        if buffer.total < self._m:
+            return []
+        self.stats.evaluated += 1
+        self.stats.total_cells += self._m * self._m
+        window = buffer.view(self._m)
+        distance = self._window_distance(window, tick)
+        emitted = self._suppressor.observe(tick, distance)
+        return [self._wrap(emitted)] if emitted is not None else []
+
+    def _wrap(self, emitted: Tuple[int, int, float]) -> StreamMatch:
+        start, end, distance = emitted
+        self.stats.matches += 1
+        return StreamMatch(
+            pattern=self.name, stream="", start=start, end=end, distance=distance
+        )
+
+    def finalize(self) -> List[StreamMatch]:
+        """Flush the pending suppressed candidate at end of stream."""
+        emitted = self._suppressor.flush()
+        return [self._wrap(emitted)] if emitted is not None else []

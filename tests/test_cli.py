@@ -107,3 +107,59 @@ class TestEngineCommand:
         code = main(["engine", "gun-small", "--constraint", "bogus"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestStreamCommand:
+    def test_stream_sliding_reports_matches_and_stats(self, capsys):
+        code = main([
+            "stream", "--length", "700", "--patterns", "2",
+            "--pattern-length", "48", "--mode", "sliding", "--seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "points/sec" in out
+        assert "Reported matches" in out
+        assert "pruned by LB_Keogh" in out
+        assert "detected" in out
+
+    def test_stream_spring_mode(self, capsys):
+        code = main([
+            "stream", "--length", "500", "--patterns", "1",
+            "--pattern-length", "32", "--mode", "spring", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mode=spring" in out
+        assert "pattern-0" in out
+
+    def test_stream_explicit_threshold_and_no_cascade(self, capsys):
+        code = main([
+            "stream", "--length", "400", "--patterns", "1",
+            "--pattern-length", "32", "--threshold", "3.5",
+            "--no-cascade", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threshold 3.500" in out
+        import re
+
+        match = re.search(r"pruned by LB_Kim\s*\|\s*(\d+)", out)
+        assert match is not None and match.group(1) == "0"
+
+    def test_stream_unknown_constraint_reports_error(self, capsys):
+        code = main([
+            "stream", "--length", "300", "--pattern-length", "32",
+            "--constraint", "bogus",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stream_itakura_autocalibration(self, capsys):
+        # Regression: auto-calibration used to crash on the itakura label.
+        code = main([
+            "stream", "--length", "400", "--patterns", "1",
+            "--pattern-length", "32", "--constraint", "itakura",
+            "--seed", "6",
+        ])
+        assert code == 0
+        assert "constraint=itakura" in capsys.readouterr().out

@@ -149,3 +149,88 @@ class TestTransforms:
     def test_add_noise_negative_std_rejected(self, series):
         with pytest.raises(ValidationError):
             add_noise(series, rng=7, noise_std=-0.1)
+
+
+class TestStreamGenerators:
+    @pytest.fixture()
+    def stream_rng(self):
+        return np.random.default_rng(77)
+
+    def test_make_stream_patterns_distinct_shapes(self, stream_rng):
+        from repro.datasets.generators import make_stream_patterns
+
+        patterns = make_stream_patterns(4, 64, stream_rng)
+        assert len(patterns) == 4
+        assert all(p.size == 64 for p in patterns)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(patterns[i], patterns[j])
+
+    def test_embed_pattern_stream_ground_truth(self, stream_rng):
+        from repro.datasets.generators import (
+            embed_pattern_stream,
+            make_stream_patterns,
+        )
+
+        patterns = make_stream_patterns(2, 32, stream_rng)
+        stream, truth = embed_pattern_stream(
+            800, patterns, stream_rng, occurrences_per_pattern=3
+        )
+        assert stream.size == 800
+        assert len(truth) == 6
+        # Sorted, in-range, non-overlapping occurrences.
+        for occ in truth:
+            assert 0 <= occ.start <= occ.end < 800
+            assert occ.pattern_index in (0, 1)
+        for first, second in zip(truth, truth[1:]):
+            assert first.start <= second.start
+            assert first.end < second.start
+
+    def test_embedded_occurrence_correlates_with_pattern(self, stream_rng):
+        from repro.datasets.generators import (
+            embed_pattern_stream,
+            make_stream_patterns,
+        )
+        from repro.utils.preprocessing import resample_linear
+
+        patterns = make_stream_patterns(1, 48, stream_rng)
+        stream, truth = embed_pattern_stream(
+            600, patterns, stream_rng, occurrences_per_pattern=2,
+            noise_std=0.05,
+        )
+        for occ in truth:
+            segment = stream[occ.start: occ.end + 1]
+            reference = resample_linear(patterns[0], segment.size)
+            correlation = np.corrcoef(segment, reference)[0, 1]
+            assert correlation > 0.8
+
+    def test_warp_occurrence_respects_time_scale_range(self, stream_rng):
+        from repro.datasets.generators import warp_occurrence
+
+        pattern = sine_wave(50, 2.0)
+        for _ in range(10):
+            warped = warp_occurrence(
+                pattern, stream_rng, time_scale_range=(0.8, 1.25)
+            )
+            assert 0.8 * 50 - 1 <= warped.size <= 1.25 * 50 + 1
+
+    def test_overfull_stream_rejected(self, stream_rng):
+        from repro.datasets.generators import (
+            embed_pattern_stream,
+            make_stream_patterns,
+        )
+
+        patterns = make_stream_patterns(2, 40, stream_rng)
+        with pytest.raises(ValidationError):
+            embed_pattern_stream(
+                120, patterns, stream_rng, occurrences_per_pattern=5
+            )
+
+    def test_stream_occurrence_hit_by(self):
+        from repro.datasets.generators import StreamOccurrence
+
+        occ = StreamOccurrence(pattern_index=0, start=10, end=20)
+        assert occ.length == 11
+        assert occ.hit_by(15, 30)
+        assert occ.hit_by(0, 10)
+        assert not occ.hit_by(21, 40)

@@ -125,3 +125,86 @@ class TestEngineWarmup:
         assert warmed.distance(x, y, "ac,aw").distance == pytest.approx(
             cold.distance(x, y, "ac,aw").distance
         )
+
+
+class TestMixedDescriptorLengths:
+    """Regression: zero-padding must not leak into reloaded descriptors."""
+
+    def _feature_with_descriptor(self, position, descriptor):
+        from repro.core.features import SalientFeature
+
+        return SalientFeature(
+            position=float(position), sigma=1.5,
+            scope_start=float(position) - 3.0, scope_end=float(position) + 3.0,
+            octave=0, level=0, amplitude=0.5, mean_amplitude=0.4,
+            dog_value=0.1, scale_class="fine",
+            descriptor=np.asarray(descriptor, dtype=float),
+        )
+
+    def test_mixed_length_descriptors_round_trip_exactly(self, config, tmp_path):
+        store = FeatureStore(config=config)
+        features = [
+            self._feature_with_descriptor(10.0, [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            self._feature_with_descriptor(20.0, [0.7, 0.8]),
+            self._feature_with_descriptor(30.0, [0.9, 1.0, 1.1, 0.0]),
+        ]
+        store.add_series("mixed", np.linspace(0, 1, 64), features=features)
+        target = tmp_path / "mixed.npz"
+        store.save(target)
+        loaded = FeatureStore.load(target, config=config)
+        restored = loaded.features_of("mixed")
+        assert [f.descriptor.size for f in restored] == [6, 2, 4]
+        for original, back in zip(features, restored):
+            np.testing.assert_array_equal(original.descriptor, back.descriptor)
+
+    def test_trailing_zero_descriptor_bins_preserved(self, config, tmp_path):
+        # A descriptor legitimately ending in zeros must come back with
+        # its zeros — and not be confused with padding of a longer row.
+        store = FeatureStore(config=config)
+        features = [
+            self._feature_with_descriptor(10.0, [0.5, 0.0, 0.0]),
+            self._feature_with_descriptor(20.0, [0.1, 0.2, 0.3, 0.4, 0.5]),
+        ]
+        store.add_series("zeros", np.linspace(0, 1, 64), features=features)
+        target = tmp_path / "zeros.npz"
+        store.save(target)
+        restored = FeatureStore.load(target, config=config).features_of("zeros")
+        np.testing.assert_array_equal(restored[0].descriptor, [0.5, 0.0, 0.0])
+        assert restored[0].descriptor.size == 3
+
+    def test_version1_archive_still_loads(self, config, tmp_path):
+        # Hand-build a v1 archive (no descriptor-length column) and check
+        # the loader falls back to the historical padded behaviour.
+        import json
+
+        from repro.retrieval.feature_store import (
+            _FIXED_COLUMNS_V1,
+            _SCALE_CODES,
+        )
+
+        descriptor = np.array([0.1, 0.2, 0.3])
+        row = np.zeros(_FIXED_COLUMNS_V1 + descriptor.size)
+        row[0] = 5.0
+        row[1] = 1.5
+        row[2] = 2.0
+        row[3] = 8.0
+        row[9] = _SCALE_CODES["fine"]
+        row[_FIXED_COLUMNS_V1:] = descriptor
+        manifest = {
+            "identifiers": ["legacy"],
+            "descriptor_bins": config.descriptor.num_bins,
+            "version": 1,
+        }
+        payload = {
+            "series_0": np.linspace(0, 1, 32),
+            "features_0": row[np.newaxis, :],
+            "manifest": np.frombuffer(
+                json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+            ),
+        }
+        target = tmp_path / "legacy.npz"
+        np.savez_compressed(target, **payload)
+        loaded = FeatureStore.load(target, config=config)
+        restored = loaded.features_of("legacy")
+        assert len(restored) == 1
+        np.testing.assert_array_equal(restored[0].descriptor, descriptor)

@@ -1,0 +1,176 @@
+"""Tests for the incremental extractor: exact equivalence with batch extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DescriptorConfig, SDTWConfig
+from repro.core.features import extract_salient_features
+from repro.streaming.buffer import StreamBuffer
+from repro.streaming.incremental import (
+    IncrementalExtractor,
+    _incremental_smooth,
+    _smooth_region,
+)
+from repro.utils.preprocessing import gaussian_smooth
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(42)
+    t = np.linspace(0.0, 60.0, 2000)
+    return np.sin(t) + 0.4 * np.sin(3.1 * t) + np.cumsum(rng.normal(0, 0.03, t.size))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
+
+
+def assert_features_identical(batch, incremental):
+    assert len(batch) == len(incremental)
+    for a, b in zip(batch, incremental):
+        assert a.position == b.position
+        assert a.sigma == b.sigma
+        assert a.scope_start == b.scope_start
+        assert a.scope_end == b.scope_end
+        assert a.octave == b.octave and a.level == b.level
+        assert a.amplitude == b.amplitude
+        assert a.mean_amplitude == b.mean_amplitude
+        assert a.dog_value == b.dog_value
+        assert a.scale_class == b.scale_class
+        np.testing.assert_array_equal(a.descriptor, b.descriptor)
+
+
+class TestIncrementalSmoothing:
+    def test_smooth_region_slices_match_full(self, stream):
+        base = stream[:200]
+        for sigma in (1.0, 1.4142, 2.0):
+            full = gaussian_smooth(base, sigma)
+            for lo, hi in ((0, 10), (5, 40), (150, 200), (0, 200), (97, 113)):
+                np.testing.assert_array_equal(
+                    _smooth_region(base, sigma, lo, hi), full[lo:hi]
+                )
+
+    def test_incremental_smooth_bitwise_equal(self, stream):
+        sigma = 1.5
+        n = 160
+        prev = gaussian_smooth(stream[:n], sigma)
+        for shift in (1, 7, 32):
+            base = stream[shift: shift + n]
+            smoothed, reused = _incremental_smooth(base, sigma, prev, shift)
+            np.testing.assert_array_equal(smoothed, gaussian_smooth(base, sigma))
+            assert reused > 0
+
+    def test_incremental_smooth_falls_back_when_shift_too_large(self, stream):
+        sigma = 1.5
+        n = 40
+        prev = gaussian_smooth(stream[:n], sigma)
+        base = stream[n - 1: 2 * n - 1]
+        smoothed, reused = _incremental_smooth(base, sigma, prev, n - 1)
+        np.testing.assert_array_equal(smoothed, gaussian_smooth(base, sigma))
+        assert reused == 0
+
+    def test_dirty_margins_respected(self, stream):
+        # With declared dirty edges the reused interior shrinks accordingly
+        # but the output stays exact.
+        sigma = 1.2
+        n = 120
+        prev = gaussian_smooth(stream[:n], sigma)
+        base = stream[8: 8 + n]
+        smoothed, reused_clean = _incremental_smooth(base, sigma, prev, 8)
+        smoothed_dirty, reused_dirty = _incremental_smooth(
+            base, sigma, prev, 8, dirty_head=10, dirty_tail=10
+        )
+        np.testing.assert_array_equal(smoothed, smoothed_dirty)
+        assert reused_dirty < reused_clean
+
+
+class TestIncrementalExtractor:
+    def test_features_identical_to_batch_at_every_refresh(self, stream, config):
+        window = 256
+        extractor = IncrementalExtractor(window, config)
+        buffer = StreamBuffer(window)
+        refreshes = 0
+        for value in stream[:1200]:
+            buffer.append(value)
+            if extractor.observe(buffer):
+                refreshes += 1
+                batch = extract_salient_features(buffer.window(window), config)
+                assert_features_identical(batch, extractor.features())
+        assert refreshes > 5
+        assert extractor.stats.samples_reused > 0
+        assert extractor.stats.descriptors_reused > 0
+
+    def test_misaligned_refresh_still_exact(self, stream, config):
+        # A hop that is not a multiple of the coarsest octave stride breaks
+        # downsampling alignment; coarse octaves fall back to full
+        # recomputation but the output must stay identical.
+        window = 256
+        extractor = IncrementalExtractor(window, config, hop=extractor_hop(window, 13))
+        buffer = StreamBuffer(window)
+        for value in stream[:800]:
+            buffer.append(value)
+            if extractor.observe(buffer):
+                batch = extract_salient_features(buffer.window(window), config)
+                assert_features_identical(batch, extractor.features())
+
+    def test_descriptor_reuse_disabled_gives_same_features(self, stream, config):
+        window = 128
+        with_cache = IncrementalExtractor(window, config, reuse_descriptors=True)
+        without = IncrementalExtractor(window, config, reuse_descriptors=False)
+        buf_a = StreamBuffer(window)
+        buf_b = StreamBuffer(window)
+        for value in stream[:600]:
+            buf_a.append(value)
+            buf_b.append(value)
+            ra = with_cache.observe(buf_a)
+            rb = without.observe(buf_b)
+            assert ra == rb
+            if ra:
+                assert_features_identical(without.features(), with_cache.features())
+        assert with_cache.stats.descriptors_reused > 0
+        assert without.stats.descriptors_reused == 0
+
+    def test_refresh_cadence_and_snapshot_bookkeeping(self, stream, config):
+        window = 64
+        extractor = IncrementalExtractor(window, config, hop=16)
+        buffer = StreamBuffer(window)
+        refresh_starts = []
+        for value in stream[:300]:
+            buffer.append(value)
+            if extractor.observe(buffer):
+                refresh_starts.append(extractor.snapshot_start)
+        assert refresh_starts[0] == 0
+        assert all(b - a == 16 for a, b in zip(refresh_starts, refresh_starts[1:]))
+        assert extractor.snapshot_end == refresh_starts[-1] + window - 1
+
+    def test_features_absolute_offsets_positions(self, stream, config):
+        window = 64
+        extractor = IncrementalExtractor(window, config)
+        buffer = StreamBuffer(window)
+        for value in stream[200:200 + 2 * window]:
+            buffer.append(value)
+            extractor.observe(buffer)
+        start = extractor.snapshot_start
+        assert start > 0
+        relative = extractor.features()
+        absolute = extractor.features_absolute()
+        assert len(relative) == len(absolute)
+        for rel, abs_ in zip(relative, absolute):
+            assert abs_.position == rel.position + start
+            assert abs_.scope_start == rel.scope_start + start
+
+    def test_window_size_mismatch_rejected(self, config):
+        extractor = IncrementalExtractor(64, config)
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            extractor.refresh(np.zeros(32), 0)
+
+
+def extractor_hop(window: int, hop: int) -> int:
+    """Helper keeping the odd-hop intent readable at the call site."""
+    assert hop % 2 == 1
+    return hop
