@@ -57,7 +57,7 @@ from .exceptions import (
     ValidationError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BandError",

@@ -14,6 +14,10 @@ Two entry points are installed:
     occurrences and monitor it online through the streaming subsystem
     (SPRING subsequence matching or cascaded sliding windows), reporting
     matches against ground truth plus per-pattern pruning statistics.
+  - ``index build | query | stats`` — build a persistent salient-feature
+    index over a data set, answer indexed k-NN queries through it
+    (reporting recall against the exhaustive ranking), and inspect an
+    index directory's manifest and shards.
   - ``datasets`` — list the registered data sets.
 """
 
@@ -104,6 +108,48 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--no-abandon", action="store_true",
                         help="disable early-abandoning refinement")
     stream.add_argument("--seed", type=int, default=7, help="generation seed")
+
+    index = subparsers.add_parser(
+        "index",
+        help="persistent salient-feature index (build / query / stats)")
+    index_sub = index.add_subparsers(dest="index_command")
+
+    build = index_sub.add_parser(
+        "build", help="build and persist an index over a data set")
+    build.add_argument("dataset", help="registered data-set name or UCR file path")
+    build.add_argument("--output", required=True, metavar="DIR",
+                       help="index directory to write")
+    build.add_argument("--codewords", type=int, default=256,
+                       help="codebook size (default: 256)")
+    build.add_argument("--shards", type=int, default=4,
+                       help="number of postings shards (default: 4)")
+    build.add_argument("--num-series", type=int, default=None,
+                       help="subsample the collection to this many series")
+    build.add_argument("--seed", type=int, default=7,
+                       help="generation/sampling seed")
+
+    query = index_sub.add_parser(
+        "query", help="answer indexed k-NN queries against a persisted index")
+    query.add_argument("index_dir", help="index directory written by 'index build'")
+    query.add_argument("--k", type=int, default=10, help="neighbours per query")
+    query.add_argument("--candidates", type=int, default=100,
+                       help="candidate budget C per query (default: 100)")
+    query.add_argument("--num-queries", type=int, default=5,
+                       help="how many stored series to replay as queries")
+    query.add_argument("--constraint", default="fc,fw",
+                       help="re-ranking constraint: full, fc,fw, itakura, "
+                            "fc,aw, ac,fw, ac,aw, ac2,aw (default: fc,fw)")
+    query.add_argument("--exact", action="store_true",
+                       help="bypass the index (full exhaustive scan)")
+    query.add_argument("--no-mmap", action="store_true",
+                       help="load shards fully into RAM instead of mmapping")
+    query.add_argument("--no-recall", action="store_true",
+                       help="skip the recall comparison against the "
+                            "exhaustive ranking")
+
+    stats = index_sub.add_parser(
+        "stats", help="print an index directory's manifest and shard table")
+    stats.add_argument("index_dir", help="index directory written by 'index build'")
 
     subparsers.add_parser("datasets", help="list the registered data sets")
     return parser
@@ -291,6 +337,132 @@ def _run_stream(args) -> int:
     return 0
 
 
+def _run_index(args: argparse.Namespace) -> int:
+    if args.index_command is None:
+        print("error: 'index' needs a subcommand: build, query or stats",
+              file=sys.stderr)
+        return 2
+    if args.index_command == "build":
+        return _run_index_build(args)
+    if args.index_command == "query":
+        return _run_index_query(args)
+    return _run_index_stats(args)
+
+
+def _run_index_build(args: argparse.Namespace) -> int:
+    import time
+
+    from .indexing import CodebookConfig, IndexedSearcher
+    from .utils.rng import rng_from_seed
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    if args.num_series is not None and args.num_series < len(dataset):
+        rng = rng_from_seed(args.seed)
+        dataset = dataset.sample(args.num_series, rng,
+                                 name=f"{dataset.name}-n{args.num_series}")
+    config = SDTWConfig()
+    started = time.perf_counter()
+    searcher = IndexedSearcher.from_dataset(
+        dataset,
+        config=config,
+        codebook_config=CodebookConfig.for_sdtw(
+            config, num_codewords=args.codewords, seed=args.seed,
+        ),
+        num_shards=args.shards,
+    )
+    manifest_path = searcher.save(args.output)
+    elapsed = time.perf_counter() - started
+    index = searcher.index
+    print(f"Indexed {index.num_series} series of {dataset.name} in "
+          f"{elapsed:.2f}s")
+    print(f"codebook: {searcher.codebook.num_codewords} codewords; "
+          f"postings: {index.num_postings} across {len(index.shards)} shards")
+    print(f"manifest: {manifest_path}")
+    return 0
+
+
+def _run_index_query(args: argparse.Namespace) -> int:
+    from .indexing import IndexReader, IndexedSearcher
+    from .utils.tables import format_table
+
+    reader = IndexReader.open(args.index_dir, mmap=not args.no_mmap)
+    searcher = IndexedSearcher.from_reader(
+        reader, constraint=args.constraint, candidate_budget=args.candidates,
+    )
+    num_queries = max(1, min(args.num_queries, len(searcher)))
+    stored = searcher.engine.stored_items()[:num_queries]
+    queries = [values for _, values, _ in stored]
+    exclude = [identifier for identifier, _, _ in stored]
+
+    print(f"Index at {args.index_dir}: {len(searcher)} series, "
+          f"{searcher.index.num_postings} postings "
+          f"({'mmap' if searcher.index.is_memory_mapped else 'in-memory'}), "
+          f"constraint={args.constraint}")
+    rows = []
+    results = []
+    indexed_seconds = 0.0
+    for qi, values in enumerate(queries):
+        result = searcher.query(
+            values, args.k, exact=args.exact, exclude_identifier=exclude[qi],
+        )
+        results.append(result)
+        indexed_seconds += result.elapsed_seconds
+        top = result.hits[0] if result.hits else None
+        rows.append([
+            exclude[qi],
+            "exact" if result.exact else f"C={result.candidates_generated}",
+            top.identifier if top else "-",
+            round(top.distance, 4) if top else "-",
+            f"{result.elapsed_seconds * 1000:.2f} ms",
+        ])
+    print(format_table(["query", "mode", "nearest", "distance", "time"],
+                       rows, title=f"Top-1 of k={args.k}"))
+    if not args.exact and not args.no_recall:
+        # Re-uses the indexed results above: only the exhaustive scans
+        # are computed here.
+        recalls = []
+        exhaustive_seconds = 0.0
+        for qi, values in enumerate(queries):
+            exact = searcher.query(
+                values, args.k, exact=True, exclude_identifier=exclude[qi],
+            )
+            exhaustive_seconds += exact.elapsed_seconds
+            exact_top = set(exact.indices)
+            overlap = len(exact_top & set(results[qi].indices))
+            recalls.append(overlap / len(exact_top) if exact_top else 1.0)
+        speedup = (
+            exhaustive_seconds / indexed_seconds if indexed_seconds > 0
+            else float("inf")
+        )
+        print()
+        print(f"recall@{args.k} vs exhaustive: "
+              f"{sum(recalls) / len(recalls):.3f} "
+              f"(C={args.candidates}, "
+              f"speedup {speedup:.1f}x over full scan)")
+    return 0
+
+
+def _run_index_stats(args: argparse.Namespace) -> int:
+    from .indexing import IndexReader
+    from .utils.tables import format_table
+
+    reader = IndexReader.open(args.index_dir)
+    manifest = reader.manifest
+    print(f"Index at {args.index_dir}")
+    print(f"format: {manifest['format']} v{manifest['version']}")
+    print(f"series: {manifest['num_series']}  "
+          f"codewords: {manifest['num_codewords']}  "
+          f"postings: {manifest['num_postings']}  "
+          f"descriptor bins: {manifest['descriptor_bins']}")
+    store = reader.store_path
+    print(f"feature store: {store if store else '(none)'}")
+    print()
+    print(format_table(
+        ["shard", "codeword range", "codewords", "postings", "size"],
+        reader.stats_rows(), title="Shards"))
+    return 0
+
+
 def _run_datasets() -> int:
     for name in available_datasets():
         print(name)
@@ -313,6 +485,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_engine(args)
         if args.command == "stream":
             return _run_stream(args)
+        if args.command == "index":
+            return _run_index(args)
         if args.command == "datasets":
             return _run_datasets()
     except ReproError as exc:

@@ -246,6 +246,28 @@ class SDTWConfig:
         if self.neighbor_radius < 0:
             raise ConfigurationError("neighbor_radius must be >= 0")
 
+    def to_dict(self) -> dict:
+        """Plain-dict form of the full configuration (JSON-serialisable).
+
+        Used by persistent artefacts (e.g. the indexing manifest) so a
+        reader can reconstruct — and verify — the exact extraction
+        configuration an index was built with.
+        """
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SDTWConfig":
+        """Rebuild a configuration written by :meth:`to_dict`."""
+        payload = dict(data)
+        return cls(
+            scale_space=ScaleSpaceConfig(**payload.pop("scale_space", {})),
+            descriptor=DescriptorConfig(**payload.pop("descriptor", {})),
+            matching=MatchingConfig(**payload.pop("matching", {})),
+            **payload,
+        )
+
     def with_descriptor_bins(self, num_bins: int) -> "SDTWConfig":
         """Return a copy with a different descriptor length (Figure 18 sweep)."""
         return replace(self, descriptor=replace(self.descriptor, num_bins=num_bins))

@@ -120,6 +120,38 @@ def _normalize_descriptor(descriptor: np.ndarray, clip_value: float) -> np.ndarr
     return descriptor / norm
 
 
+def descriptor_matrix(features: Sequence, num_bins: int) -> np.ndarray:
+    """Stack the descriptors of many salient features into one dense matrix.
+
+    The batch export consumed by the indexing subsystem's codebook
+    (:mod:`repro.indexing.codebook`): one row per feature, descriptors
+    shorter than *num_bins* zero-padded and longer ones truncated, so
+    features extracted under mixed configurations still produce a
+    rectangular matrix.
+
+    Parameters
+    ----------
+    features:
+        Objects with a ``descriptor`` array attribute
+        (:class:`repro.core.features.SalientFeature` instances).
+    num_bins:
+        Number of descriptor columns of the output.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(len(features), num_bins)`` float matrix (empty when no
+        features are given).
+    """
+    num_bins = int(check_positive(num_bins, "num_bins"))
+    matrix = np.zeros((len(features), num_bins))
+    for row, feature in enumerate(features):
+        descriptor = np.asarray(feature.descriptor, dtype=float)
+        length = min(descriptor.size, num_bins)
+        matrix[row, :length] = descriptor[:length]
+    return matrix
+
+
 def descriptor_distance(first: np.ndarray, second: np.ndarray) -> float:
     """Euclidean distance between two descriptors (Section 3.2.1)."""
     a = np.asarray(first, dtype=float)

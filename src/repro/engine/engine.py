@@ -332,6 +332,16 @@ class DistanceEngine:
         engine.add_dataset(dataset)
         return engine
 
+    def stored_items(self) -> List[Tuple[str, np.ndarray, Optional[int]]]:
+        """The stored collection as ``(identifier, values, label)`` tuples.
+
+        The public accessor consumers (CLI, benchmarks, the indexing
+        subsystem) use to replay stored series as queries or enumerate
+        the collection, instead of depending on the engine's internal
+        storage layout.
+        """
+        return [(s.identifier, s.values, s.label) for s in self._stored]
+
     # ------------------------------------------------------------------ #
     # Preparation (amortised one-time work, Section 3.4 of the paper)
     # ------------------------------------------------------------------ #
@@ -445,10 +455,20 @@ class DistanceEngine:
             query, float(prep.mins[index]), float(prep.maxs[index])
         )
 
-    def _keogh_bounds_batch(self, query: np.ndarray) -> np.ndarray:
+    def _keogh_bounds_batch(
+        self, query: np.ndarray, subset: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         prep = self._prepared
         if self._keogh_tight_applicable(query.size):
+            if subset is not None:
+                return lb_keogh_batch(
+                    query, prep.tight_upper[subset], prep.tight_lower[subset]
+                )
             return lb_keogh_batch(query, prep.tight_upper, prep.tight_lower)
+        if subset is not None:
+            return _global_keogh_batch(
+                query, prep.mins[subset], prep.maxs[subset]
+            )
         return _global_keogh_batch(query, prep.mins, prep.maxs)
 
     # ------------------------------------------------------------------ #
@@ -460,15 +480,32 @@ class DistanceEngine:
         k: int,
         exclude_indices: Tuple[int, ...],
         mode: str,
+        candidate_indices: Optional[Sequence[int]] = None,
     ) -> QueryResult:
         prep = self._prepared
         started = time.perf_counter()
         stats = EngineStats(queries=1)
         n = query.size
         excluded = set(exclude_indices)
-        include = np.array(
-            [i for i in range(len(self._stored)) if i not in excluded], dtype=int
-        )
+        if candidate_indices is None:
+            include = np.array(
+                [i for i in range(len(self._stored)) if i not in excluded],
+                dtype=int,
+            )
+        else:
+            # The re-rank hook: scan only the given stored indices (the
+            # indexing subsystem's candidate set).  The cascade and all
+            # tie-breaking stay identical to a full scan over the subset.
+            candidates = np.unique(np.asarray(candidate_indices, dtype=int))
+            if candidates.size and (
+                candidates[0] < 0 or candidates[-1] >= len(self._stored)
+            ):
+                raise ValidationError(
+                    "candidate_indices contains out-of-range stored indices"
+                )
+            include = np.array(
+                [i for i in candidates.tolist() if i not in excluded], dtype=int
+            )
         stats.candidates = int(include.size)
         stats.total_cells = int(n * prep.lengths[include].sum())
 
@@ -476,14 +513,32 @@ class DistanceEngine:
         use_keogh = self.use_lb_keogh and self._bounds_admissible
         lazy_keogh = mode == "serial" and use_kim and use_keogh
 
+        # With a candidate restriction the bounds are only computed over
+        # the included subset (scattered back into full-size vectors so
+        # the cascade below stays index-addressed); an unrestricted scan
+        # keeps the cheaper dense-batch path.
+        restricted = candidate_indices is not None
         bound_start = time.perf_counter()
         kim_all: Optional[np.ndarray] = None
         keogh_all: Optional[np.ndarray] = None
         if use_kim:
-            kim_all = lb_kim_batch(kim_profile(query), prep.profiles)
+            if restricted:
+                kim_all = np.zeros(len(self._stored))
+                if include.size:
+                    kim_all[include] = lb_kim_batch(
+                        kim_profile(query), prep.profiles[include]
+                    )
+            else:
+                kim_all = lb_kim_batch(kim_profile(query), prep.profiles)
             stats.lb_kim_computed = int(include.size)
         if use_keogh and not lazy_keogh:
-            if mode == "serial":
+            if restricted:
+                keogh_all = np.zeros(len(self._stored))
+                if include.size:
+                    keogh_all[include] = self._keogh_bounds_batch(
+                        query, subset=include
+                    )
+            elif mode == "serial":
                 keogh_all = np.array(
                     [self._keogh_bound_one(query, i) for i in range(len(self._stored))]
                 )
@@ -648,6 +703,7 @@ class DistanceEngine:
         k: int = 5,
         *,
         exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
+        candidate_indices: Optional[Sequence[Optional[Sequence[int]]]] = None,
     ) -> BatchKNNResult:
         """k nearest stored series for every query, in one batch call.
 
@@ -660,6 +716,11 @@ class DistanceEngine:
         exclude_identifiers:
             Optional per-query identifier to skip (leave-one-out
             evaluations); must have one entry per query when given.
+        candidate_indices:
+            Optional per-query restriction to a subset of stored indices
+            (the indexing subsystem's re-rank hook); ``None`` entries
+            scan the whole collection.  Must have one entry per query
+            when given.
         """
         self._require_collection()
         self.prepare()
@@ -673,8 +734,17 @@ class DistanceEngine:
                 raise ValidationError(
                     "exclude_identifiers must have one entry per query"
                 )
+        if candidate_indices is None:
+            restrictions: List[Optional[Sequence[int]]] = [None] * len(arrays)
+        else:
+            restrictions = list(candidate_indices)
+            if len(restrictions) != len(arrays):
+                raise ValidationError(
+                    "candidate_indices must have one entry per query"
+                )
         payloads = [
-            (qi, arrays[qi], k, self._exclude_indices(excludes[qi]))
+            (qi, arrays[qi], k, self._exclude_indices(excludes[qi]),
+             restrictions[qi])
             for qi in range(len(arrays))
         ]
         started = time.perf_counter()
@@ -687,8 +757,8 @@ class DistanceEngine:
         else:
             mode = "serial" if self.backend == "serial" else "vectorized"
             outcomes = [
-                (qi, self._run_query(query, k, exclude, mode))
-                for qi, query, k, exclude in payloads
+                (qi, self._run_query(query, k, exclude, mode, candidates))
+                for qi, query, k, exclude, candidates in payloads
             ]
         ordered = [result for _, result in sorted(outcomes, key=lambda item: item[0])]
         return BatchKNNResult(
@@ -701,9 +771,14 @@ class DistanceEngine:
         k: int = 5,
         *,
         exclude_identifier: Optional[str] = None,
+        candidate_indices: Optional[Sequence[int]] = None,
     ) -> QueryResult:
         """Single-query convenience wrapper over :meth:`knn`."""
-        batch = self.knn([values], k, exclude_identifiers=[exclude_identifier])
+        batch = self.knn(
+            [values], k,
+            exclude_identifiers=[exclude_identifier],
+            candidate_indices=[candidate_indices],
+        )
         return batch.results[0]
 
     def distance_matrix(
@@ -746,8 +821,10 @@ class DistanceEngine:
 
 def _knn_query_task(engine: DistanceEngine, payload):
     """Multiprocessing task: run one query through the vectorised cascade."""
-    qi, query, k, exclude_indices = payload
-    return qi, engine._run_query(query, k, exclude_indices, "vectorized")
+    qi, query, k, exclude_indices, candidate_indices = payload
+    return qi, engine._run_query(
+        query, k, exclude_indices, "vectorized", candidate_indices
+    )
 
 
 def _matrix_row_task(engine: DistanceEngine, payload):

@@ -1,0 +1,323 @@
+"""K-means codebook over salient-feature descriptors.
+
+The quantizer behind the inverted index: every salient feature of a
+series is embedded as its gradient descriptor *augmented* with the
+feature's normalised temporal position, log scale and amplitudes, and
+mapped to its nearest codewords.  A series then becomes a sparse
+bag-of-codewords vector — two series whose bags share no codewords have
+no similar salient features and are unlikely to be close under the
+(temporally constrained) sDTW distances the engine re-ranks with, which
+is exactly why codeword overlap works as a candidate filter.
+
+The augmentation matters because the re-ranking distance runs on *raw*
+values inside a band: descriptors alone are amplitude-normalised and
+position-free, so two features with identical local shape but different
+height or time of occurrence would collide.  The extra coordinates keep
+them apart (their relative influence is configurable).
+
+Training is plain Lloyd k-means with deterministic k-means++ seeding on
+a bounded descriptor sample, so fitting cost does not grow with
+collection size beyond the sampling pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.config import SDTWConfig
+from ..core.descriptors import descriptor_matrix
+from ..core.features import SalientFeature
+from ..exceptions import ConfigurationError, ValidationError
+from ..utils.rng import rng_from_seed
+
+_MIN_SIGMA = 1e-9
+
+
+@dataclass(frozen=True)
+class CodebookConfig:
+    """Parameters of the codeword quantizer.
+
+    Attributes
+    ----------
+    num_codewords:
+        Codebook size (k of the k-means); clamped down when the training
+        set has fewer descriptors.
+    descriptor_bins:
+        Descriptor columns of the embedding; must match the extraction
+        configuration the features come from.
+    position_weight:
+        Weight of the normalised feature position (``position / (N-1)``)
+        in the embedding.  The re-rank distances are banded, so temporal
+        position is strongly informative.
+    scale_weight:
+        Weight of ``log2 sigma`` in the embedding.
+    amplitude_weight:
+        Weight of the feature amplitude and scope mean amplitude; keeps
+        equal-shape features at different heights apart (descriptors are
+        amplitude-normalised).
+    store_multiplicity:
+        How many nearest codewords each *stored* feature contributes to
+        its series' bag (soft assignment; weight halves per rank).
+    query_multiplicity:
+        Nearest codewords per *query* feature; a slightly wider probe on
+        the query side buys recall without growing the index.
+    training_sample:
+        Maximum number of descriptors the k-means trains on (sampled
+        deterministically); assignment always uses every feature.
+    iterations:
+        Maximum Lloyd iterations.
+    seed:
+        Seed of the k-means++ initialisation and sampling.
+    """
+
+    num_codewords: int = 256
+    descriptor_bins: int = 64
+    position_weight: float = 4.0
+    scale_weight: float = 0.5
+    amplitude_weight: float = 4.0
+    store_multiplicity: int = 2
+    query_multiplicity: int = 3
+    training_sample: int = 20000
+    iterations: int = 25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_codewords < 1:
+            raise ConfigurationError("num_codewords must be >= 1")
+        if self.descriptor_bins < 1:
+            raise ConfigurationError("descriptor_bins must be >= 1")
+        for name in ("position_weight", "scale_weight", "amplitude_weight"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.store_multiplicity < 1 or self.query_multiplicity < 1:
+            raise ConfigurationError("codeword multiplicities must be >= 1")
+        if self.training_sample < 1:
+            raise ConfigurationError("training_sample must be >= 1")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+
+    @classmethod
+    def for_sdtw(cls, config: SDTWConfig, **overrides) -> "CodebookConfig":
+        """A codebook configuration matching an extraction configuration."""
+        overrides.setdefault("descriptor_bins", config.descriptor.num_bins)
+        return cls(**overrides)
+
+
+def feature_embedding(
+    features: Sequence[SalientFeature],
+    series_length: int,
+    config: CodebookConfig,
+) -> np.ndarray:
+    """Embed salient features as rows of a quantizable matrix.
+
+    Columns are the (padded/truncated) descriptor followed by the four
+    weighted augmentation coordinates; see :class:`CodebookConfig`.
+    """
+    if series_length < 1:
+        raise ValidationError("series_length must be >= 1")
+    extras = np.zeros((len(features), 4))
+    span = float(max(series_length - 1, 1))
+    for row, feature in enumerate(features):
+        extras[row, 0] = config.position_weight * (feature.position / span)
+        extras[row, 1] = config.scale_weight * np.log2(max(feature.sigma, _MIN_SIGMA))
+        extras[row, 2] = config.amplitude_weight * feature.amplitude
+        extras[row, 3] = config.amplitude_weight * feature.mean_amplitude
+    return np.hstack([descriptor_matrix(features, config.descriptor_bins), extras])
+
+
+def _pairwise_sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, ``(num_points, num_centroids)``."""
+    cross = points @ centroids.T
+    sq = (points ** 2).sum(axis=1)[:, np.newaxis] - 2.0 * cross
+    sq += (centroids ** 2).sum(axis=1)[np.newaxis, :]
+    return np.maximum(sq, 0.0)
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Deterministic (seeded) k-means++ centroid initialisation."""
+    centroids = np.empty((k, points.shape[1]))
+    centroids[0] = points[int(rng.integers(points.shape[0]))]
+    closest = ((points - centroids[0]) ** 2).sum(axis=1)
+    for index in range(1, k):
+        total = float(closest.sum())
+        if total <= 0.0:
+            # All remaining mass sits on existing centroids; any point does.
+            pick = int(rng.integers(points.shape[0]))
+        else:
+            pick = int(rng.choice(points.shape[0], p=closest / total))
+        centroids[index] = points[pick]
+        closest = np.minimum(closest, ((points - centroids[index]) ** 2).sum(axis=1))
+    return centroids
+
+
+def _lloyd(
+    points: np.ndarray, k: int, iterations: int, rng: np.random.Generator
+) -> np.ndarray:
+    centroids = _kmeans_pp_init(points, k, rng)
+    for _ in range(iterations):
+        assignment = _pairwise_sq_distances(points, centroids).argmin(axis=1)
+        updated = centroids.copy()
+        for cluster in range(k):
+            members = assignment == cluster
+            if members.any():
+                updated[cluster] = points[members].mean(axis=0)
+            # Empty clusters keep their previous centroid (deterministic).
+        if np.allclose(updated, centroids):
+            return updated
+        centroids = updated
+    return centroids
+
+
+@dataclass
+class Codebook:
+    """A fitted k-means quantizer mapping salient features to codewords."""
+
+    config: CodebookConfig = field(default_factory=CodebookConfig)
+    centroids: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.centroids is not None
+
+    @property
+    def num_codewords(self) -> int:
+        """Effective codebook size (may be below the configured one)."""
+        if self.centroids is None:
+            raise ValidationError("the codebook has not been fitted")
+        return int(self.centroids.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        features_per_series: Sequence[Sequence[SalientFeature]],
+        series_lengths: Sequence[int],
+    ) -> "Codebook":
+        """Train the codebook on a collection's salient features.
+
+        Parameters
+        ----------
+        features_per_series:
+            One feature list per series of the collection.
+        series_lengths:
+            The matching series lengths (positions are normalised by
+            them).
+        """
+        if len(features_per_series) != len(series_lengths):
+            raise ValidationError(
+                "features_per_series and series_lengths must have equal length"
+            )
+        blocks = [
+            feature_embedding(features, length, self.config)
+            for features, length in zip(features_per_series, series_lengths)
+            if len(features)
+        ]
+        if not blocks:
+            raise ValidationError(
+                "cannot fit a codebook: the collection has no salient features"
+            )
+        points = np.vstack(blocks)
+        rng = rng_from_seed(self.config.seed)
+        if points.shape[0] > self.config.training_sample:
+            chosen = rng.choice(
+                points.shape[0], self.config.training_sample, replace=False
+            )
+            sample = points[np.sort(chosen)]
+        else:
+            sample = points
+        k = min(self.config.num_codewords, sample.shape[0])
+        self.centroids = _lloyd(sample, k, self.config.iterations, rng)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Assignment
+    # ------------------------------------------------------------------ #
+    def assign(
+        self,
+        features: Sequence[SalientFeature],
+        series_length: int,
+        multiplicity: int = 1,
+    ) -> np.ndarray:
+        """Nearest-codeword ids per feature, ``(num_features, multiplicity)``.
+
+        Columns are ordered by ascending centroid distance with the
+        centroid index as the deterministic tie-break.
+        """
+        if self.centroids is None:
+            raise ValidationError("the codebook has not been fitted")
+        multiplicity = min(max(int(multiplicity), 1), self.num_codewords)
+        if not len(features):
+            return np.zeros((0, multiplicity), dtype=np.int32)
+        embedded = feature_embedding(features, series_length, self.config)
+        distances = _pairwise_sq_distances(embedded, self.centroids)
+        # Stable argsort breaks distance ties by ascending centroid index.
+        order = np.argsort(distances, axis=1, kind="stable")
+        return order[:, :multiplicity].astype(np.int32)
+
+    def bag(
+        self,
+        features: Sequence[SalientFeature],
+        series_length: int,
+        multiplicity: Optional[int] = None,
+        *,
+        query: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse bag-of-codewords of one series.
+
+        Soft assignment: each feature contributes weight ``2^-rank`` to
+        its *multiplicity* nearest codewords (rank 0 = nearest).
+
+        Returns
+        -------
+        (codewords, counts):
+            Sorted unique codeword ids (``int32``) and their accumulated
+            term frequencies (``float64``).
+        """
+        if multiplicity is None:
+            multiplicity = (
+                self.config.query_multiplicity if query
+                else self.config.store_multiplicity
+            )
+        assigned = self.assign(features, series_length, multiplicity)
+        if assigned.size == 0:
+            return np.zeros(0, dtype=np.int32), np.zeros(0)
+        counts = np.zeros(self.num_codewords)
+        for rank in range(assigned.shape[1]):
+            np.add.at(counts, assigned[:, rank], 0.5 ** rank)
+        codewords = np.nonzero(counts)[0]
+        return codewords.astype(np.int32), counts[codewords]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Persist the fitted codebook to one ``.npz`` archive."""
+        if self.centroids is None:
+            raise ValidationError("cannot save an unfitted codebook")
+        blob = json.dumps(asdict(self.config)).encode("utf-8")
+        np.savez(
+            os.fspath(path),
+            centroids=self.centroids,
+            config=np.frombuffer(blob, dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "Codebook":
+        """Load a codebook written by :meth:`save`."""
+        with np.load(os.fspath(path), allow_pickle=False) as archive:
+            config = CodebookConfig(
+                **json.loads(bytes(archive["config"]).decode("utf-8"))
+            )
+            centroids = np.asarray(archive["centroids"], dtype=float)
+        return cls(config=config, centroids=centroids)
+
+
+__all__ = ["Codebook", "CodebookConfig", "feature_embedding"]

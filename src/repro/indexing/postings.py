@@ -1,0 +1,268 @@
+"""The sharded inverted index: codeword -> (series, weight) postings.
+
+Candidate generation works like text retrieval: every stored series is a
+sparse TF-IDF-weighted bag of codewords (L2-normalised), a query becomes
+the same kind of bag, and candidates are ranked by the dot product of
+the two — accumulated codeword-by-codeword over the postings lists, so
+query cost scales with the postings the query's codewords touch rather
+than with the collection size.
+
+Postings are grouped into :class:`~repro.indexing.shards.IndexShard`
+objects, each covering a contiguous codeword range with roughly equal
+postings mass.  Shards are the persistence unit: on disk each one is an
+uncompressed ``.npz`` that reopens as memory-mapped arrays, so the
+scoring loop below works identically on a freshly built in-memory index
+and on an index paged in from disk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_int_at_least
+from ..exceptions import ValidationError
+from .shards import IndexShard
+
+Bag = Tuple[np.ndarray, np.ndarray]
+
+
+def inverse_document_frequencies(
+    document_frequencies: np.ndarray, num_series: int
+) -> np.ndarray:
+    """Smoothed IDF: ``log(1 + N / df)`` (strictly positive)."""
+    df = np.asarray(document_frequencies, dtype=float)
+    return np.log1p(num_series / np.maximum(df, 1.0))
+
+
+def _split_codeword_ranges(
+    postings_per_codeword: np.ndarray, num_shards: int
+) -> List[Tuple[int, int]]:
+    """Partition the codeword space into ranges of ~equal postings mass."""
+    num_codewords = postings_per_codeword.size
+    num_shards = max(1, min(num_shards, num_codewords))
+    cumulative = np.concatenate([[0], np.cumsum(postings_per_codeword)])
+    total = float(cumulative[-1])
+    boundaries = [0]
+    for shard in range(1, num_shards):
+        target = total * shard / num_shards
+        cut = int(np.searchsorted(cumulative, target, side="left"))
+        boundaries.append(min(max(cut, boundaries[-1] + 1), num_codewords))
+    boundaries.append(num_codewords)
+    ranges = []
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        if hi > lo:
+            ranges.append((lo, hi))
+    return ranges or [(0, num_codewords)]
+
+
+class InvertedIndex:
+    """TF-IDF scored candidate generation over sharded postings.
+
+    Parameters
+    ----------
+    num_series:
+        Size of the indexed collection.
+    num_codewords:
+        Size of the codeword space (the codebook's effective k).
+    shards:
+        Postings shards in ascending codeword order.
+    idf:
+        Inverse document frequency per codeword, ``(num_codewords,)``.
+    """
+
+    def __init__(
+        self,
+        num_series: int,
+        num_codewords: int,
+        shards: Sequence[IndexShard],
+        idf: np.ndarray,
+    ) -> None:
+        self.num_series = check_int_at_least(num_series, 1, "num_series")
+        self.num_codewords = check_int_at_least(num_codewords, 1, "num_codewords")
+        self.shards = list(shards)
+        self.idf = np.asarray(idf, dtype=float)
+        if self.idf.shape != (self.num_codewords,):
+            raise ValidationError("idf must have one entry per codeword")
+        if not self.shards:
+            raise ValidationError("an inverted index needs at least one shard")
+        covered = self.shards[0].first_codeword
+        for shard in self.shards:
+            if shard.first_codeword != covered:
+                raise ValidationError("shards must cover contiguous codeword ranges")
+            covered = shard.last_codeword
+        if self.shards[0].first_codeword != 0 or covered != self.num_codewords:
+            raise ValidationError("shards must cover the whole codeword space")
+        self._shard_starts = np.array(
+            [shard.first_codeword for shard in self.shards], dtype=int
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_bags(
+        cls,
+        bags: Sequence[Bag],
+        num_codewords: int,
+        *,
+        num_shards: int = 1,
+    ) -> "InvertedIndex":
+        """Build an in-memory index from per-series bags of codewords.
+
+        Each bag is ``(codewords, counts)`` as produced by
+        :meth:`repro.indexing.codebook.Codebook.bag`.  Term frequencies
+        are IDF-weighted and L2-normalised per series before being
+        scattered into the postings lists, so posting weights can be
+        dot-producted directly.
+        """
+        num_series = len(bags)
+        if num_series == 0:
+            raise ValidationError("cannot build an index over zero series")
+        num_codewords = check_int_at_least(num_codewords, 1, "num_codewords")
+        document_frequency = np.zeros(num_codewords)
+        for codewords, counts in bags:
+            codewords = np.asarray(codewords)
+            if codewords.size and (
+                codewords.min() < 0 or codewords.max() >= num_codewords
+            ):
+                raise ValidationError("bag codeword id outside the codebook range")
+            document_frequency[codewords] += 1.0
+        idf = inverse_document_frequencies(document_frequency, num_series)
+
+        # Normalised per-series weights, scattered codeword-major.
+        all_codewords: List[np.ndarray] = []
+        all_series: List[np.ndarray] = []
+        all_weights: List[np.ndarray] = []
+        for series_index, (codewords, counts) in enumerate(bags):
+            codewords = np.asarray(codewords, dtype=np.int64)
+            if not codewords.size:
+                continue
+            weights = np.asarray(counts, dtype=float) * idf[codewords]
+            norm = float(np.linalg.norm(weights))
+            if norm > 0.0:
+                weights = weights / norm
+            all_codewords.append(codewords)
+            all_series.append(np.full(codewords.size, series_index, dtype=np.int64))
+            all_weights.append(weights)
+        if all_codewords:
+            codeword_column = np.concatenate(all_codewords)
+            series_column = np.concatenate(all_series)
+            weight_column = np.concatenate(all_weights).astype(np.float32)
+        else:
+            codeword_column = np.zeros(0, dtype=np.int64)
+            series_column = np.zeros(0, dtype=np.int64)
+            weight_column = np.zeros(0, dtype=np.float32)
+        # Codeword-major, series-minor ordering makes postings lists
+        # contiguous and deterministically ordered.
+        order = np.lexsort((series_column, codeword_column))
+        codeword_column = codeword_column[order]
+        series_column = series_column[order]
+        weight_column = weight_column[order]
+
+        postings_per_codeword = np.bincount(
+            codeword_column, minlength=num_codewords
+        )
+        shards = []
+        for lo, hi in _split_codeword_ranges(postings_per_codeword, num_shards):
+            start = int(np.searchsorted(codeword_column, lo, side="left"))
+            stop = int(np.searchsorted(codeword_column, hi, side="left"))
+            local_codewords = codeword_column[start:stop]
+            unique, first_positions = np.unique(local_codewords, return_index=True)
+            offsets = np.concatenate(
+                [first_positions, [local_codewords.size]]
+            ).astype(np.int64)
+            shards.append(
+                IndexShard(
+                    first_codeword=int(lo),
+                    last_codeword=int(hi),
+                    codeword_ids=unique.astype(np.int32),
+                    offsets=offsets,
+                    series=series_column[start:stop].astype(np.int32),
+                    weights=weight_column[start:stop],
+                )
+            )
+        return cls(
+            num_series=num_series,
+            num_codewords=num_codewords,
+            shards=shards,
+            idf=idf,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+    @property
+    def num_postings(self) -> int:
+        return sum(shard.num_postings for shard in self.shards)
+
+    @property
+    def is_memory_mapped(self) -> bool:
+        return all(shard.is_memory_mapped for shard in self.shards)
+
+    def query_weights(self, bag: Bag) -> Tuple[np.ndarray, np.ndarray]:
+        """IDF-weighted, L2-normalised query bag ``(codewords, weights)``."""
+        codewords = np.asarray(bag[0], dtype=np.int64)
+        counts = np.asarray(bag[1], dtype=float)
+        if codewords.size and (
+            codewords.min() < 0 or codewords.max() >= self.num_codewords
+        ):
+            raise ValidationError("query codeword id outside the codebook range")
+        weights = counts * self.idf[codewords]
+        norm = float(np.linalg.norm(weights))
+        if norm > 0.0:
+            weights = weights / norm
+        return codewords, weights
+
+    def scores(self, bag: Bag) -> Tuple[np.ndarray, np.ndarray]:
+        """Cosine scores of every stored series against a query bag.
+
+        Returns ``(scores, touched)``: the score vector and a boolean
+        mask of series that share at least one codeword with the query
+        (series outside the mask were never visited — that is the
+        sublinear part).
+        """
+        codewords, weights = self.query_weights(bag)
+        scores = np.zeros(self.num_series)
+        touched = np.zeros(self.num_series, dtype=bool)
+        if not codewords.size:
+            return scores, touched
+        shard_of = np.searchsorted(self._shard_starts, codewords, side="right") - 1
+        for position in range(codewords.size):
+            shard = self.shards[int(shard_of[position])]
+            series, posting_weights = shard.postings_of(int(codewords[position]))
+            if not series.size:
+                continue
+            # Series indices are unique within one codeword's postings
+            # list (one posting per (codeword, series)), so plain fancy
+            # indexing accumulates correctly — and avoids np.add.at's
+            # slow unbuffered path on the hot stage-1 loop.  float64
+            # accumulation over float32 postings, in stored order, keeps
+            # in-memory and reopened indexes scoring bit-identically.
+            scores[series] += weights[position] * posting_weights.astype(float)
+            touched[series] = True
+        return scores, touched
+
+    def candidates(self, bag: Bag, limit: Optional[int] = None) -> np.ndarray:
+        """Ranked candidate series indices for a query bag.
+
+        Series sharing codewords with the query come first, by descending
+        score with ascending index as the deterministic tie-break; when
+        *limit* exceeds the number of scored series the remaining indices
+        follow in ascending order, so ``limit >= num_series`` always
+        degrades to the full collection (the exactness escape hatch).
+        """
+        if limit is None:
+            limit = self.num_series
+        limit = check_int_at_least(limit, 1, "limit")
+        scores, touched = self.scores(bag)
+        scored = np.nonzero(touched)[0]
+        ranked = scored[np.lexsort((scored, -scores[scored]))]
+        if ranked.size >= limit:
+            return ranked[:limit]
+        rest = np.nonzero(~touched)[0]
+        return np.concatenate([ranked, rest[: limit - ranked.size]])
+
+
+__all__ = ["InvertedIndex", "inverse_document_frequencies"]

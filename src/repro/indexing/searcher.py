@@ -1,0 +1,485 @@
+"""Two-stage indexed search: candidate generation + exact re-ranking.
+
+:class:`IndexedSearcher` is the query-facing front of the indexing
+subsystem.  A query runs in two stages:
+
+1. **Candidate generation** — the query's salient features are
+   quantized against the collection's :class:`Codebook` and scored
+   through the :class:`InvertedIndex`; the top ``C`` series by codeword
+   overlap (``C`` = the candidate budget, configurable per query) become
+   the candidate set.  Cost scales with the postings touched, not with
+   the collection size.
+2. **Exact re-ranking** — the candidates are handed to the PR 1
+   :class:`~repro.engine.DistanceEngine` cascade (LB_Kim -> LB_Keogh ->
+   early-abandoning banded DTW) via its ``candidate_indices`` hook, so
+   the distances and orderings of stage 2 are *exactly* those of a full
+   scan restricted to the candidate set.
+
+With ``candidates >= len(collection)`` the candidate set degrades to
+the whole collection and the result is bit-identical to the exhaustive
+engine ranking; ``exact=True`` skips stage 1 entirely (the escape
+hatch).  :meth:`IndexedSearcher.recall_at_k` measures the speed/recall
+trade-off against the exhaustive ranking.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series, check_int_at_least
+from ..core.config import SDTWConfig
+from ..core.features import extract_salient_features
+from ..datasets.base import Dataset
+from ..engine import DistanceEngine
+from ..engine.engine import EngineHit, QueryResult
+from ..engine.stats import EngineStats
+from ..exceptions import ValidationError
+from .codebook import Codebook, CodebookConfig
+from .postings import InvertedIndex
+from .store import IndexReader, IndexWriter
+
+
+@dataclass(frozen=True)
+class IndexedSearchResult:
+    """Result of one indexed query.
+
+    Attributes
+    ----------
+    hits:
+        The k nearest candidates after exact re-ranking.
+    candidates_generated:
+        Size of the candidate set stage 1 handed to the engine (equal to
+        the collection size for ``exact=True`` queries).
+    exact:
+        Whether the query bypassed candidate generation.
+    generation_seconds:
+        Stage 1 wall-clock (feature extraction + quantization + postings
+        scoring); zero for exact queries.
+    rerank_seconds:
+        Stage 2 wall-clock (the engine cascade over the candidates).
+    stats:
+        The engine's per-stage work accounting for stage 2.
+    """
+
+    hits: Tuple[EngineHit, ...]
+    candidates_generated: int
+    exact: bool
+    generation_seconds: float
+    rerank_seconds: float
+    stats: EngineStats
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        return tuple(hit.index for hit in self.hits)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.generation_seconds + self.rerank_seconds
+
+
+@dataclass
+class RecallReport:
+    """Recall of the indexed ranking against the exhaustive one."""
+
+    k: int
+    candidate_budget: int
+    per_query: List[float] = field(default_factory=list)
+    indexed_seconds: float = 0.0
+    exhaustive_seconds: float = 0.0
+
+    @property
+    def mean_recall(self) -> float:
+        return float(np.mean(self.per_query)) if self.per_query else 0.0
+
+    @property
+    def speedup(self) -> float:
+        if self.indexed_seconds <= 0.0:
+            return float("inf")
+        return self.exhaustive_seconds / self.indexed_seconds
+
+
+class IndexedSearcher:
+    """k-NN search with sublinear candidate generation.
+
+    Parameters
+    ----------
+    index:
+        The inverted index over the collection.
+    codebook:
+        The quantizer the index was built with.
+    engine:
+        A :class:`DistanceEngine` whose stored collection matches the
+        index order (series ``i`` of the engine is series ``i`` of the
+        index).
+    config:
+        Extraction configuration used for query features; must match the
+        configuration the indexed features were extracted with.
+    candidate_budget:
+        Default number of candidates generated per query.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        codebook: Codebook,
+        engine: DistanceEngine,
+        *,
+        config: Optional[SDTWConfig] = None,
+        candidate_budget: int = 100,
+    ) -> None:
+        if len(engine) != index.num_series:
+            raise ValidationError(
+                f"engine holds {len(engine)} series but the index covers "
+                f"{index.num_series}"
+            )
+        if not codebook.is_fitted:
+            raise ValidationError("the searcher needs a fitted codebook")
+        self.index = index
+        self.codebook = codebook
+        self.engine = engine
+        self.config = config if config is not None else SDTWConfig()
+        if self.config.descriptor.num_bins != codebook.config.descriptor_bins:
+            raise ValidationError(
+                f"extraction configuration has "
+                f"{self.config.descriptor.num_bins}-bin descriptors but the "
+                f"codebook was fitted on {codebook.config.descriptor_bins}-bin "
+                f"descriptors"
+            )
+        self.candidate_budget = check_int_at_least(
+            candidate_budget, 1, "candidate_budget"
+        )
+        # Build-time features, kept so save() can skip re-extraction.
+        self._features: Optional[List] = None
+
+    def __len__(self) -> int:
+        return self.index.num_series
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_engine(
+        cls,
+        engine: DistanceEngine,
+        *,
+        config: Optional[SDTWConfig] = None,
+        codebook_config: Optional[CodebookConfig] = None,
+        num_shards: int = 4,
+        candidate_budget: int = 100,
+    ) -> "IndexedSearcher":
+        """Build the index layers over an engine's stored collection.
+
+        The single construction path every builder funnels through:
+        features are extracted once per stored series (the paper's
+        amortisation argument), the codebook is fitted on them, and the
+        bags become the inverted index.  The engine is re-used as the
+        re-ranking stage.
+        """
+        config = config if config is not None else SDTWConfig()
+        if codebook_config is None:
+            codebook_config = CodebookConfig.for_sdtw(config)
+        stored = engine.stored_items()
+        if not stored:
+            raise ValidationError("cannot build an index over zero series")
+        identifiers = [identifier for identifier, _, _ in stored]
+        if len(set(identifiers)) != len(identifiers):
+            # Persistence (and the bundled FeatureStore) key series by
+            # identifier; duplicates would silently collapse on reopen.
+            raise ValidationError(
+                "cannot index a collection with duplicate identifiers"
+            )
+        features = [
+            extract_salient_features(values, config) for _, values, _ in stored
+        ]
+        lengths = [values.size for _, values, _ in stored]
+        codebook = Codebook(codebook_config).fit(features, lengths)
+        bags = [
+            codebook.bag(feature_list, length)
+            for feature_list, length in zip(features, lengths)
+        ]
+        index = InvertedIndex.from_bags(
+            bags, codebook.num_codewords, num_shards=num_shards
+        )
+        searcher = cls(
+            index, codebook, engine,
+            config=config, candidate_budget=candidate_budget,
+        )
+        searcher._features = features
+        return searcher
+
+    @classmethod
+    def build(
+        cls,
+        series: Sequence[Union[Sequence[float], np.ndarray]],
+        identifiers: Optional[Sequence[str]] = None,
+        labels: Optional[Sequence[Optional[int]]] = None,
+        *,
+        config: Optional[SDTWConfig] = None,
+        codebook_config: Optional[CodebookConfig] = None,
+        constraint: str = "fc,fw",
+        num_shards: int = 4,
+        candidate_budget: int = 100,
+        backend: str = "serial",
+        engine_kwargs: Optional[dict] = None,
+    ) -> "IndexedSearcher":
+        """Build a searcher (codebook + index + engine) over a collection."""
+        config = config if config is not None else SDTWConfig()
+        arrays = [as_series(values, f"series[{i}]") for i, values in enumerate(series)]
+        if not arrays:
+            raise ValidationError("cannot build an index over zero series")
+        if identifiers is None:
+            identifiers = [f"series-{i:05d}" for i in range(len(arrays))]
+        if len(identifiers) != len(arrays):
+            raise ValidationError("identifiers must have one entry per series")
+        if labels is None:
+            labels = [None] * len(arrays)
+        if len(labels) != len(arrays):
+            raise ValidationError("labels must have one entry per series")
+        engine = DistanceEngine(
+            constraint, config, backend=backend, **(engine_kwargs or {})
+        )
+        for values, identifier, label in zip(arrays, identifiers, labels):
+            engine.add(values, identifier=identifier, label=label)
+        return cls.from_engine(
+            engine,
+            config=config,
+            codebook_config=codebook_config,
+            num_shards=num_shards,
+            candidate_budget=candidate_budget,
+        )
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, **kwargs) -> "IndexedSearcher":
+        """Build a searcher over a data set (labels preserved)."""
+        identifiers = [
+            ts.identifier or f"{dataset.name}-{i:04d}"
+            for i, ts in enumerate(dataset)
+        ]
+        return cls.build(
+            dataset.values_list(), identifiers, dataset.labels, **kwargs
+        )
+
+    @classmethod
+    def from_reader(
+        cls,
+        reader: IndexReader,
+        *,
+        config: Optional[SDTWConfig] = None,
+        constraint: str = "fc,fw",
+        candidate_budget: int = 100,
+        backend: str = "serial",
+        engine_kwargs: Optional[dict] = None,
+    ) -> "IndexedSearcher":
+        """Reopen a persisted index (with its bundled feature store).
+
+        The feature store supplies the raw series for re-ranking, in the
+        index's series order, so no re-extraction happens.
+        """
+        persisted = reader.extraction_config()
+        if config is None:
+            # Reconstruct the exact build-time configuration from the
+            # manifest; only pre-fingerprint indexes fall back to defaults.
+            config = persisted if persisted is not None else SDTWConfig()
+        elif persisted is not None and config != persisted:
+            raise ValidationError(
+                "the supplied extraction configuration differs from the one "
+                "this index was built with; omit `config` to use the "
+                "persisted configuration"
+            )
+        store = reader.load_feature_store(config=config)
+        engine = DistanceEngine(
+            constraint, config, backend=backend, **(engine_kwargs or {})
+        )
+        for position, identifier in enumerate(reader.identifiers):
+            engine.add(
+                store.series_of(identifier),
+                identifier=identifier,
+                label=reader.labels[position],
+            )
+        return cls(
+            reader.index, reader.codebook, engine,
+            config=config, candidate_budget=candidate_budget,
+        )
+
+    def save(self, directory, *, feature_store=None) -> str:
+        """Persist the searcher's index; returns the manifest path.
+
+        When *feature_store* is omitted one is assembled from the
+        engine's stored series (re-using build-time features when this
+        searcher was created by :meth:`build`).
+        """
+        stored = self.engine.stored_items()
+        if feature_store is None:
+            from ..retrieval.feature_store import FeatureStore
+
+            feature_store = FeatureStore(config=self.config)
+            build_features = self._features
+            for position, (identifier, values, _) in enumerate(stored):
+                feature_store.add_series(
+                    identifier,
+                    values,
+                    features=(
+                        build_features[position]
+                        if build_features is not None else None
+                    ),
+                )
+        return IndexWriter(directory).write(
+            self.index,
+            self.codebook,
+            [identifier for identifier, _, _ in stored],
+            [label for _, _, label in stored],
+            feature_store=feature_store,
+            extraction_config=self.config,
+        )
+
+    @classmethod
+    def open(cls, directory, **kwargs) -> "IndexedSearcher":
+        """Open a persisted index directory (memory-mapped shards)."""
+        mmap = kwargs.pop("mmap", True)
+        return cls.from_reader(IndexReader.open(directory, mmap=mmap), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+    def generate_candidates(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        limit: Optional[int] = None,
+    ) -> np.ndarray:
+        """Stage 1 alone: the ranked candidate indices for a query."""
+        query = as_series(values, "query")
+        features = extract_salient_features(query, self.config)
+        bag = self.codebook.bag(features, query.size, query=True)
+        return self.index.candidates(
+            bag, limit if limit is not None else self.candidate_budget
+        )
+
+    def query(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        k: int = 10,
+        *,
+        candidates: Optional[int] = None,
+        exact: bool = False,
+        exclude_identifier: Optional[str] = None,
+    ) -> IndexedSearchResult:
+        """Find the k nearest stored series to a query.
+
+        Parameters
+        ----------
+        values:
+            The query series.
+        k:
+            Neighbours to return.
+        candidates:
+            Candidate budget ``C`` for this query (default: the
+            searcher's budget).  ``C >= len(collection)`` reproduces the
+            exhaustive ranking exactly.
+        exact:
+            Bypass the index and run the full engine scan (the escape
+            hatch; the result is the exhaustive ranking).
+        exclude_identifier:
+            Skip this stored identifier (leave-one-out evaluations).
+        """
+        k = check_int_at_least(k, 1, "k")
+        if exact:
+            result = self.engine.query(
+                values, k, exclude_identifier=exclude_identifier
+            )
+            return IndexedSearchResult(
+                hits=result.hits,
+                candidates_generated=len(self.engine),
+                exact=True,
+                generation_seconds=0.0,
+                rerank_seconds=result.stats.elapsed_seconds,
+                stats=result.stats,
+            )
+        started = time.perf_counter()
+        candidate_set = self.generate_candidates(values, candidates)
+        generation_seconds = time.perf_counter() - started
+        result: QueryResult = self.engine.query(
+            values, k,
+            exclude_identifier=exclude_identifier,
+            candidate_indices=candidate_set,
+        )
+        return IndexedSearchResult(
+            hits=result.hits,
+            candidates_generated=int(candidate_set.size),
+            exact=False,
+            generation_seconds=generation_seconds,
+            rerank_seconds=result.stats.elapsed_seconds,
+            stats=result.stats,
+        )
+
+    def batch_query(
+        self,
+        queries: Sequence[Union[Sequence[float], np.ndarray]],
+        k: int = 10,
+        *,
+        candidates: Optional[int] = None,
+        exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[IndexedSearchResult]:
+        """Indexed k-NN for many queries (results in query order)."""
+        if exclude_identifiers is not None and len(exclude_identifiers) != len(queries):
+            raise ValidationError(
+                "exclude_identifiers must have one entry per query"
+            )
+        return [
+            self.query(
+                values, k,
+                candidates=candidates,
+                exclude_identifier=(
+                    exclude_identifiers[qi] if exclude_identifiers else None
+                ),
+            )
+            for qi, values in enumerate(queries)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def recall_at_k(
+        self,
+        queries: Sequence[Union[Sequence[float], np.ndarray]],
+        k: int = 10,
+        *,
+        candidates: Optional[int] = None,
+        exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
+    ) -> RecallReport:
+        """Recall@k of the indexed ranking vs. the exhaustive ranking.
+
+        Each query is answered twice — through the index and through the
+        full engine scan — and the report aggregates per-query recall
+        plus the two wall-clock totals (the speed/recall trade-off in
+        one call).
+        """
+        k = check_int_at_least(k, 1, "k")
+        budget = (
+            self.candidate_budget if candidates is None
+            else check_int_at_least(candidates, 1, "candidates")
+        )
+        report = RecallReport(k=k, candidate_budget=budget)
+        for qi, values in enumerate(queries):
+            exclude = (
+                exclude_identifiers[qi] if exclude_identifiers is not None else None
+            )
+            indexed = self.query(
+                values, k, candidates=budget, exclude_identifier=exclude
+            )
+            report.indexed_seconds += indexed.elapsed_seconds
+            exact = self.query(values, k, exact=True, exclude_identifier=exclude)
+            report.exhaustive_seconds += exact.elapsed_seconds
+            exact_top = set(exact.indices)
+            if exact_top:
+                overlap = len(exact_top & set(indexed.indices))
+                report.per_query.append(overlap / len(exact_top))
+            else:
+                report.per_query.append(1.0)
+        return report
+
+
+__all__ = ["IndexedSearchResult", "IndexedSearcher", "RecallReport"]

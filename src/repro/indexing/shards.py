@@ -1,0 +1,200 @@
+"""Memory-mapped postings shards.
+
+An index shard is one uncompressed ``.npz`` archive holding the postings
+of a contiguous codeword range in CSR layout:
+
+* ``codeword_ids`` — the codewords present in the shard, sorted ascending
+  (``int32``);
+* ``offsets`` — CSR offsets into the postings arrays, one entry per
+  codeword id plus a trailing sentinel (``int64``);
+* ``series`` — series indices of the postings (``int32``);
+* ``weights`` — TF-IDF posting weights (``float32``).
+
+``.npz`` archives are ZIP files; :func:`numpy.savez` stores members
+*uncompressed* (``ZIP_STORED``), so each member is a plain ``.npy`` byte
+range at a fixed offset inside the file.  :func:`mmap_npz` exploits that:
+it parses the ZIP local headers and the ``.npy`` headers to recover each
+member's dtype/shape/offset and returns :class:`numpy.memmap` views — the
+OS pages postings in on demand and an index larger than RAM still serves
+queries.  Compressed members (or anything else unexpected) fall back to a
+normal in-memory load, so the reader works on any valid ``.npz``.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zipfile
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+# Fixed part of a ZIP local file header: signature, version, flags,
+# compression, mod time, mod date, crc32, compressed size, uncompressed
+# size, file name length, extra field length.
+_LOCAL_HEADER = struct.Struct("<4s5H3I2H")
+_LOCAL_MAGIC = b"PK\x03\x04"
+
+SHARD_MEMBERS = ("codeword_ids", "offsets", "series", "weights")
+
+
+def _member_data_offset(handle, info: zipfile.ZipInfo) -> int:
+    """Absolute file offset of a STORED member's data bytes.
+
+    The local header's name/extra lengths may differ from the central
+    directory's, so the local header is parsed directly.
+    """
+    handle.seek(info.header_offset)
+    raw = handle.read(_LOCAL_HEADER.size)
+    if len(raw) != _LOCAL_HEADER.size:
+        raise ValidationError(f"truncated ZIP local header in shard member {info.filename!r}")
+    fields = _LOCAL_HEADER.unpack(raw)
+    if fields[0] != _LOCAL_MAGIC:
+        raise ValidationError(f"bad ZIP local header magic for member {info.filename!r}")
+    name_length, extra_length = fields[9], fields[10]
+    return info.header_offset + _LOCAL_HEADER.size + name_length + extra_length
+
+
+def _mmap_npy_member(path: str, handle, info: zipfile.ZipInfo) -> np.ndarray:
+    """Memory-map one STORED ``.npy`` member of a ``.npz`` archive."""
+    data_offset = _member_data_offset(handle, info)
+    handle.seek(data_offset)
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+    else:  # pragma: no cover - future .npy versions
+        raise ValidationError(f"unsupported .npy version {version} in {info.filename!r}")
+    if fortran:  # pragma: no cover - we only ever write C-order arrays
+        raise ValidationError("fortran-order shard members cannot be memory-mapped")
+    if dtype.hasobject:
+        raise ValidationError("object arrays cannot be memory-mapped")
+    return np.memmap(path, dtype=dtype, mode="r", offset=handle.tell(), shape=shape)
+
+
+def mmap_npz(path: Union[str, os.PathLike]) -> Dict[str, np.ndarray]:
+    """Open an uncompressed ``.npz`` archive as memory-mapped arrays.
+
+    Members that cannot be mapped (compressed, object dtype, exotic
+    format) are loaded into memory instead, so the result is always a
+    complete ``{member name: array}`` mapping.
+    """
+    path = os.fspath(path)
+    arrays: Dict[str, np.ndarray] = {}
+    fallbacks = []
+    with zipfile.ZipFile(path, "r") as archive:
+        with open(path, "rb") as handle:
+            for info in archive.infolist():
+                name = info.filename
+                key = name[:-4] if name.endswith(".npy") else name
+                if info.compress_type != zipfile.ZIP_STORED:
+                    fallbacks.append(key)
+                    continue
+                try:
+                    arrays[key] = _mmap_npy_member(path, handle, info)
+                except ValidationError:
+                    fallbacks.append(key)
+    if fallbacks:
+        with np.load(path, allow_pickle=False) as archive:
+            for key in fallbacks:
+                arrays[key] = archive[key]
+    return arrays
+
+
+def load_npz(path: Union[str, os.PathLike]) -> Dict[str, np.ndarray]:
+    """Load every member of a ``.npz`` archive fully into memory."""
+    with np.load(os.fspath(path), allow_pickle=False) as archive:
+        return {key: np.ascontiguousarray(archive[key]) for key in archive.files}
+
+
+@dataclass
+class IndexShard:
+    """Postings for one contiguous codeword range ``[first, last)``.
+
+    The arrays may be ordinary in-memory ``ndarray`` objects (while an
+    index is being built) or :class:`numpy.memmap` views (after a shard is
+    reopened from disk); queries treat both identically.
+    """
+
+    first_codeword: int
+    last_codeword: int
+    codeword_ids: np.ndarray
+    offsets: np.ndarray
+    series: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.last_codeword < self.first_codeword:
+            raise ValidationError("shard codeword range is inverted")
+        if self.offsets.size != self.codeword_ids.size + 1:
+            raise ValidationError("shard offsets must have one entry per codeword plus a sentinel")
+        if self.series.size != self.weights.size:
+            raise ValidationError("shard series/weights arrays must have equal length")
+
+    @property
+    def num_postings(self) -> int:
+        return int(self.series.size)
+
+    @property
+    def is_memory_mapped(self) -> bool:
+        return isinstance(self.series, np.memmap)
+
+    def covers(self, codeword: int) -> bool:
+        return self.first_codeword <= codeword < self.last_codeword
+
+    def postings_of(self, codeword: int):
+        """``(series, weights)`` slices for one codeword (empty if absent)."""
+        position = int(np.searchsorted(self.codeword_ids, codeword))
+        if (
+            position >= self.codeword_ids.size
+            or int(self.codeword_ids[position]) != codeword
+        ):
+            empty = np.empty(0, dtype=self.series.dtype)
+            return empty, np.empty(0, dtype=self.weights.dtype)
+        start = int(self.offsets[position])
+        stop = int(self.offsets[position + 1])
+        return self.series[start:stop], self.weights[start:stop]
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the shard as an uncompressed (mappable) ``.npz`` archive."""
+        np.savez(
+            os.fspath(path),
+            codeword_ids=np.asarray(self.codeword_ids, dtype=np.int32),
+            offsets=np.asarray(self.offsets, dtype=np.int64),
+            series=np.asarray(self.series, dtype=np.int32),
+            weights=np.asarray(self.weights, dtype=np.float32),
+        )
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, os.PathLike],
+        first_codeword: int,
+        last_codeword: int,
+        *,
+        mmap: bool = True,
+    ) -> "IndexShard":
+        """Reopen a shard written by :meth:`save`.
+
+        With ``mmap=True`` (the default) the postings arrays are
+        memory-mapped; ``mmap=False`` loads them fully into RAM (the
+        baseline the memory benchmark compares against).
+        """
+        arrays = mmap_npz(path) if mmap else load_npz(path)
+        missing = [name for name in SHARD_MEMBERS if name not in arrays]
+        if missing:
+            raise ValidationError(
+                f"shard archive {os.fspath(path)!r} is missing members: {missing}"
+            )
+        return cls(
+            first_codeword=first_codeword,
+            last_codeword=last_codeword,
+            codeword_ids=arrays["codeword_ids"],
+            offsets=arrays["offsets"],
+            series=arrays["series"],
+            weights=arrays["weights"],
+        )

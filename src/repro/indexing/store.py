@@ -1,0 +1,292 @@
+"""Index persistence: directory layout, manifest, writer and reader.
+
+An index lives in one directory::
+
+    index-dir/
+        manifest.json     # routing table + identifiers + fingerprints
+        codebook.npz      # fitted k-means quantizer
+        stats.npz         # per-codeword IDF
+        shard-0000.npz    # postings shards (uncompressed, mappable)
+        shard-0001.npz
+        store.npz         # optional FeatureStore (series + features)
+
+The manifest records which codeword range each shard file covers, so a
+reader routes a codeword to its shard without opening the others; shard
+payloads are memory-mapped on open (see :mod:`repro.indexing.shards`),
+so opening an index reads only the manifest, codebook and IDF table —
+postings pages fault in as queries touch them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import DatasetError, ValidationError
+from .codebook import Codebook
+from .postings import InvertedIndex
+from .shards import IndexShard
+
+MANIFEST_NAME = "manifest.json"
+CODEBOOK_NAME = "codebook.npz"
+STATS_NAME = "stats.npz"
+STORE_NAME = "store.npz"
+FORMAT_NAME = "repro-salient-index"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class IndexWriter:
+    """Writes a built index (and its codebook) to a directory.
+
+    Parameters
+    ----------
+    directory:
+        Target directory; created if missing.  Existing index files are
+        overwritten — building is idempotent.
+    """
+
+    directory: Union[str, os.PathLike]
+
+    def write(
+        self,
+        index: InvertedIndex,
+        codebook: Codebook,
+        identifiers: Sequence[str],
+        labels: Optional[Sequence[Optional[int]]] = None,
+        *,
+        feature_store=None,
+        extraction_config=None,
+    ) -> str:
+        """Persist everything; returns the manifest path.
+
+        Parameters
+        ----------
+        index, codebook:
+            The built inverted index and its fitted quantizer.
+        identifiers:
+            Series identifiers, in index order (one per indexed series).
+        labels:
+            Optional class labels, in the same order.
+        feature_store:
+            Optional :class:`repro.retrieval.feature_store.FeatureStore`
+            saved alongside the index so a reader can re-rank without
+            re-extracting features.
+        extraction_config:
+            The full :class:`~repro.core.config.SDTWConfig` the indexed
+            features were extracted with; persisted in the manifest so a
+            reader reconstructs (and can verify) the exact configuration
+            instead of trusting the descriptor-bin count alone.
+        """
+        if len(identifiers) != index.num_series:
+            raise ValidationError(
+                "identifiers must have one entry per indexed series"
+            )
+        if len(set(identifiers)) != len(identifiers):
+            # The on-disk format (and the bundled FeatureStore) key series
+            # by identifier; duplicates would silently collapse on reopen.
+            raise ValidationError(
+                "index identifiers must be unique; the collection repeats "
+                "at least one identifier"
+            )
+        if labels is not None and len(labels) != index.num_series:
+            raise ValidationError("labels must have one entry per indexed series")
+        directory = os.fspath(self.directory)
+        os.makedirs(directory, exist_ok=True)
+        # Rebuilds may produce fewer shards than a previous build left
+        # behind; drop stale ones so overwriting really is idempotent.
+        for name in os.listdir(directory):
+            if name.startswith("shard-") and name.endswith(".npz"):
+                os.remove(os.path.join(directory, name))
+
+        codebook.save(os.path.join(directory, CODEBOOK_NAME))
+        np.savez(os.path.join(directory, STATS_NAME), idf=index.idf)
+
+        shard_entries: List[Dict[str, object]] = []
+        for number, shard in enumerate(index.shards):
+            filename = f"shard-{number:04d}.npz"
+            shard.save(os.path.join(directory, filename))
+            shard_entries.append(
+                {
+                    "file": filename,
+                    "first_codeword": shard.first_codeword,
+                    "last_codeword": shard.last_codeword,
+                    "num_postings": shard.num_postings,
+                    "num_codewords_present": int(shard.codeword_ids.size),
+                }
+            )
+
+        store_file: Optional[str] = None
+        if feature_store is not None:
+            store_file = STORE_NAME
+            feature_store.save(os.path.join(directory, STORE_NAME))
+
+        manifest = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "num_series": index.num_series,
+            "num_codewords": index.num_codewords,
+            "num_postings": index.num_postings,
+            "descriptor_bins": codebook.config.descriptor_bins,
+            "identifiers": list(identifiers),
+            "labels": None if labels is None else [
+                None if label is None else int(label) for label in labels
+            ],
+            "shards": shard_entries,
+            "codebook_file": CODEBOOK_NAME,
+            "stats_file": STATS_NAME,
+            "store_file": store_file,
+            "extraction_config": (
+                None if extraction_config is None else extraction_config.to_dict()
+            ),
+        }
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        return manifest_path
+
+
+@dataclass
+class IndexReader:
+    """A reopened on-disk index.
+
+    Attributes
+    ----------
+    directory:
+        The index directory.
+    manifest:
+        The parsed manifest.
+    codebook:
+        The fitted quantizer.
+    index:
+        The inverted index, with shard postings memory-mapped unless the
+        reader was opened with ``mmap=False``.
+    identifiers, labels:
+        Series identifiers / labels in index order.
+    """
+
+    directory: str
+    manifest: Dict[str, object]
+    codebook: Codebook
+    index: InvertedIndex
+    identifiers: List[str]
+    labels: List[Optional[int]] = field(default_factory=list)
+
+    @classmethod
+    def open(
+        cls, directory: Union[str, os.PathLike], *, mmap: bool = True
+    ) -> "IndexReader":
+        """Open an index directory written by :class:`IndexWriter`.
+
+        With ``mmap=True`` (the default) shard postings are served from
+        memory-mapped files; ``mmap=False`` loads them fully into RAM.
+        """
+        directory = os.fspath(directory)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise DatasetError(f"no index manifest found at {manifest_path}")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != FORMAT_NAME:
+            raise ValidationError(
+                f"{manifest_path} is not a {FORMAT_NAME} manifest"
+            )
+        if int(manifest.get("version", 0)) > FORMAT_VERSION:
+            raise ValidationError(
+                f"index format version {manifest.get('version')} is newer than "
+                f"this reader (supports <= {FORMAT_VERSION})"
+            )
+
+        codebook = Codebook.load(
+            os.path.join(directory, str(manifest["codebook_file"]))
+        )
+        with np.load(
+            os.path.join(directory, str(manifest["stats_file"])),
+            allow_pickle=False,
+        ) as stats:
+            idf = np.asarray(stats["idf"], dtype=float)
+
+        shards = [
+            IndexShard.open(
+                os.path.join(directory, str(entry["file"])),
+                int(entry["first_codeword"]),
+                int(entry["last_codeword"]),
+                mmap=mmap,
+            )
+            for entry in manifest["shards"]
+        ]
+        index = InvertedIndex(
+            num_series=int(manifest["num_series"]),
+            num_codewords=int(manifest["num_codewords"]),
+            shards=shards,
+            idf=idf,
+        )
+        labels = manifest.get("labels")
+        return cls(
+            directory=directory,
+            manifest=manifest,
+            codebook=codebook,
+            index=index,
+            identifiers=[str(name) for name in manifest["identifiers"]],
+            labels=(
+                [None] * index.num_series if labels is None
+                else [None if label is None else int(label) for label in labels]
+            ),
+        )
+
+    @property
+    def num_series(self) -> int:
+        return self.index.num_series
+
+    def extraction_config(self):
+        """The persisted :class:`SDTWConfig`, or ``None`` on old manifests."""
+        from ..core.config import SDTWConfig
+
+        payload = self.manifest.get("extraction_config")
+        if payload is None:
+            return None
+        return SDTWConfig.from_dict(payload)
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """Path of the bundled feature store, if one was written."""
+        store_file = self.manifest.get("store_file")
+        if not store_file:
+            return None
+        return os.path.join(self.directory, str(store_file))
+
+    def load_feature_store(self, config=None):
+        """Load the bundled :class:`FeatureStore` (series + features)."""
+        from ..retrieval.feature_store import FeatureStore
+
+        path = self.store_path
+        if path is None or not os.path.exists(path):
+            raise DatasetError(
+                f"index at {self.directory!r} was written without a feature store"
+            )
+        return FeatureStore.load(path, config=config)
+
+    def stats_rows(self) -> List[List[object]]:
+        """Tabular summary used by ``repro index stats``."""
+        rows: List[List[object]] = []
+        for entry in self.manifest["shards"]:
+            path = os.path.join(self.directory, str(entry["file"]))
+            size = os.path.getsize(path) if os.path.exists(path) else 0
+            rows.append(
+                [
+                    str(entry["file"]),
+                    f"[{entry['first_codeword']}, {entry['last_codeword']})",
+                    int(entry["num_codewords_present"]),
+                    int(entry["num_postings"]),
+                    f"{size / 1024:.1f} KiB",
+                ]
+            )
+        return rows
+
+
+__all__ = ["IndexReader", "IndexWriter"]

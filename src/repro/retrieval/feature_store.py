@@ -176,6 +176,28 @@ class FeatureStore:
         except KeyError as exc:
             raise DatasetError(f"no series stored for {identifier!r}") from exc
 
+    def descriptor_matrix(self, identifier: Optional[str] = None) -> np.ndarray:
+        """Batch descriptor export feeding the indexing codebook.
+
+        Returns the stored descriptors stacked into one dense matrix of
+        ``config.descriptor.num_bins`` columns — all series (in
+        :meth:`identifiers` order) when *identifier* is ``None``, one
+        series otherwise.  This is the training input of
+        :class:`repro.indexing.Codebook`.
+        """
+        from ..core.descriptors import descriptor_matrix
+
+        num_bins = self.config.descriptor.num_bins
+        if identifier is not None:
+            return descriptor_matrix(self.features_of(identifier), num_bins)
+        blocks = [
+            descriptor_matrix(self._features[name], num_bins)
+            for name in self.identifiers()
+        ]
+        if not blocks:
+            return np.zeros((0, num_bins))
+        return np.vstack(blocks)
+
     def warm_engine(self, engine: Optional[SDTW] = None) -> SDTW:
         """Return an :class:`SDTW` engine whose feature cache is pre-seeded.
 

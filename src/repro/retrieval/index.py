@@ -5,6 +5,13 @@ matrix over a data set and the cost of producing it — wall-clock seconds
 split into matching and dynamic-programming time, plus the number of DTW
 grid cells filled (a hardware-independent proxy for the same quantity).
 :class:`DistanceIndex` packages those together.
+
+Naming note: despite the name, :class:`DistanceIndex` is *not* a search
+index — it is a fully materialised distance matrix with experiment
+bookkeeping, and it lives under ``repro.retrieval`` only.  The
+disk-backed salient-feature search index (inverted postings, shards,
+candidate generation) is the separate :mod:`repro.indexing` package;
+nothing from that package is re-exported here.
 """
 
 from __future__ import annotations

@@ -42,15 +42,30 @@ def top_k_indices(
     if arr.ndim != 1:
         raise ValidationError("distances must be a 1-D sequence")
     k = check_int_at_least(k, 1, "k")
-    order = sorted(range(arr.size), key=lambda idx: (arr[idx], idx))
-    result: List[int] = []
-    for idx in order:
-        if exclude is not None and idx == exclude:
-            continue
-        result.append(idx)
-        if len(result) == k:
-            break
-    return result
+    indices = np.arange(arr.size)
+    if exclude is not None and 0 <= exclude < arr.size:
+        indices = indices[indices != exclude]
+    values = arr[indices]
+    if k < values.size:
+        # argpartition finds the value of the k-th smallest element in
+        # O(n); ties *at* that value are then resolved exactly like the
+        # historical full sort — candidates <= the k-th value are ranked
+        # by (distance, index) and the first k kept.  NaN distances sort
+        # last, deterministically; the historical Python ``sorted`` left
+        # NaNs wherever its comparisons happened to put them, so NaN
+        # ordering is intentionally (and sanely) different here.
+        kth_value = values[np.argpartition(values, k - 1)[k - 1]]
+        if np.isnan(kth_value):
+            candidate_mask = np.ones(values.size, dtype=bool)
+        else:
+            candidate_mask = ~(values > kth_value)
+        candidates = indices[candidate_mask]
+        candidate_values = values[candidate_mask]
+    else:
+        candidates = indices
+        candidate_values = values
+    order = np.lexsort((candidates, candidate_values))
+    return [int(index) for index in candidates[order][:k]]
 
 
 def batch_top_k(

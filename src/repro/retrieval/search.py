@@ -227,6 +227,34 @@ class TimeSeriesSearchEngine:
         batch = self.engine.knn(queries, k, exclude_identifiers=exclude_identifiers)
         return [_to_search_result(result) for result in batch.results]
 
+    def build_index(
+        self,
+        *,
+        codebook_config=None,
+        candidate_budget: int = 100,
+        num_shards: int = 4,
+    ):
+        """Build an :class:`repro.indexing.IndexedSearcher` over this collection.
+
+        The indexed path of the search engine: candidate generation
+        through a salient-feature inverted index followed by exact
+        re-ranking through this engine's own cascade, so queries stop
+        scanning the whole collection (see :mod:`repro.indexing`).  The
+        returned searcher re-uses this engine (same constraint, backend
+        and stored series); ``searcher.query(..., exact=True)`` degrades
+        to the same full scan :meth:`query` performs.
+        """
+        # Imported lazily: repro.indexing imports the engine machinery.
+        from ..indexing import IndexedSearcher
+
+        return IndexedSearcher.from_engine(
+            self.engine,
+            config=self.config,
+            codebook_config=codebook_config,
+            num_shards=num_shards,
+            candidate_budget=candidate_budget,
+        )
+
     def classify(
         self,
         values: Union[Sequence[float], np.ndarray],

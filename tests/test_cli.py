@@ -163,3 +163,53 @@ class TestStreamCommand:
         ])
         assert code == 0
         assert "constraint=itakura" in capsys.readouterr().out
+
+
+class TestIndexCommand:
+    def test_index_requires_subcommand(self, capsys):
+        assert main(["index"]) == 2
+        assert "subcommand" in capsys.readouterr().err
+
+    def test_build_query_stats_round_trip(self, tmp_path, capsys):
+        index_dir = str(tmp_path / "idx")
+        code = main([
+            "index", "build", "gun-small", "--num-series", "10",
+            "--output", index_dir, "--codewords", "32", "--shards", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Indexed 10 series" in out
+        assert "manifest" in out
+
+        assert main(["index", "stats", index_dir]) == 0
+        out = capsys.readouterr().out
+        assert "repro-salient-index" in out
+        assert "shard-0000.npz" in out
+
+        code = main([
+            "index", "query", index_dir, "--k", "3", "--candidates", "5",
+            "--num-queries", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nearest" in out
+        assert "recall@3" in out
+
+    def test_query_exact_mode_skips_recall(self, tmp_path, capsys):
+        index_dir = str(tmp_path / "idx")
+        assert main([
+            "index", "build", "gun-small", "--num-series", "8",
+            "--output", index_dir, "--codewords", "16",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "index", "query", index_dir, "--k", "2", "--num-queries", "1",
+            "--exact",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+        assert "recall@" not in out
+
+    def test_stats_on_missing_directory_reports_error(self, tmp_path, capsys):
+        assert main(["index", "stats", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err

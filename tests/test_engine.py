@@ -274,3 +274,78 @@ class TestParallelDistanceIndex:
                                progress=lambda done, total: calls.append((done, total)))
         assert calls
         assert calls[-1][0] == calls[-1][1]
+
+
+class TestCandidateRestriction:
+    """The indexing subsystem's re-rank hook: scans restricted to subsets."""
+
+    def test_restricted_scan_matches_full_scan_on_subset(self, dataset):
+        engine = DistanceEngine("fc,fw")
+        engine.add_dataset(dataset)
+        subset = [1, 3, 4, 8]
+        restricted = engine.query(dataset[0].values, 3,
+                                  candidate_indices=subset)
+        small = DistanceEngine("fc,fw")
+        for index in subset:
+            small.add(dataset[index].values)
+        reference = small.query(dataset[0].values, 3)
+        assert [subset[h.index] for h in reference.hits] == \
+            [h.index for h in restricted.hits]
+        assert [h.distance for h in reference.hits] == \
+            [h.distance for h in restricted.hits]
+
+    def test_full_candidate_list_equals_unrestricted_query(self, dataset):
+        engine = DistanceEngine("fc,fw")
+        engine.add_dataset(dataset)
+        everything = list(range(len(dataset)))
+        restricted = engine.query(dataset[2].values, 4,
+                                  candidate_indices=everything)
+        unrestricted = engine.query(dataset[2].values, 4)
+        assert restricted.indices == unrestricted.indices
+        assert [h.distance for h in restricted.hits] == \
+            [h.distance for h in unrestricted.hits]
+
+    def test_restriction_composes_with_exclusion(self, dataset):
+        engine = DistanceEngine("fc,fw")
+        identifiers = engine.add_dataset(dataset)
+        result = engine.query(dataset[0].values, 2,
+                              exclude_identifier=identifiers[1],
+                              candidate_indices=[0, 1, 2])
+        assert 1 not in result.indices
+        assert set(result.indices) <= {0, 2}
+
+    def test_candidate_stats_reflect_the_subset(self, dataset):
+        engine = DistanceEngine("fc,fw")
+        engine.add_dataset(dataset)
+        result = engine.query(dataset[0].values, 2, candidate_indices=[0, 5, 6])
+        assert result.stats.candidates == 3
+
+    def test_out_of_range_candidates_rejected(self, dataset):
+        engine = DistanceEngine("fc,fw")
+        engine.add_dataset(dataset)
+        with pytest.raises(ValidationError):
+            engine.query(dataset[0].values, 1,
+                         candidate_indices=[0, len(dataset)])
+
+    def test_per_query_candidate_lists_in_batch(self, dataset):
+        engine = DistanceEngine("fc,fw", backend="vectorized")
+        engine.add_dataset(dataset)
+        queries = [dataset[0].values, dataset[1].values]
+        batch = engine.knn(queries, 2, candidate_indices=[[0, 1, 2], None])
+        assert set(batch.results[0].indices) <= {0, 1, 2}
+        assert batch.results[1].indices == engine.query(queries[1], 2).indices
+
+    def test_mismatched_candidate_list_length_rejected(self, dataset):
+        engine = DistanceEngine("fc,fw")
+        engine.add_dataset(dataset)
+        with pytest.raises(ValidationError):
+            engine.knn([dataset[0].values], 1, candidate_indices=[[0], [1]])
+
+    def test_multiprocessing_backend_honours_candidates(self, dataset):
+        engine = DistanceEngine("fc,fw", backend="multiprocessing",
+                                num_workers=2)
+        engine.add_dataset(dataset)
+        queries = [dataset[0].values, dataset[1].values]
+        batch = engine.knn(queries, 2, candidate_indices=[[0, 1, 2], [3, 4, 5]])
+        assert set(batch.results[0].indices) <= {0, 1, 2}
+        assert set(batch.results[1].indices) <= {3, 4, 5}

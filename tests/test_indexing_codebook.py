@@ -1,0 +1,170 @@
+"""Tests for the salient-feature codebook (k-means quantizer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DescriptorConfig, SDTWConfig
+from repro.core.descriptors import descriptor_matrix
+from repro.core.features import extract_salient_features
+from repro.datasets.synthetic import make_gun_like
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.indexing import Codebook, CodebookConfig, feature_embedding
+
+
+CONFIG = SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
+
+
+@pytest.fixture(scope="module")
+def collection():
+    dataset = make_gun_like(num_series=12, length=96, seed=3)
+    features = [extract_salient_features(ts.values, CONFIG) for ts in dataset]
+    lengths = [ts.values.size for ts in dataset]
+    return dataset, features, lengths
+
+
+@pytest.fixture(scope="module")
+def fitted(collection):
+    _, features, lengths = collection
+    config = CodebookConfig.for_sdtw(CONFIG, num_codewords=32, seed=5)
+    return Codebook(config).fit(features, lengths)
+
+
+class TestDescriptorMatrix:
+    def test_shape_and_padding(self, collection):
+        _, features, _ = collection
+        matrix = descriptor_matrix(features[0], 16)
+        assert matrix.shape == (len(features[0]), 16)
+
+    def test_truncates_longer_descriptors(self, collection):
+        _, features, _ = collection
+        matrix = descriptor_matrix(features[0], 4)
+        assert matrix.shape == (len(features[0]), 4)
+        expected = np.asarray(features[0][0].descriptor[:4], dtype=float)
+        assert np.array_equal(matrix[0], expected)
+
+    def test_empty_features(self):
+        assert descriptor_matrix([], 8).shape == (0, 8)
+
+
+class TestFeatureEmbedding:
+    def test_embedding_appends_four_augmentation_columns(self, collection):
+        _, features, lengths = collection
+        config = CodebookConfig.for_sdtw(CONFIG)
+        embedded = feature_embedding(features[0], lengths[0], config)
+        assert embedded.shape == (len(features[0]), CONFIG.descriptor.num_bins + 4)
+
+    def test_position_column_normalised_by_length(self, collection):
+        _, features, lengths = collection
+        config = CodebookConfig.for_sdtw(CONFIG, position_weight=1.0)
+        embedded = feature_embedding(features[0], lengths[0], config)
+        positions = embedded[:, CONFIG.descriptor.num_bins]
+        assert np.all(positions >= 0.0) and np.all(positions <= 1.0)
+
+
+class TestCodebookConfig:
+    def test_for_sdtw_matches_descriptor_bins(self):
+        config = CodebookConfig.for_sdtw(CONFIG)
+        assert config.descriptor_bins == CONFIG.descriptor.num_bins
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CodebookConfig(num_codewords=0)
+        with pytest.raises(ConfigurationError):
+            CodebookConfig(position_weight=-1.0)
+        with pytest.raises(ConfigurationError):
+            CodebookConfig(store_multiplicity=0)
+
+
+class TestFit:
+    def test_fit_is_deterministic(self, collection):
+        _, features, lengths = collection
+        config = CodebookConfig.for_sdtw(CONFIG, num_codewords=16, seed=11)
+        first = Codebook(config).fit(features, lengths)
+        second = Codebook(config).fit(features, lengths)
+        assert np.array_equal(first.centroids, second.centroids)
+
+    def test_codebook_size_clamped_to_sample(self, collection):
+        _, features, lengths = collection
+        config = CodebookConfig.for_sdtw(CONFIG, num_codewords=10 ** 6)
+        book = Codebook(config).fit(features, lengths)
+        assert book.num_codewords <= sum(len(f) for f in features)
+
+    def test_fit_without_features_rejected(self):
+        book = Codebook(CodebookConfig.for_sdtw(CONFIG))
+        with pytest.raises(ValidationError):
+            book.fit([[], []], [50, 50])
+
+    def test_mismatched_lengths_rejected(self, collection):
+        _, features, _ = collection
+        book = Codebook(CodebookConfig.for_sdtw(CONFIG))
+        with pytest.raises(ValidationError):
+            book.fit(features, [96])
+
+
+class TestAssign:
+    def test_assign_shape_and_range(self, fitted, collection):
+        _, features, lengths = collection
+        assigned = fitted.assign(features[0], lengths[0], multiplicity=3)
+        assert assigned.shape == (len(features[0]), 3)
+        assert assigned.min() >= 0
+        assert assigned.max() < fitted.num_codewords
+
+    def test_assign_columns_ordered_by_distance(self, fitted, collection):
+        _, features, lengths = collection
+        assigned = fitted.assign(features[0], lengths[0], multiplicity=2)
+        embedded = feature_embedding(features[0], lengths[0], fitted.config)
+        for row in range(assigned.shape[0]):
+            first = np.linalg.norm(embedded[row] - fitted.centroids[assigned[row, 0]])
+            second = np.linalg.norm(embedded[row] - fitted.centroids[assigned[row, 1]])
+            assert first <= second
+
+    def test_assign_empty_features(self, fitted):
+        assert fitted.assign([], 50, multiplicity=2).shape == (0, 2)
+
+    def test_unfitted_codebook_rejects_assign(self):
+        with pytest.raises(ValidationError):
+            Codebook(CodebookConfig.for_sdtw(CONFIG)).assign([], 50)
+
+
+class TestBag:
+    def test_bag_counts_are_soft_weighted(self, fitted, collection):
+        _, features, lengths = collection
+        codewords, counts = fitted.bag(features[0], lengths[0], multiplicity=2)
+        assert codewords.size == np.unique(codewords).size
+        assert np.all(counts > 0)
+        # Total soft mass: each feature contributes 1 + 1/2.
+        assert counts.sum() == pytest.approx(1.5 * len(features[0]))
+
+    def test_query_bag_uses_query_multiplicity(self, collection):
+        _, features, lengths = collection
+        config = CodebookConfig.for_sdtw(
+            CONFIG, num_codewords=32, store_multiplicity=1, query_multiplicity=3
+        )
+        book = Codebook(config).fit(features, lengths)
+        _, stored_counts = book.bag(features[0], lengths[0])
+        _, query_counts = book.bag(features[0], lengths[0], query=True)
+        assert stored_counts.sum() == pytest.approx(len(features[0]))
+        assert query_counts.sum() == pytest.approx(1.75 * len(features[0]))
+
+    def test_empty_bag(self, fitted):
+        codewords, counts = fitted.bag([], 50)
+        assert codewords.size == 0 and counts.size == 0
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, fitted, collection, tmp_path):
+        _, features, lengths = collection
+        path = tmp_path / "codebook.npz"
+        fitted.save(path)
+        reloaded = Codebook.load(path)
+        assert reloaded.config == fitted.config
+        assert np.array_equal(reloaded.centroids, fitted.centroids)
+        original = fitted.assign(features[0], lengths[0], multiplicity=2)
+        restored = reloaded.assign(features[0], lengths[0], multiplicity=2)
+        assert np.array_equal(original, restored)
+
+    def test_save_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            Codebook(CodebookConfig.for_sdtw(CONFIG)).save(tmp_path / "c.npz")

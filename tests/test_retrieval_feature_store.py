@@ -208,3 +208,30 @@ class TestMixedDescriptorLengths:
         restored = loaded.features_of("legacy")
         assert len(restored) == 1
         np.testing.assert_array_equal(restored[0].descriptor, descriptor)
+
+
+class TestDescriptorMatrixExport:
+    """The batch export feeding the indexing codebook."""
+
+    def test_per_series_matrix_shape(self, config, small_dataset):
+        store = FeatureStore(config=config)
+        store.add_dataset(small_dataset)
+        identifier = store.identifiers()[0]
+        matrix = store.descriptor_matrix(identifier)
+        assert matrix.shape == (
+            len(store.features_of(identifier)), config.descriptor.num_bins
+        )
+
+    def test_full_export_stacks_all_series(self, config, small_dataset):
+        store = FeatureStore(config=config)
+        store.add_dataset(small_dataset)
+        total = sum(
+            len(store.features_of(name)) for name in store.identifiers()
+        )
+        matrix = store.descriptor_matrix()
+        assert matrix.shape == (total, config.descriptor.num_bins)
+
+    def test_empty_store_exports_empty_matrix(self, config):
+        store = FeatureStore(config=config)
+        matrix = store.descriptor_matrix()
+        assert matrix.shape == (0, config.descriptor.num_bins)

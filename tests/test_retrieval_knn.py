@@ -85,3 +85,64 @@ class TestKnnLabels:
     def test_all_none_labels_give_empty_set(self, matrix):
         labels = [None] * 5
         assert knn_labels(matrix, labels, query=2, k=3) == set()
+
+
+def _reference_top_k(distances, k, exclude=None):
+    """The pre-vectorisation implementation (per-row Python ``sorted``),
+    kept verbatim as the regression oracle for tie handling."""
+    arr = np.asarray(distances, dtype=float)
+    order = sorted(range(arr.size), key=lambda idx: (arr[idx], idx))
+    result = []
+    for idx in order:
+        if exclude is not None and idx == exclude:
+            continue
+        result.append(idx)
+        if len(result) == k:
+            break
+    return result
+
+
+class TestVectorisedRegression:
+    """The argpartition path must replicate the old sorted() ordering."""
+
+    def test_random_ties_match_reference(self):
+        rng = np.random.default_rng(2024)
+        for trial in range(50):
+            size = int(rng.integers(1, 40))
+            # Heavy ties: distances drawn from a tiny integer alphabet.
+            distances = rng.integers(0, 4, size=size).astype(float)
+            k = int(rng.integers(1, size + 2))
+            exclude = int(rng.integers(0, size)) if rng.random() < 0.5 else None
+            assert top_k_indices(distances, k, exclude=exclude) == \
+                _reference_top_k(distances, k, exclude=exclude)
+
+    def test_all_equal_distances(self):
+        distances = np.ones(17)
+        for k in (1, 5, 17, 30):
+            assert top_k_indices(distances, k) == _reference_top_k(distances, k)
+
+    def test_batch_matches_reference_rows(self):
+        from repro.retrieval.knn import batch_top_k
+
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 3, size=(12, 25)).astype(float)
+        exclude = [int(rng.integers(0, 25)) if i % 2 else None for i in range(12)]
+        batched = batch_top_k(matrix, 6, exclude=exclude)
+        for row in range(12):
+            assert batched[row] == _reference_top_k(
+                matrix[row], 6, exclude=exclude[row]
+            )
+
+    def test_exclude_out_of_range_ignored(self):
+        # The reference loop never meets an out-of-range exclude; the
+        # vectorised path must treat it as "nothing to exclude" too.
+        distances = [3.0, 1.0, 2.0]
+        assert top_k_indices(distances, 2, exclude=99) == [1, 2]
+
+    def test_nan_distances_sort_last_deterministically(self):
+        # Intentional divergence from the historical sorted()-by-key
+        # path, whose NaN placement was comparison-order dependent: NaN
+        # distances now always rank after every finite distance.
+        distances = [np.nan, 1.0, 2.0, np.nan, 0.5]
+        assert top_k_indices(distances, 3) == [4, 1, 2]
+        assert top_k_indices(distances, 5) == [4, 1, 2, 0, 3]
