@@ -1,0 +1,70 @@
+"""Workspace walkthrough: one facade over batch, indexed and streaming sDTW.
+
+Creates a persistent workspace, fills it from a synthetic collection,
+builds the inverted index, answers queries in all three modes (asserting
+they agree where they must), reopens the workspace from disk, and
+registers a stream pattern — the full service lifecycle in one script.
+
+Run with::
+
+    PYTHONPATH=src python examples/workspace_service.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import numpy as np
+
+from repro import Workspace, WorkspaceConfig
+from repro.datasets import load_dataset
+from repro.service import EngineConfig, IndexConfig
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="repro-ws-")
+    path = f"{root}/demo"
+    dataset = load_dataset("gun-small")
+
+    config = WorkspaceConfig(
+        engine=EngineConfig(constraint="fc,fw"),
+        index=IndexConfig(num_codewords=32, num_shards=2, candidate_budget=8),
+        default_k=3,
+    )
+
+    print(f"creating workspace at {path}")
+    with Workspace.create(path, config) as ws:
+        ws.add_dataset(dataset)
+        ws.build_index()
+        print(f"stored {len(ws)} series; index built")
+
+    ws = Workspace.open(path)
+    query = dataset[0].values
+    exact = ws.query(query, mode="exact", exclude_identifier=dataset[0].identifier)
+    indexed = ws.query(query, mode="indexed",
+                       exclude_identifier=dataset[0].identifier)
+    auto = ws.query(query, exclude_identifier=dataset[0].identifier)
+
+    print(f"exact   -> {exact.ids} (scanned {exact.scan_fraction:.0%})")
+    print(f"indexed -> {indexed.ids} (scanned {indexed.scan_fraction:.0%})")
+    print(f"auto    -> mode={auto.mode}, ids={auto.ids}")
+    assert auto.ids == indexed.ids
+
+    d = ws.pairwise(dataset[0].values, dataset[1].values)
+    print(f"pairwise distance: {d.distance:.4f} "
+          f"(cell savings {d.cell_savings:.1%})")
+
+    pattern = np.sin(np.linspace(0, 6.28, 48))
+    name = ws.stream(pattern, threshold=2.5, mode="spring")
+    ws.add_stream("live")
+    matches = ws.extend("live", np.concatenate([np.zeros(20), pattern]))
+    matches += ws.monitor.finalize("live")
+    print(f"stream pattern {name!r}: {len(matches)} match(es)")
+
+    ws.close()
+    shutil.rmtree(root)
+
+
+if __name__ == "__main__":
+    main()

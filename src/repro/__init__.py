@@ -13,7 +13,20 @@ relevant* constraints derived from salient-feature alignments:
 
 Quick start
 -----------
+The :class:`Workspace` facade is the front door to the whole system —
+batch k-NN, indexed search and stream monitoring behind one object:
+
 >>> import numpy as np
+>>> from repro import Workspace
+>>> ws = Workspace()                     # in-memory; Workspace.create(path) persists
+>>> for phase in (0.0, 0.3, 0.9):
+...     _ = ws.add(np.sin(np.linspace(0, 6.28, 100) - phase))
+>>> result = ws.query(np.sin(np.linspace(0, 6.28, 100)), k=1)
+>>> result.ids
+('series-00000',)
+
+Pairwise distances remain available directly:
+
 >>> from repro import SDTW
 >>> x = np.sin(np.linspace(0, 6.28, 100))
 >>> y = np.sin(np.linspace(0, 6.28, 120) - 0.3)
@@ -24,6 +37,12 @@ True
 
 The :mod:`repro.experiments` package regenerates every table and figure of
 the paper's evaluation section; see EXPERIMENTS.md in the repository root.
+
+Naming note: the canonical *search index* classes (:class:`IndexedSearcher`
+and friends) live in :mod:`repro.indexing` and are re-exported here; the
+pairwise distance matrix of :mod:`repro.retrieval` is
+``PairwiseDistanceMatrix`` (its old name ``DistanceIndex`` is a deprecated
+alias).
 """
 
 from .core.config import (
@@ -47,6 +66,23 @@ from .streaming import (
     StreamMonitor,
     StreamStats,
 )
+from .indexing import (
+    Codebook,
+    CodebookConfig,
+    IndexReader,
+    IndexWriter,
+    IndexedSearchResult,
+    IndexedSearcher,
+    InvertedIndex,
+)
+from .service import (
+    EngineConfig,
+    IndexConfig,
+    ServingConfig,
+    Workspace,
+    WorkspaceConfig,
+    WorkspaceQueryResult,
+)
 from .exceptions import (
     BandError,
     ConfigurationError,
@@ -55,13 +91,16 @@ from .exceptions import (
     ExperimentError,
     ReproError,
     ValidationError,
+    WorkspaceError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BandError",
     "BatchKNNResult",
+    "Codebook",
+    "CodebookConfig",
     "ConfigurationError",
     "DEFAULT_CONFIG",
     "DatasetError",
@@ -69,9 +108,16 @@ __all__ = [
     "DistanceEngine",
     "DTWResult",
     "EmptySeriesError",
+    "EngineConfig",
     "EngineStats",
     "ExperimentError",
     "IncrementalExtractor",
+    "IndexConfig",
+    "IndexReader",
+    "IndexWriter",
+    "IndexedSearchResult",
+    "IndexedSearcher",
+    "InvertedIndex",
     "MatchingConfig",
     "ReproError",
     "SDTW",
@@ -80,12 +126,17 @@ __all__ = [
     "SDTWResult",
     "SalientFeature",
     "ScaleSpaceConfig",
+    "ServingConfig",
     "SpringMatcher",
     "StreamBuffer",
     "StreamMatch",
     "StreamMonitor",
     "StreamStats",
     "ValidationError",
+    "Workspace",
+    "WorkspaceConfig",
+    "WorkspaceError",
+    "WorkspaceQueryResult",
     "__version__",
     "banded_dtw",
     "dtw",

@@ -4,12 +4,18 @@ Two entry points are installed:
 
 * ``repro-sdtw`` (or ``python -m repro``) with sub-commands:
 
+  - ``workspace init | add | query | stats`` — the service front door:
+    create a persistent :class:`~repro.service.Workspace`, add data-set
+    series to it (optionally building the inverted index), answer k-NN
+    queries in ``auto`` / ``exact`` / ``indexed`` mode and inspect the
+    workspace state.
   - ``experiment <id>`` — run one of the table/figure reproductions and
     print the resulting table (optionally also write CSV).
   - ``distance <dataset> <i> <j>`` — compute the distance between two
     series of a registered data set under one or more constraints.
   - ``engine <dataset>`` — run a batch k-NN retrieval through the cascaded
-    distance engine and print the per-stage pruning / time breakdown.
+    distance engine (served through an in-memory Workspace) and print the
+    per-stage pruning / time breakdown.
   - ``stream`` — generate a synthetic stream with embedded pattern
     occurrences and monitor it online through the streaming subsystem
     (SPRING subsequence matching or cascaded sliding windows), reporting
@@ -19,6 +25,12 @@ Two entry points are installed:
     (reporting recall against the exhaustive ranking), and inspect an
     index directory's manifest and shards.
   - ``datasets`` — list the registered data sets.
+
+Error handling: every intentional library failure derives from
+:class:`~repro.exceptions.ReproError` and is reported as a one-line
+``error: ...`` message with exit code 2; operating-system failures
+(unwritable output paths, missing files) exit 3 the same way.  Tracebacks
+only escape for genuine bugs.
 """
 
 from __future__ import annotations
@@ -151,6 +163,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="print an index directory's manifest and shard table")
     stats.add_argument("index_dir", help="index directory written by 'index build'")
 
+    workspace = subparsers.add_parser(
+        "workspace",
+        help="persistent Workspace service (init / add / query / stats)")
+    ws_sub = workspace.add_subparsers(dest="workspace_command")
+
+    ws_init = ws_sub.add_parser(
+        "init", help="create a new workspace directory")
+    ws_init.add_argument("workspace_dir", help="directory to create")
+    ws_init.add_argument("--constraint", default="fc,fw",
+                         help="engine constraint: full, fc,fw, itakura, "
+                              "fc,aw, ac,fw, ac,aw, ac2,aw (default: fc,fw)")
+    ws_init.add_argument("--backend", default="serial",
+                         choices=["serial", "vectorized", "multiprocessing"],
+                         help="execution backend (default: serial)")
+    ws_init.add_argument("--codewords", type=int, default=256,
+                         help="index codebook size (default: 256)")
+    ws_init.add_argument("--shards", type=int, default=4,
+                         help="index postings shards (default: 4)")
+    ws_init.add_argument("--candidates", type=int, default=100,
+                         help="indexed-query candidate budget (default: 100)")
+    ws_init.add_argument("--micro-batch", action="store_true",
+                         help="coalesce concurrent exact queries into engine "
+                              "batches")
+
+    ws_add = ws_sub.add_parser(
+        "add", help="add a data set's series to a workspace")
+    ws_add.add_argument("workspace_dir", help="workspace written by 'workspace init'")
+    ws_add.add_argument("dataset", help="registered data-set name or UCR file path")
+    ws_add.add_argument("--num-series", type=int, default=None,
+                        help="subsample the data set to this many series")
+    ws_add.add_argument("--seed", type=int, default=7,
+                        help="generation/sampling seed")
+    ws_add.add_argument("--build-index", action="store_true",
+                        help="(re)build the inverted index after adding")
+
+    ws_query = ws_sub.add_parser(
+        "query", help="answer k-NN queries against a workspace")
+    ws_query.add_argument("workspace_dir", help="workspace written by 'workspace init'")
+    ws_query.add_argument("--k", type=int, default=5, help="neighbours per query")
+    ws_query.add_argument("--mode", default="auto",
+                          choices=["auto", "exact", "indexed"],
+                          help="query mode (default: auto)")
+    ws_query.add_argument("--candidates", type=int, default=None,
+                          help="candidate budget override (indexed mode)")
+    ws_query.add_argument("--num-queries", type=int, default=5,
+                          help="how many stored series to replay as queries")
+
+    ws_stats = ws_sub.add_parser(
+        "stats", help="print a workspace's state summary")
+    ws_stats.add_argument("workspace_dir", help="workspace written by 'workspace init'")
+
     subparsers.add_parser("datasets", help="list the registered data sets")
     return parser
 
@@ -199,7 +262,7 @@ def _run_distance(args: argparse.Namespace) -> int:
 
 
 def _run_engine(args: argparse.Namespace) -> int:
-    from .engine import DistanceEngine
+    from .service import EngineConfig, Workspace, WorkspaceConfig
     from .utils.rng import rng_from_seed
     from .utils.tables import format_table
 
@@ -210,18 +273,21 @@ def _run_engine(args: argparse.Namespace) -> int:
                                  name=f"{dataset.name}-n{args.num_series}")
     num_queries = max(1, min(args.num_queries, len(dataset)))
 
-    engine = DistanceEngine(
-        args.constraint,
+    # The batch retrieval path is served through an (in-memory) Workspace:
+    # same cascade, one front door.
+    workspace = Workspace(WorkspaceConfig(engine=EngineConfig(
+        constraint=args.constraint,
         backend=args.backend,
         num_workers=args.workers,
         prune=not args.no_cascade,
         early_abandon=not args.no_abandon,
-    )
-    identifiers = engine.add_dataset(dataset)
+    )))
+    identifiers = workspace.add_dataset(dataset)
+    engine = workspace.engine
 
     queries = [dataset[i].values for i in range(num_queries)]
-    result = engine.knn(queries, k=args.k,
-                        exclude_identifiers=identifiers[:num_queries])
+    result = workspace.knn(queries, k=args.k,
+                           exclude_identifiers=identifiers[:num_queries])
     stats = result.stats
 
     print(f"Batch k-NN over {dataset.name}: {len(dataset)} series, "
@@ -463,6 +529,125 @@ def _run_index_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workspace(args: argparse.Namespace) -> int:
+    if args.workspace_command is None:
+        print("error: 'workspace' needs a subcommand: init, add, query or stats",
+              file=sys.stderr)
+        return 2
+    if args.workspace_command == "init":
+        return _run_workspace_init(args)
+    if args.workspace_command == "add":
+        return _run_workspace_add(args)
+    if args.workspace_command == "query":
+        return _run_workspace_query(args)
+    return _run_workspace_stats(args)
+
+
+def _run_workspace_init(args: argparse.Namespace) -> int:
+    from .service import (
+        EngineConfig, IndexConfig, ServingConfig, Workspace, WorkspaceConfig,
+    )
+
+    config = WorkspaceConfig(
+        engine=EngineConfig(constraint=args.constraint, backend=args.backend),
+        index=IndexConfig(
+            num_codewords=args.codewords,
+            num_shards=args.shards,
+            candidate_budget=args.candidates,
+        ),
+        serving=ServingConfig(micro_batch=args.micro_batch),
+    )
+    workspace = Workspace.create(args.workspace_dir, config)
+    print(f"Created workspace at {workspace.path}")
+    print(f"constraint={args.constraint} backend={args.backend} "
+          f"codewords={args.codewords} shards={args.shards} "
+          f"micro_batch={args.micro_batch}")
+    return 0
+
+
+def _run_workspace_add(args: argparse.Namespace) -> int:
+    import time
+
+    from .service import Workspace
+    from .utils.rng import rng_from_seed
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    if args.num_series is not None and args.num_series < len(dataset):
+        rng = rng_from_seed(args.seed)
+        dataset = dataset.sample(args.num_series, rng,
+                                 name=f"{dataset.name}-n{args.num_series}")
+    started = time.perf_counter()
+    with Workspace.open(args.workspace_dir) as workspace:
+        identifiers = workspace.add_dataset(dataset)
+        if args.build_index:
+            workspace.build_index()
+        size = len(workspace)
+        has_index = workspace.has_index
+    elapsed = time.perf_counter() - started
+    print(f"Added {len(identifiers)} series of {dataset.name} in {elapsed:.2f}s "
+          f"(workspace now holds {size})")
+    print(f"index: {'built' if has_index else 'none (queries run exact scans)'}")
+    return 0
+
+
+def _run_workspace_query(args: argparse.Namespace) -> int:
+    from .service import Workspace
+    from .utils.tables import format_table
+
+    from .exceptions import WorkspaceError
+
+    with Workspace.open(args.workspace_dir) as workspace:
+        if not len(workspace):
+            raise WorkspaceError(
+                "the workspace holds no series; run 'workspace add' first"
+            )
+        num_queries = max(1, min(args.num_queries, len(workspace)))
+        replay = workspace.identifiers[:num_queries]
+        rows = []
+        for identifier in replay:
+            result = workspace.query(
+                workspace.series_of(identifier), args.k,
+                mode=args.mode, candidates=args.candidates,
+                exclude_identifier=identifier,
+            )
+            top = result.hits[0] if result.hits else None
+            rows.append([
+                identifier,
+                result.mode if result.mode == "exact"
+                else f"{result.mode} C={result.candidates_generated}",
+                top.identifier if top else "-",
+                round(top.distance, 4) if top else "-",
+                f"{result.elapsed_seconds * 1000:.2f} ms",
+            ])
+        print(f"Workspace at {args.workspace_dir}: {len(workspace)} series, "
+              f"mode={args.mode}, k={args.k}")
+        print(format_table(["query", "mode", "nearest", "distance", "time"],
+                           rows, title=f"Top-1 of k={args.k}"))
+    return 0
+
+
+def _run_workspace_stats(args: argparse.Namespace) -> int:
+    from .service import Workspace
+
+    with Workspace.open(args.workspace_dir) as workspace:
+        summary = workspace.stats()
+    print(f"Workspace at {args.workspace_dir}")
+    print(f"series: {summary['num_series']}  "
+          f"lengths: [{summary['min_length']}, {summary['max_length']}]")
+    print(f"constraint: {summary['constraint']}  "
+          f"backend: {summary['backend']}  "
+          f"micro-batch: {summary['micro_batch']}")
+    index = summary["index"]
+    if index is None:
+        print("index: none (queries run exact scans)")
+    else:
+        state = "stale (rebuild with 'workspace add --build-index')" if (
+            index["stale"]) else "fresh"
+        print(f"index: {index['num_postings']} postings over "
+              f"{index['num_codewords']} codewords ({state})")
+    return 0
+
+
 def _run_datasets() -> int:
     for name in available_datasets():
         print(name)
@@ -487,11 +672,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_stream(args)
         if args.command == "index":
             return _run_index(args)
+        if args.command == "workspace":
+            return _run_workspace(args)
         if args.command == "datasets":
             return _run_datasets()
     except ReproError as exc:
+        # Every intentional library failure derives from ReproError; the
+        # CLI contract is a clean one-line message, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except OSError as exc:
+        # Filesystem failures (unwritable output paths, missing files)
+        # are environment errors, not bugs: same clean message, own code.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     return 1
 
 

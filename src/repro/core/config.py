@@ -14,14 +14,35 @@ All defaults follow Section 4.3 of the paper:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from ..exceptions import ConfigurationError
 
 
+class _DictRoundTrip:
+    """``to_dict`` / ``from_dict`` persistence shared by flat config dataclasses.
+
+    Every configuration object in this module can be serialised to a plain
+    JSON-compatible dict and reconstructed exactly; persistent artefacts
+    (the index manifest, the Workspace manifest) rely on this round trip to
+    record the configuration they were built with.  Nested configurations
+    (:class:`SDTWConfig`) override :meth:`from_dict` to rebuild their
+    sections.
+    """
+
+    def to_dict(self) -> dict:
+        """Plain-dict form of the configuration (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        """Rebuild a configuration written by :meth:`to_dict`."""
+        return cls(**dict(data))
+
+
 @dataclass(frozen=True)
-class ScaleSpaceConfig:
+class ScaleSpaceConfig(_DictRoundTrip):
     """Parameters of the 1-D Gaussian scale-space construction.
 
     Attributes
@@ -98,7 +119,7 @@ class ScaleSpaceConfig:
 
 
 @dataclass(frozen=True)
-class DescriptorConfig:
+class DescriptorConfig(_DictRoundTrip):
     """Parameters of the salient-feature descriptor (Section 3.1.2, Step 2).
 
     A descriptor has ``num_bins = 2a * 2`` entries: ``2a`` temporal cells
@@ -147,7 +168,7 @@ class DescriptorConfig:
 
 
 @dataclass(frozen=True)
-class MatchingConfig:
+class MatchingConfig(_DictRoundTrip):
     """Thresholds for dominant-pair matching and inconsistency pruning.
 
     Attributes
@@ -185,7 +206,7 @@ class MatchingConfig:
 
 
 @dataclass(frozen=True)
-class SDTWConfig:
+class SDTWConfig(_DictRoundTrip):
     """Top-level configuration of the sDTW pipeline.
 
     Attributes
@@ -253,8 +274,6 @@ class SDTWConfig:
         reader can reconstruct — and verify — the exact extraction
         configuration an index was built with.
         """
-        from dataclasses import asdict
-
         return asdict(self)
 
     @classmethod

@@ -26,6 +26,21 @@ from .path import WarpPath
 Band = np.ndarray
 
 
+def abandon_cutoff(threshold: float) -> float:
+    """The row-minimum cutoff above which early abandonment may fire.
+
+    The vectorised row recurrence evaluates ``prefix[j] + min_t
+    (diag_or_up[t] - prefix[t-1])``, a reassociation of the scalar DP
+    that can leave accumulated path costs non-monotone across rows by a
+    few ulps (cancellation against the row prefix sums).  Abandoning at
+    ``row_min > threshold`` exactly can therefore fire when the true
+    distance *equals* the threshold.  The slack absorbs that rounding,
+    keeping abandonment provably conservative; it only defers pruning of
+    candidates within a hair of the threshold, never changes distances.
+    """
+    return threshold + 1e-9 * max(1.0, abs(threshold))
+
+
 def validate_band(band: np.ndarray, n: int, m: int, *, repair: bool = False) -> np.ndarray:
     """Validate (and optionally repair) a per-row window band.
 
@@ -357,7 +372,10 @@ def _banded_dtw_distance_only(
             shifted[0] = 0.0
             shifted[1:] = prefix[:-1]
             vals = prefix + np.minimum.accumulate(diag_or_up - shifted)
-        if abandon_threshold is not None and vals.min() > abandon_threshold:
+        if (
+            abandon_threshold is not None
+            and vals.min() > abandon_cutoff(abandon_threshold)
+        ):
             # Every continuation only adds non-negative costs, so the final
             # distance is guaranteed to exceed the threshold.
             return BandedDTWResult(

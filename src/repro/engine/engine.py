@@ -704,6 +704,7 @@ class DistanceEngine:
         *,
         exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
         candidate_indices: Optional[Sequence[Optional[Sequence[int]]]] = None,
+        backend: Optional[str] = None,
     ) -> BatchKNNResult:
         """k nearest stored series for every query, in one batch call.
 
@@ -721,9 +722,18 @@ class DistanceEngine:
             (the indexing subsystem's re-rank hook); ``None`` entries
             scan the whole collection.  Must have one entry per query
             when given.
+        backend:
+            Per-call execution-backend override (results are identical
+            across backends; the equivalence suite pins that down).  The
+            serving layer uses this to run coalesced micro-batches
+            through the vectorised batch kernels while interactive
+            single queries keep the engine's configured backend.
         """
         self._require_collection()
         self.prepare()
+        active_backend = (
+            self.backend if backend is None else resolve_backend(backend)
+        )
         k = check_int_at_least(k, 1, "k")
         arrays = [as_series(q, f"queries[{i}]") for i, q in enumerate(queries)]
         if exclude_identifiers is None:
@@ -748,14 +758,14 @@ class DistanceEngine:
             for qi in range(len(arrays))
         ]
         started = time.perf_counter()
-        if self.backend == "multiprocessing" and len(payloads) > 1:
+        if active_backend == "multiprocessing" and len(payloads) > 1:
             workers = (
                 self.num_workers if self.num_workers is not None
                 else default_num_workers()
             )
             outcomes = run_parallel(self, _knn_query_task, payloads, workers)
         else:
-            mode = "serial" if self.backend == "serial" else "vectorized"
+            mode = "serial" if active_backend == "serial" else "vectorized"
             outcomes = [
                 (qi, self._run_query(query, k, exclude, mode, candidates))
                 for qi, query, k, exclude, candidates in payloads

@@ -26,7 +26,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..dtw.banded import Band
+from ..dtw.banded import Band, abandon_cutoff
 from ..exceptions import BandError
 
 
@@ -105,7 +105,7 @@ def banded_dtw_batch(
             shifted[:, 1:] = prefix[:, :-1]
             vals = prefix + np.minimum.accumulate(diag_or_up - shifted, axis=1)
         if abandon_threshold is not None:
-            exceeded = vals.min(axis=1) > abandon_threshold
+            exceeded = vals.min(axis=1) > abandon_cutoff(abandon_threshold)
             if exceeded.any():
                 abandoned[alive[exceeded]] = True
                 keep = ~exceeded

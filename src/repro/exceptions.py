@@ -34,3 +34,8 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown or invalid target."""
+
+
+class WorkspaceError(ReproError):
+    """A :class:`repro.service.Workspace` operation failed (bad layout,
+    missing manifest, stale index, or use after close)."""

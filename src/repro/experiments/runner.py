@@ -20,7 +20,7 @@ from ..datasets.base import Dataset
 from ..datasets.registry import load_dataset
 from ..exceptions import ExperimentError
 from ..retrieval.evaluation import EvaluationResult, evaluate_constraint
-from ..retrieval.index import DistanceIndex, compute_distance_index
+from ..retrieval.index import PairwiseDistanceMatrix, compute_distance_index
 from ..utils.rng import rng_from_seed
 from ..utils.tables import format_table, table_to_csv
 
@@ -95,8 +95,8 @@ class DatasetEvaluation:
     """
 
     dataset: Dataset
-    reference: DistanceIndex
-    indexes: Dict[str, DistanceIndex] = field(default_factory=dict)
+    reference: PairwiseDistanceMatrix
+    indexes: Dict[str, PairwiseDistanceMatrix] = field(default_factory=dict)
     evaluations: Dict[str, EvaluationResult] = field(default_factory=dict)
 
     @property
@@ -214,9 +214,9 @@ def evaluate_dataset(
     return evaluation
 
 
-def replace_label(index: DistanceIndex, label: str) -> DistanceIndex:
+def replace_label(index: PairwiseDistanceMatrix, label: str) -> PairwiseDistanceMatrix:
     """Return a copy of a distance index relabelled with an algorithm label."""
-    return DistanceIndex(
+    return PairwiseDistanceMatrix(
         constraint=label,
         distances=index.distances,
         matching_seconds=index.matching_seconds,

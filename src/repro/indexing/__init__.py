@@ -15,13 +15,17 @@ Pipeline::
         -> IndexWriter / IndexReader (mmapped .npz shards + manifest)
         -> IndexedSearcher (top-C candidates -> DistanceEngine re-rank)
 
-Naming note: this package is importable as ``repro.indexing`` *only*
-and is unrelated to :class:`repro.retrieval.index.DistanceIndex` —
-that class is a pairwise distance *matrix* with cost accounting (an
-"index" in the experiment-bookkeeping sense), while this package is a
-disk-backed *search* index that trades a configurable candidate budget
-for sublinear query cost.  Nothing here is re-exported through
-``repro.retrieval``.
+Naming note: this package is the canonical home of the library's
+*search* index — its classes are re-exported from the top-level
+``repro`` package (``from repro import IndexedSearcher`` works) but
+never through ``repro.retrieval``.  It is unrelated to
+:class:`repro.retrieval.index.PairwiseDistanceMatrix` (historically
+``DistanceIndex``, now a deprecated alias): that class is a pairwise
+distance *matrix* with cost accounting (an "index" in the
+experiment-bookkeeping sense), while this package is a disk-backed
+search index that trades a configurable candidate budget for sublinear
+query cost.  The :class:`repro.service.Workspace` facade embeds this
+package as its ``indexed`` query mode.
 """
 
 from .codebook import Codebook, CodebookConfig, feature_embedding

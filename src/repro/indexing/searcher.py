@@ -170,6 +170,7 @@ class IndexedSearcher:
         codebook_config: Optional[CodebookConfig] = None,
         num_shards: int = 4,
         candidate_budget: int = 100,
+        features: Optional[Sequence[Sequence]] = None,
     ) -> "IndexedSearcher":
         """Build the index layers over an engine's stored collection.
 
@@ -178,6 +179,16 @@ class IndexedSearcher:
         amortisation argument), the codebook is fitted on them, and the
         bags become the inverted index.  The engine is re-used as the
         re-ranking stage.
+
+        Parameters
+        ----------
+        features:
+            Optional pre-extracted salient features, one list per stored
+            series in engine order (e.g. from a
+            :class:`~repro.retrieval.feature_store.FeatureStore`); they
+            must come from the same extraction configuration.  Skips the
+            per-series extraction pass entirely — this is how the
+            Workspace facade builds its index without ever re-extracting.
         """
         config = config if config is not None else SDTWConfig()
         if codebook_config is None:
@@ -192,9 +203,16 @@ class IndexedSearcher:
             raise ValidationError(
                 "cannot index a collection with duplicate identifiers"
             )
-        features = [
-            extract_salient_features(values, config) for _, values, _ in stored
-        ]
+        if features is None:
+            features = [
+                extract_salient_features(values, config) for _, values, _ in stored
+            ]
+        else:
+            features = [list(feature_list) for feature_list in features]
+            if len(features) != len(stored):
+                raise ValidationError(
+                    "features must have one feature list per stored series"
+                )
         lengths = [values.size for _, values, _ in stored]
         codebook = Codebook(codebook_config).fit(features, lengths)
         bags = [

@@ -5,6 +5,16 @@ distance computation with per-pair timing, top-k retrieval, k-NN label
 assignment with the paper's multi-label tie handling, and the four
 evaluation criteria (retrieval accuracy, distance error, classification
 accuracy, time gain).
+
+Naming note: the pairwise distance *matrix* with cost accounting is
+:class:`~repro.retrieval.index.PairwiseDistanceMatrix` (historically
+``DistanceIndex``, still importable as a deprecated alias).  The
+disk-backed salient-feature *search* index lives in
+:mod:`repro.indexing`, whose canonical classes are re-exported from the
+top-level :mod:`repro` package.
+
+The query-by-example front end :class:`TimeSeriesSearchEngine` is a
+deprecated shim over :class:`repro.service.Workspace`.
 """
 
 from .evaluation import (
@@ -16,7 +26,7 @@ from .evaluation import (
     time_gain,
 )
 from .feature_store import FeatureStore
-from .index import DistanceIndex, compute_distance_index
+from .index import PairwiseDistanceMatrix, compute_distance_index
 from .knn import batch_top_k, knn_indices, knn_labels, top_k_indices
 from .search import SearchHit, SearchResult, TimeSeriesSearchEngine
 
@@ -24,6 +34,7 @@ __all__ = [
     "DistanceIndex",
     "EvaluationResult",
     "FeatureStore",
+    "PairwiseDistanceMatrix",
     "SearchHit",
     "SearchResult",
     "TimeSeriesSearchEngine",
@@ -38,3 +49,13 @@ __all__ = [
     "time_gain",
     "top_k_indices",
 ]
+
+
+def __getattr__(name: str):
+    if name == "DistanceIndex":
+        # Delegates to repro.retrieval.index.__getattr__, which emits the
+        # DeprecationWarning exactly once per call site.
+        from . import index
+
+        return index.DistanceIndex
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -23,7 +23,7 @@ import numpy as np
 from .._validation import check_int_at_least
 from ..exceptions import ValidationError
 from ..utils.stats import relative_error, safe_divide
-from .index import DistanceIndex
+from .index import PairwiseDistanceMatrix
 from .knn import batch_top_k, knn_labels
 
 
@@ -170,8 +170,8 @@ class EvaluationResult:
 
 
 def evaluate_constraint(
-    reference: DistanceIndex,
-    estimate: DistanceIndex,
+    reference: PairwiseDistanceMatrix,
+    estimate: PairwiseDistanceMatrix,
     labels: Optional[Sequence[Optional[int]]] = None,
     ks: Sequence[int] = (5, 10),
 ) -> EvaluationResult:

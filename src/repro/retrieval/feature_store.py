@@ -131,11 +131,25 @@ class FeatureStore:
         identifier: str,
         values: Union[Sequence[float], np.ndarray],
         features: Optional[Sequence[SalientFeature]] = None,
+        *,
+        extract: bool = True,
     ) -> Tuple[SalientFeature, ...]:
-        """Add one series (extracting its features unless they are supplied)."""
+        """Add one series (extracting its features unless they are supplied).
+
+        With ``extract=False`` (and no explicit *features*) only the raw
+        series is stored and extraction is deferred until
+        :meth:`ensure_features` — consumers whose constraint families
+        never read salient features (fixed bands, no index) then skip the
+        extraction cost entirely.  :meth:`save` materialises any deferred
+        features so persisted archives are always complete.
+        """
         if not identifier:
             raise ValidationError("series identifier must be a non-empty string")
         array = np.asarray(values, dtype=float)
+        if features is None and not extract:
+            self._series[identifier] = array
+            self._features.pop(identifier, None)
+            return ()
         if features is None:
             features = extract_salient_features(array, self.config)
         stored = tuple(features)
@@ -153,14 +167,27 @@ class FeatureStore:
     # Lookup
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._features)
+        return len(self._series)
 
     def __contains__(self, identifier: str) -> bool:
-        return identifier in self._features
+        return identifier in self._series
 
     def identifiers(self) -> List[str]:
         """All stored series identifiers, sorted."""
-        return sorted(self._features)
+        return sorted(self._series)
+
+    def has_features(self, identifier: str) -> bool:
+        """Whether this series' features have been extracted already."""
+        return identifier in self._features
+
+    def ensure_features(self, identifier: str) -> Tuple[SalientFeature, ...]:
+        """The features of one series, extracting them if still deferred."""
+        if identifier not in self._features:
+            values = self.series_of(identifier)
+            self._features[identifier] = tuple(
+                extract_salient_features(values, self.config)
+            )
+        return self._features[identifier]
 
     def features_of(self, identifier: str) -> Tuple[SalientFeature, ...]:
         """The stored features of one series."""
@@ -207,6 +234,8 @@ class FeatureStore:
         if engine is None:
             engine = SDTW(self.config)
         for identifier, values in self._series.items():
+            if identifier not in self._features:
+                continue  # deferred extraction: nothing to seed yet
             key = engine._cache_key(np.ascontiguousarray(values, dtype=float))
             engine._feature_cache[key] = self._features[identifier]
         return engine
@@ -215,7 +244,12 @@ class FeatureStore:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: Union[str, os.PathLike]) -> None:
-        """Persist the store to a single ``.npz`` archive."""
+        """Persist the store to a single ``.npz`` archive.
+
+        Features whose extraction was deferred (``add_series(...,
+        extract=False)``) are materialised here, so archives always hold
+        the complete series + features mapping.
+        """
         path = os.fspath(path)
         payload: Dict[str, np.ndarray] = {}
         manifest = {
@@ -226,7 +260,7 @@ class FeatureStore:
         for index, identifier in enumerate(manifest["identifiers"]):
             payload[f"series_{index}"] = self._series[identifier]
             payload[f"features_{index}"] = _features_to_matrix(
-                list(self._features[identifier])
+                list(self.ensure_features(identifier))
             )
         payload["manifest"] = np.frombuffer(
             json.dumps(manifest).encode("utf-8"), dtype=np.uint8

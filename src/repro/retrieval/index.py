@@ -4,19 +4,22 @@ The experiments need, for every algorithm, both the pairwise distance
 matrix over a data set and the cost of producing it — wall-clock seconds
 split into matching and dynamic-programming time, plus the number of DTW
 grid cells filled (a hardware-independent proxy for the same quantity).
-:class:`DistanceIndex` packages those together.
+:class:`PairwiseDistanceMatrix` packages those together.
 
-Naming note: despite the name, :class:`DistanceIndex` is *not* a search
-index — it is a fully materialised distance matrix with experiment
-bookkeeping, and it lives under ``repro.retrieval`` only.  The
-disk-backed salient-feature search index (inverted postings, shards,
-candidate generation) is the separate :mod:`repro.indexing` package;
-nothing from that package is re-exported here.
+Naming note: this class was historically called ``DistanceIndex``, a
+name that collided conceptually with the disk-backed salient-feature
+*search* index of :mod:`repro.indexing` (inverted postings, shards,
+candidate generation) even though the two share nothing.  The canonical
+search-index classes are re-exported from ``repro.indexing`` and the
+top-level ``repro`` package; this class is now
+:class:`PairwiseDistanceMatrix`, and the old ``DistanceIndex`` name
+remains importable as a deprecated alias.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -30,7 +33,7 @@ from ..exceptions import ValidationError
 
 
 @dataclass
-class DistanceIndex:
+class PairwiseDistanceMatrix:
     """Pairwise distances plus the cost of computing them.
 
     Attributes
@@ -133,7 +136,7 @@ def compute_distance_index(
     symmetrize: bool = True,
     progress: Optional[ProgressCallback] = None,
     num_workers: Optional[int] = None,
-) -> DistanceIndex:
+) -> PairwiseDistanceMatrix:
     """Compute the pairwise distance index of a collection under one constraint.
 
     Parameters
@@ -162,7 +165,7 @@ def compute_distance_index(
 
     Returns
     -------
-    DistanceIndex
+    PairwiseDistanceMatrix
     """
     arrays = [np.asarray(s, dtype=float) for s in series]
     count = len(arrays)
@@ -219,7 +222,7 @@ def compute_distance_index(
         cells_filled += cells
         total_cells += grid
 
-    return DistanceIndex(
+    return PairwiseDistanceMatrix(
         constraint="full" if is_full else constraint,
         distances=distances,
         matching_seconds=matching_seconds,
@@ -228,3 +231,17 @@ def compute_distance_index(
         cells_filled=cells_filled,
         total_cells=total_cells,
     )
+
+
+def __getattr__(name: str):
+    if name == "DistanceIndex":
+        warnings.warn(
+            "repro.retrieval.index.DistanceIndex has been renamed to "
+            "PairwiseDistanceMatrix (it is a materialised distance matrix, "
+            "not a search index); the alias will be removed in a future "
+            "release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PairwiseDistanceMatrix
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,29 +1,32 @@
-"""Query-by-example time-series search with cascaded pruning + sDTW.
+"""Query-by-example search: a deprecated shim over the Workspace facade.
 
-The paper motivates sDTW with retrieval: given a query series, find its k
-nearest neighbours in a collection under DTW without paying the full
-O(NM)-per-pair cost.  :class:`TimeSeriesSearchEngine` is the
-retrieval-facing front end of the batch distance engine
-(:class:`repro.engine.DistanceEngine`), which combines three classic
-ingredients with the paper's contribution:
+:class:`TimeSeriesSearchEngine` was the original retrieval-facing front
+end of the batch distance engine.  The service layer's
+:class:`repro.service.Workspace` now owns that role — one stateful
+facade over the exact engine, the inverted index and the stream monitor,
+with a persistent on-disk layout and a declarative configuration — so
+this class survives only as a thin compatibility shim: construction
+emits a :class:`DeprecationWarning` and every call delegates to an
+in-memory ``Workspace`` running in exact mode.  Query results are
+bit-identical to the old implementation (both delegate to the same
+:class:`~repro.engine.DistanceEngine` cascade), with one behavioural
+narrowing: the Workspace layout is identifier-keyed, so explicitly
+repeating a stored identifier — which the bare engine tolerated — now
+raises :class:`~repro.exceptions.ValidationError` at ``add`` time.
 
-1. a constant-time LB_Kim bound and a cheap LB_Keogh lower bound prune
-   candidates whose bound already exceeds the current k-th best distance
-   (Keogh, VLDB 2002);
-2. surviving candidates are refined in ascending-bound order with a
-   constrained sDTW distance (any of the paper's constraint families, the
-   Itakura parallelogram, or the exact DTW), abandoning a dynamic program
-   early once it provably exceeds the k-th best;
-3. queries can be answered in batches over serial, vectorised or
-   multiprocessing execution backends.
+Migration::
 
-The engine reports how many candidates each cascade stage eliminated and
-how many DTW grid cells were filled, so callers can see the pruning
-effects and the paper's locally relevant constraints compose.
+    engine = TimeSeriesSearchEngine("ac,aw", config)   # old
+    engine.add_dataset(ds); engine.query(q, k=5)
+
+    ws = Workspace(WorkspaceConfig(                    # new
+        sdtw=config, engine=EngineConfig(constraint="ac,aw")))
+    ws.add_dataset(ds); ws.query(q, k=5, mode="exact")
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -110,7 +113,11 @@ def _to_search_result(result: QueryResult) -> SearchResult:
 
 
 class TimeSeriesSearchEngine:
-    """k-NN search over a collection of time series using sDTW distances.
+    """Deprecated: use :class:`repro.service.Workspace` instead.
+
+    k-NN search over a collection of time series using sDTW distances,
+    delegating to an in-memory Workspace.  Identifiers must be unique
+    (the Workspace layout is identifier-keyed).
 
     Parameters
     ----------
@@ -122,12 +129,11 @@ class TimeSeriesSearchEngine:
         sDTW configuration (band widths, descriptor length, …).
     lb_radius_fraction:
         Kept for API compatibility with the sequential engine: any value
-        in ``(0, 1]`` enables the lower-bound cascade (the engine now
-        derives admissible envelope radii from the constraint itself);
-        ``None`` disables lower-bound pruning entirely.
+        in ``(0, 1]`` enables the lower-bound cascade; ``None`` disables
+        lower-bound pruning entirely.
     backend:
         Execution backend: ``"serial"`` (default), ``"vectorized"`` or
-        ``"multiprocessing"`` (see :mod:`repro.engine.backends`).
+        ``"multiprocessing"``.
     num_workers:
         Worker processes for the multiprocessing backend.
     early_abandon:
@@ -145,25 +151,43 @@ class TimeSeriesSearchEngine:
         num_workers: Optional[int] = None,
         early_abandon: bool = True,
     ) -> None:
+        warnings.warn(
+            "TimeSeriesSearchEngine is deprecated; use "
+            "repro.service.Workspace (exact mode) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if lb_radius_fraction is not None and not 0 < lb_radius_fraction <= 1:
             raise ValidationError("lb_radius_fraction must lie in (0, 1]")
+        # Imported lazily: repro.service imports this package's siblings.
+        from ..service import EngineConfig, Workspace, WorkspaceConfig
+
         self.constraint = constraint
         self.config = config if config is not None else SDTWConfig()
         self.lb_radius_fraction = lb_radius_fraction
-        self.engine = DistanceEngine(
-            constraint,
-            self.config,
-            backend=backend,
-            num_workers=num_workers,
-            prune=lb_radius_fraction is not None,
-            early_abandon=early_abandon,
+        self._workspace = Workspace(
+            WorkspaceConfig(
+                sdtw=self.config,
+                engine=EngineConfig(
+                    constraint=constraint,
+                    backend=backend,
+                    num_workers=num_workers,
+                    prune=lb_radius_fraction is not None,
+                    early_abandon=early_abandon,
+                ),
+            )
         )
+
+    @property
+    def engine(self) -> DistanceEngine:
+        """The underlying serving :class:`DistanceEngine`."""
+        return self._workspace.engine
 
     # ------------------------------------------------------------------ #
     # Indexing
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.engine)
+        return len(self._workspace)
 
     def add(
         self,
@@ -171,20 +195,15 @@ class TimeSeriesSearchEngine:
         identifier: Optional[str] = None,
         label: Optional[int] = None,
     ) -> str:
-        """Add one series to the searchable collection.
-
-        Collection-level caches (LB profiles, envelopes, salient features)
-        are built lazily on the first query and reused afterwards, so
-        query time only pays for matching and the banded dynamic program.
-        """
-        return self.engine.add(values, identifier=identifier, label=label)
+        """Add one series to the searchable collection."""
+        return self._workspace.add(values, identifier=identifier, label=label)
 
     def add_dataset(self, dataset: Dataset) -> List[str]:
         """Add every series of a data set (labels preserved).
 
         Returns the stored identifiers in insertion order.
         """
-        return self.engine.add_dataset(dataset)
+        return self._workspace.add_dataset(dataset)
 
     # ------------------------------------------------------------------ #
     # Querying
@@ -209,8 +228,10 @@ class TimeSeriesSearchEngine:
             leave-one-out evaluations when the query itself is stored).
         """
         query = as_series(values, "query")
-        result = self.engine.query(query, k, exclude_identifier=exclude_identifier)
-        return _to_search_result(result)
+        batch = self._workspace.knn(
+            [query], k, exclude_identifiers=[exclude_identifier]
+        )
+        return _to_search_result(batch.results[0])
 
     def batch_query(
         self,
@@ -224,7 +245,9 @@ class TimeSeriesSearchEngine:
         With the multiprocessing backend the queries are fanned out across
         worker processes; results arrive in query order regardless.
         """
-        batch = self.engine.knn(queries, k, exclude_identifiers=exclude_identifiers)
+        batch = self._workspace.knn(
+            queries, k, exclude_identifiers=exclude_identifiers
+        )
         return [_to_search_result(result) for result in batch.results]
 
     def build_index(
@@ -236,19 +259,16 @@ class TimeSeriesSearchEngine:
     ):
         """Build an :class:`repro.indexing.IndexedSearcher` over this collection.
 
-        The indexed path of the search engine: candidate generation
-        through a salient-feature inverted index followed by exact
-        re-ranking through this engine's own cascade, so queries stop
-        scanning the whole collection (see :mod:`repro.indexing`).  The
-        returned searcher re-uses this engine (same constraint, backend
-        and stored series); ``searcher.query(..., exact=True)`` degrades
-        to the same full scan :meth:`query` performs.
+        Prefer :meth:`repro.service.Workspace.build_index`, which keeps
+        the index inside the facade.  This shim builds and returns a
+        stand-alone searcher over the current serving engine, like the
+        historical implementation.
         """
         # Imported lazily: repro.indexing imports the engine machinery.
         from ..indexing import IndexedSearcher
 
         return IndexedSearcher.from_engine(
-            self.engine,
+            self._workspace.engine,
             config=self.config,
             codebook_config=codebook_config,
             num_shards=num_shards,

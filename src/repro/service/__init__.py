@@ -1,0 +1,29 @@
+"""Service layer: the :class:`Workspace` facade over batch, indexed and
+streaming sDTW.
+
+One stateful front door for the whole library (see
+:mod:`repro.service.workspace` for the object model and the on-disk
+layout, :mod:`repro.service.config` for the declarative configuration,
+and :mod:`repro.service.batching` for the concurrent request path).
+"""
+
+from .batching import MicroBatcher
+from .config import (
+    DEFAULT_WORKSPACE_CONFIG,
+    EngineConfig,
+    IndexConfig,
+    ServingConfig,
+    WorkspaceConfig,
+)
+from .workspace import Workspace, WorkspaceQueryResult
+
+__all__ = [
+    "DEFAULT_WORKSPACE_CONFIG",
+    "EngineConfig",
+    "IndexConfig",
+    "MicroBatcher",
+    "ServingConfig",
+    "Workspace",
+    "WorkspaceConfig",
+    "WorkspaceQueryResult",
+]

@@ -1,0 +1,137 @@
+"""Micro-batching of concurrent exact queries.
+
+Under multi-threaded load, N callers each running the full per-query
+cascade contend for the interpreter; the engine's batch entry point
+(:meth:`repro.engine.DistanceEngine.knn`) answers the same N queries in
+one call, sharing the prepared collection caches and — on the
+vectorised backend — advancing the batched dynamic program in numpy
+instead of N Python row loops.  :class:`MicroBatcher` is the combiner
+that turns concurrent ``query`` calls into such batches:
+
+* the first caller to arrive becomes the **leader**: it waits up to a
+  configurable window for companions (closing early once ``max_batch``
+  requests are queued), drains the queue, and executes the batch;
+* every other caller (**follower**) just blocks on its own event and is
+  handed its result when the leader finishes.
+
+Queue draining and leadership hand-off happen under one lock, so a
+request can never be stranded between batches.  Because the engine
+answers batched queries independently per query, the results are
+bit-identical to the same calls made without batching — batching is a
+throughput knob, never a semantics knob.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+
+class QueryRequest:
+    """One in-flight query: inputs, completion event, and the outcome."""
+
+    __slots__ = ("payload", "event", "result", "error")
+
+    def __init__(self, payload: object) -> None:
+        self.payload = payload
+        self.event = threading.Event()
+        self.result: Optional[object] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, result: object) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+RunBatch = Callable[[List[QueryRequest]], None]
+
+
+class MicroBatcher:
+    """Coalesce concurrent submissions into batches executed by one leader.
+
+    Parameters
+    ----------
+    run_batch:
+        Callable executing a drained batch; it must resolve (or fail)
+        every request it is handed.  Exceptions escaping it fail the
+        whole batch, so no follower can block forever.
+    window_seconds:
+        How long a leader waits for companion requests.
+    max_batch:
+        Queue length at which the window closes early.
+    """
+
+    def __init__(
+        self,
+        run_batch: RunBatch,
+        *,
+        window_seconds: float = 0.002,
+        max_batch: int = 32,
+    ) -> None:
+        self._run_batch = run_batch
+        self.window_seconds = max(0.0, float(window_seconds))
+        self.max_batch = max(1, int(max_batch))
+        self._lock = threading.Lock()
+        self._queue: List[QueryRequest] = []
+        self._leader_active = False
+        self.batches_executed = 0
+        self.requests_batched = 0
+
+    def submit(self, payload: object) -> object:
+        """Enqueue one request and block until its result is available."""
+        request = QueryRequest(payload)
+        with self._lock:
+            self._queue.append(request)
+            is_leader = not self._leader_active
+            if is_leader:
+                self._leader_active = True
+        if not is_leader:
+            request.event.wait()
+        else:
+            self._lead()
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    # ------------------------------------------------------------------ #
+    # Leader protocol
+    # ------------------------------------------------------------------ #
+    def _lead(self) -> None:
+        deadline = time.monotonic() + self.window_seconds
+        while True:
+            with self._lock:
+                if len(self._queue) >= self.max_batch:
+                    break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(0.0005, remaining))
+        with self._lock:
+            # Drain and release leadership atomically: every request
+            # enqueued before this point is in the batch, every request
+            # after it sees no active leader and starts the next batch.
+            batch = self._queue
+            self._queue = []
+            self._leader_active = False
+            self.batches_executed += 1
+            self.requests_batched += len(batch)
+        try:
+            self._run_batch(batch)
+        except BaseException as exc:  # noqa: BLE001 - propagated per request
+            for request in batch:
+                if not request.event.is_set():
+                    request.fail(exc)
+        finally:
+            for request in batch:
+                if not request.event.is_set():
+                    request.fail(
+                        RuntimeError("batch runner did not resolve this request")
+                    )
+
+
+__all__ = ["MicroBatcher", "QueryRequest"]

@@ -1,0 +1,193 @@
+"""Declarative configuration of the :class:`~repro.service.Workspace`.
+
+Before the service layer, every subsystem grew its own construction
+ritual: :class:`~repro.engine.DistanceEngine` took backend/pruning
+kwargs, :class:`~repro.indexing.IndexedSearcher` took codebook/shard
+kwargs, :class:`~repro.streaming.StreamMonitor` took its own switches,
+and only the extraction configuration (:class:`~repro.core.config
+.SDTWConfig`) was persisted anywhere.  :class:`WorkspaceConfig` gathers
+all of it into one declarative object with a full ``to_dict`` /
+``from_dict`` round trip, so a workspace manifest records *everything*
+needed to reopen the workspace and serve bit-identical results.
+
+Sections
+--------
+``sdtw``
+    The paper pipeline configuration (scale space, descriptors,
+    matching, band widths) shared by every subsystem.
+``engine``
+    The exact re-ranking engine: constraint family, execution backend,
+    cascade switches.
+``index``
+    The optional inverted index: codebook size, shard count, candidate
+    budget, build seed.
+``serving``
+    The concurrent request path: micro-batching of simultaneous
+    ``query`` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.config import SDTWConfig, _DictRoundTrip
+from ..exceptions import ConfigurationError
+
+_BACKENDS = ("serial", "vectorized", "multiprocessing")
+
+
+@dataclass(frozen=True)
+class EngineConfig(_DictRoundTrip):
+    """Exact-scan engine settings (see :class:`repro.engine.DistanceEngine`).
+
+    Attributes
+    ----------
+    constraint:
+        Refinement constraint family: ``"full"``, ``"fc,fw"``,
+        ``"itakura"``, or any sDTW adaptive family (``"ac,aw"``, ...).
+    backend:
+        Execution backend: ``"serial"``, ``"vectorized"`` or
+        ``"multiprocessing"``.
+    num_workers:
+        Worker processes for the multiprocessing backend (``None``: CPU
+        count).
+    prune:
+        Master switch for the LB_Kim / LB_Keogh cascade stages.
+    early_abandon:
+        Whether refinements stop once they provably exceed the running
+        k-th best distance.
+    batch_size:
+        Chunk size of the vectorised refinement stage.
+    itakura_max_slope:
+        Slope parameter of the ``"itakura"`` constraint.
+    """
+
+    constraint: str = "fc,fw"
+    backend: str = "serial"
+    num_workers: Optional[int] = None
+    prune: bool = True
+    early_abandon: bool = True
+    batch_size: int = 32
+    itakura_max_slope: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1 when given")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.itakura_max_slope <= 1.0:
+            raise ConfigurationError("itakura_max_slope must be greater than 1")
+
+
+@dataclass(frozen=True)
+class IndexConfig(_DictRoundTrip):
+    """Inverted-index settings (see :mod:`repro.indexing`).
+
+    Attributes
+    ----------
+    num_codewords:
+        Codebook size of the k-means quantizer.
+    num_shards:
+        Number of postings shards the index is persisted as.
+    candidate_budget:
+        Default number of candidates generated per indexed query.
+    seed:
+        Seed of the deterministic codebook fit (recorded so a rebuild
+        reproduces the same index bit for bit).
+    mmap:
+        Whether reopened shards are served memory-mapped (lock-free
+        reads that fault pages in on demand) or loaded fully into RAM.
+    """
+
+    num_codewords: int = 256
+    num_shards: int = 4
+    candidate_budget: int = 100
+    seed: int = 7
+    mmap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_codewords < 1:
+            raise ConfigurationError("num_codewords must be >= 1")
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if self.candidate_budget < 1:
+            raise ConfigurationError("candidate_budget must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServingConfig(_DictRoundTrip):
+    """Concurrent request-path settings.
+
+    Attributes
+    ----------
+    micro_batch:
+        Coalesce concurrent exact ``query`` calls into one engine batch
+        (:meth:`repro.engine.DistanceEngine.knn`) instead of running each
+        caller's cascade independently.  Results are bit-identical either
+        way; batching trades a small queueing delay for shared batch-DP
+        work and is worthwhile under multi-threaded load.
+    batch_window_ms:
+        How long the first request of a batch waits for companions.
+    max_batch:
+        Requests per batch before the window closes early.
+    """
+
+    micro_batch: bool = False
+    batch_window_ms: float = 2.0
+    max_batch: int = 32
+
+    def __post_init__(self) -> None:
+        if self.batch_window_ms < 0:
+            raise ConfigurationError("batch_window_ms must be non-negative")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkspaceConfig(_DictRoundTrip):
+    """Full declarative configuration of a :class:`~repro.service.Workspace`.
+
+    Attributes
+    ----------
+    sdtw:
+        Extraction / band configuration shared by every subsystem.
+    engine:
+        Exact-scan engine settings.
+    index:
+        Inverted-index settings.
+    serving:
+        Concurrent request-path settings.
+    default_k:
+        Neighbours returned when ``query`` is called without ``k``.
+    """
+
+    sdtw: SDTWConfig = field(default_factory=SDTWConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    index: IndexConfig = field(default_factory=IndexConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
+    default_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.default_k < 1:
+            raise ConfigurationError("default_k must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkspaceConfig":
+        """Rebuild a configuration written by :meth:`to_dict`."""
+        payload = dict(data)
+        return cls(
+            sdtw=SDTWConfig.from_dict(payload.pop("sdtw", {})),
+            engine=EngineConfig.from_dict(payload.pop("engine", {})),
+            index=IndexConfig.from_dict(payload.pop("index", {})),
+            serving=ServingConfig.from_dict(payload.pop("serving", {})),
+            **payload,
+        )
+
+
+DEFAULT_WORKSPACE_CONFIG = WorkspaceConfig()
+"""Module-level default workspace configuration."""

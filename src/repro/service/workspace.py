@@ -1,0 +1,882 @@
+"""The :class:`Workspace`: one stateful facade over batch, indexed and
+streaming sDTW.
+
+Before this layer the library had four parallel front doors —
+:class:`~repro.core.sdtw.SDTW` for pairwise distances,
+:class:`~repro.engine.DistanceEngine` for exact batch k-NN,
+:class:`~repro.indexing.IndexedSearcher` for sublinear indexed search and
+:class:`~repro.streaming.StreamMonitor` for online monitoring — each with
+its own construction ritual and on-disk artefacts.  A ``Workspace`` owns
+all of them behind one object model and one versioned directory layout::
+
+    workspace-dir/
+        workspace.json    # manifest: format/version, WorkspaceConfig,
+                          # series roster (insertion order + labels),
+                          # index state
+        store.npz         # FeatureStore: raw series + salient features
+        index/            # optional inverted index (IndexWriter layout:
+                          # manifest.json, codebook.npz, mmappable shards)
+
+Lifecycle::
+
+    ws = Workspace.create("my-ws")          # or Workspace() for in-memory
+    ws.add(series, identifier="a")          # features extracted once
+    ws.build_index()                        # optional sublinear path
+    ws.query(q, k=5, mode="auto")           # exact | indexed | auto
+    ws.pairwise(x, y)                       # one sDTW distance
+    ws.stream(pattern, threshold=2.0)       # online monitoring
+    ws.close()                              # persists mutations
+
+    ws = Workspace.open("my-ws")            # serves without re-extraction
+
+Results are bit-identical to the direct subsystem calls: ``exact`` mode
+*is* the engine cascade, ``indexed`` mode *is* the two-stage searcher,
+and ``auto`` just picks between them (indexed when a fresh index exists).
+
+Concurrency model
+-----------------
+Mutations (``add`` / ``add_batch`` / ``build_index`` / ``save``) take an
+``RLock``.  Queries never take it for the duration of a scan: they grab
+the current immutable *serving snapshot* (a prepared engine plus the
+optional searcher, rebuilt lazily after mutations) and run on it, so
+readers are lock-free once the snapshot exists — index shards are
+memory-mapped, and the engine's prepared caches are never mutated by a
+query.  A query racing a mutation simply serves the snapshot taken
+before the mutation; it can never observe a half-added series.
+Optionally, concurrent exact queries are coalesced through a
+:class:`~repro.service.batching.MicroBatcher` into single engine batch
+calls for throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_series, check_int_at_least
+from ..core.sdtw import SDTW, SDTWResult
+from ..datasets.base import Dataset
+from ..engine import BatchKNNResult, DistanceEngine
+from ..engine.engine import EngineHit, QueryResult
+from ..engine.stats import EngineStats
+from ..exceptions import DatasetError, ValidationError, WorkspaceError
+from ..indexing import CodebookConfig, IndexReader, IndexedSearcher
+from ..retrieval.feature_store import FeatureStore
+from ..streaming import StreamMatch, StreamMonitor
+from .batching import MicroBatcher, QueryRequest
+from .config import WorkspaceConfig
+
+MANIFEST_NAME = "workspace.json"
+STORE_NAME = "store.npz"
+INDEX_DIR_NAME = "index"
+FORMAT_NAME = "repro-workspace"
+FORMAT_VERSION = 1
+
+_MODES = ("auto", "exact", "indexed")
+
+
+@dataclass(frozen=True)
+class WorkspaceQueryResult:
+    """Unified result of one :meth:`Workspace.query` call.
+
+    Attributes
+    ----------
+    hits:
+        The k nearest stored series (identifier, stored index, distance,
+        label), ordered by distance.
+    mode:
+        The mode that actually ran: ``"exact"`` or ``"indexed"``.
+    requested_mode:
+        The mode the caller asked for (``"auto"`` resolves to one of the
+        above).
+    k:
+        Neighbours requested.
+    collection_size:
+        Stored series in the snapshot that served the query.
+    candidates_generated:
+        Candidates the index handed to the exact re-rank (equals
+        ``collection_size`` in exact mode) — together with
+        :attr:`scan_fraction` this is the recall-estimate metadata: an
+        indexed query is exact *within* its candidate set, so the scanned
+        fraction bounds how much of the exhaustive ranking it can miss.
+    generation_seconds:
+        Stage-1 wall-clock (candidate generation; zero in exact mode).
+    rerank_seconds:
+        Stage-2 wall-clock (the engine cascade).
+    stats:
+        Per-stage engine work accounting (bounds computed, candidates
+        pruned, cells filled, phase seconds).
+    """
+
+    hits: Tuple[EngineHit, ...]
+    mode: str
+    requested_mode: str
+    k: int
+    collection_size: int
+    candidates_generated: int
+    generation_seconds: float
+    rerank_seconds: float
+    stats: EngineStats
+
+    @property
+    def ids(self) -> Tuple[str, ...]:
+        """Identifiers of the hits, in rank order."""
+        return tuple(hit.identifier for hit in self.hits)
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        """Stored positions of the hits, in rank order."""
+        return tuple(hit.index for hit in self.hits)
+
+    @property
+    def distances(self) -> Tuple[float, ...]:
+        """Distances of the hits, in rank order."""
+        return tuple(hit.distance for hit in self.hits)
+
+    @property
+    def labels(self) -> List[Optional[int]]:
+        """Labels of the hits, in rank order."""
+        return [hit.label for hit in self.hits]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.generation_seconds + self.rerank_seconds
+
+    @property
+    def scan_fraction(self) -> float:
+        """Fraction of the collection the exact cascade considered."""
+        if self.collection_size == 0:
+            return 1.0
+        return self.candidates_generated / float(self.collection_size)
+
+    def timings(self) -> Dict[str, float]:
+        """Per-stage wall-clock breakdown of the query."""
+        return {
+            "generation_seconds": self.generation_seconds,
+            "bound_seconds": self.stats.bound_seconds,
+            "extract_seconds": self.stats.extract_seconds,
+            "matching_seconds": self.stats.matching_seconds,
+            "dp_seconds": self.stats.dp_seconds,
+            "rerank_seconds": self.rerank_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """An immutable serving state: prepared engine + optional searcher."""
+
+    engine: DistanceEngine
+    searcher: Optional[IndexedSearcher]
+    size: int
+
+
+@dataclass
+class _PersistedIndex:
+    """The index layers kept across snapshot rebuilds."""
+
+    index: object  # InvertedIndex
+    codebook: object  # Codebook
+    stale: bool = False
+
+
+class Workspace:
+    """A stateful service facade over one collection of time series.
+
+    Construct through :meth:`create` (new directory), :meth:`open`
+    (existing directory) or ``Workspace()`` / :meth:`in_memory`
+    (ephemeral, nothing persisted).
+
+    Parameters
+    ----------
+    config:
+        The declarative :class:`~repro.service.config.WorkspaceConfig`;
+        defaults apply when omitted.
+    """
+
+    def __init__(self, config: Optional[WorkspaceConfig] = None) -> None:
+        self.path: Optional[str] = None
+        self.config = config if config is not None else WorkspaceConfig()
+        self._lock = threading.RLock()
+        self._store = FeatureStore(config=self.config.sdtw)
+        self._identifiers: List[str] = []
+        self._labels: List[Optional[int]] = []
+        self._index: Optional[_PersistedIndex] = None
+        self._serving: Optional[_Snapshot] = None
+        self._monitor: Optional[StreamMonitor] = None
+        self._pairwise: Optional[SDTW] = None
+        self._dirty = False
+        self._closed = False
+        self._batcher: Optional[MicroBatcher] = None
+        if self.config.serving.micro_batch:
+            self._batcher = MicroBatcher(
+                self._run_exact_batch,
+                window_seconds=self.config.serving.batch_window_ms / 1000.0,
+                max_batch=self.config.serving.max_batch,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def in_memory(cls, config: Optional[WorkspaceConfig] = None) -> "Workspace":
+        """An ephemeral workspace (no directory, nothing persisted)."""
+        return cls(config)
+
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, os.PathLike],
+        config: Optional[WorkspaceConfig] = None,
+        *,
+        overwrite: bool = False,
+    ) -> "Workspace":
+        """Create a new workspace directory and write its manifest.
+
+        Refuses to reuse a directory that already holds a workspace
+        unless ``overwrite=True``.
+        """
+        path = os.fspath(path)
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if os.path.exists(manifest_path) and not overwrite:
+            raise WorkspaceError(
+                f"a workspace already exists at {path!r}; open it with "
+                f"Workspace.open() or pass overwrite=True"
+            )
+        workspace = cls(config)
+        workspace.path = path
+        os.makedirs(path, exist_ok=True)
+        workspace.save()
+        return workspace
+
+    @classmethod
+    def open(cls, path: Union[str, os.PathLike]) -> "Workspace":
+        """Reopen a workspace directory written by :meth:`create` / :meth:`save`."""
+        path = os.fspath(path)
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise WorkspaceError(f"no workspace manifest found at {manifest_path}")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != FORMAT_NAME:
+            raise WorkspaceError(f"{manifest_path} is not a {FORMAT_NAME} manifest")
+        if int(manifest.get("version", 0)) > FORMAT_VERSION:
+            raise WorkspaceError(
+                f"workspace format version {manifest.get('version')} is newer "
+                f"than this reader (supports <= {FORMAT_VERSION})"
+            )
+        config = WorkspaceConfig.from_dict(manifest.get("config", {}))
+        workspace = cls(config)
+        workspace.path = path
+
+        store_file = manifest.get("store_file")
+        if store_file:
+            workspace._store = FeatureStore.load(
+                os.path.join(path, str(store_file)), config=config.sdtw
+            )
+        for entry in manifest.get("series", []):
+            identifier = str(entry["identifier"])
+            if store_file and identifier not in workspace._store:
+                raise WorkspaceError(
+                    f"workspace manifest lists series {identifier!r} but the "
+                    f"feature store does not contain it"
+                )
+            workspace._identifiers.append(identifier)
+            label = entry.get("label")
+            workspace._labels.append(None if label is None else int(label))
+
+        index_dir = manifest.get("index_dir")
+        if index_dir:
+            reader = IndexReader.open(
+                os.path.join(path, str(index_dir)), mmap=config.index.mmap
+            )
+            if reader.identifiers != workspace._identifiers:
+                raise WorkspaceError(
+                    "the persisted index covers a different series roster than "
+                    "the workspace manifest; rebuild the index"
+                )
+            workspace._index = _PersistedIndex(
+                index=reader.index, codebook=reader.codebook
+            )
+        return workspace
+
+    # ------------------------------------------------------------------ #
+    # Context manager / lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Persist pending mutations (path-backed workspaces) and close."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._dirty and self.path is not None:
+                self.save()
+            self._closed = True
+            self._serving = None
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise WorkspaceError("this workspace has been closed")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._identifiers)
+
+    @property
+    def identifiers(self) -> List[str]:
+        """Stored identifiers in insertion order."""
+        return list(self._identifiers)
+
+    @property
+    def labels(self) -> List[Optional[int]]:
+        """Stored labels in insertion order."""
+        return list(self._labels)
+
+    @property
+    def has_index(self) -> bool:
+        """Whether a fresh (non-stale) index is available."""
+        return self._index is not None and not self._index.stale
+
+    @property
+    def engine(self) -> DistanceEngine:
+        """The serving :class:`DistanceEngine` (built lazily)."""
+        return self._ensure_serving().engine
+
+    @property
+    def searcher(self) -> Optional[IndexedSearcher]:
+        """The serving :class:`IndexedSearcher`, or ``None`` without an index."""
+        return self._ensure_serving().searcher
+
+    @property
+    def monitor(self) -> StreamMonitor:
+        """The embedded :class:`StreamMonitor` (created on first use)."""
+        with self._lock:
+            self._require_open()
+            if self._monitor is None:
+                self._monitor = StreamMonitor(
+                    self.config.sdtw,
+                    prune=self.config.engine.prune,
+                    early_abandon=self.config.engine.early_abandon,
+                )
+            return self._monitor
+
+    def series_of(self, identifier: str) -> np.ndarray:
+        """The stored values of one series."""
+        return self._store.series_of(identifier)
+
+    def stats(self) -> Dict[str, object]:
+        """A summary of the workspace state (used by ``repro workspace stats``)."""
+        lengths = [self._store.series_of(i).size for i in self._identifiers]
+        index_info: Optional[Dict[str, object]] = None
+        if self._index is not None:
+            index_info = {
+                "num_postings": int(self._index.index.num_postings),
+                "num_codewords": int(self._index.index.num_codewords),
+                "stale": bool(self._index.stale),
+            }
+        return {
+            "path": self.path,
+            "num_series": len(self._identifiers),
+            "min_length": min(lengths) if lengths else 0,
+            "max_length": max(lengths) if lengths else 0,
+            "constraint": self.config.engine.constraint,
+            "backend": self.config.engine.backend,
+            "micro_batch": self.config.serving.micro_batch,
+            "index": index_info,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        identifier: Optional[str] = None,
+        label: Optional[int] = None,
+    ) -> str:
+        """Add one series to the workspace.
+
+        Identifiers must be unique (the on-disk layout is keyed by
+        identifier); auto-generated names skip taken ones.  Salient
+        features are extracted lazily — at :meth:`build_index` /
+        :meth:`save` time, or when an adaptive constraint's serving
+        snapshot needs them — so purely fixed-band workloads never pay
+        for extraction.  Adding marks any existing index stale: ``auto``
+        queries fall back to the exact scan until :meth:`build_index`
+        runs again.
+        """
+        with self._lock:
+            self._require_open()
+            array = as_series(values, "values")
+            if identifier is None:
+                counter = len(self._identifiers)
+                taken = set(self._identifiers)
+                identifier = f"series-{counter:05d}"
+                while identifier in taken:
+                    counter += 1
+                    identifier = f"series-{counter:05d}"
+            else:
+                identifier = str(identifier)
+                if identifier in self._store:
+                    raise ValidationError(
+                        f"identifier {identifier!r} is already stored in this "
+                        f"workspace"
+                    )
+            self._store.add_series(identifier, array, extract=False)
+            self._identifiers.append(identifier)
+            self._labels.append(label)
+            self._invalidate()
+            return identifier
+
+    def add_batch(
+        self,
+        series: Sequence[Union[Sequence[float], np.ndarray]],
+        identifiers: Optional[Sequence[str]] = None,
+        labels: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[str]:
+        """Add many series atomically; returns their identifiers.
+
+        The whole batch is validated before the first series is stored,
+        so a duplicate identifier (against the workspace or within the
+        batch) leaves the workspace unchanged.
+        """
+        if identifiers is not None and len(identifiers) != len(series):
+            raise ValidationError("identifiers must have one entry per series")
+        if labels is not None and len(labels) != len(series):
+            raise ValidationError("labels must have one entry per series")
+        with self._lock:
+            self._require_open()
+            if identifiers is not None:
+                explicit = [str(identifier) for identifier in identifiers]
+                seen = set()
+                for identifier in explicit:
+                    if identifier in self._store or identifier in seen:
+                        raise ValidationError(
+                            f"identifier {identifier!r} is already stored in "
+                            f"this workspace (or repeated within the batch); "
+                            f"nothing was added"
+                        )
+                    seen.add(identifier)
+            return [
+                self.add(
+                    values,
+                    identifier=None if identifiers is None else identifiers[i],
+                    label=None if labels is None else labels[i],
+                )
+                for i, values in enumerate(series)
+            ]
+
+    def add_dataset(self, dataset: Dataset) -> List[str]:
+        """Add every series of a data set (labels preserved)."""
+        identifiers = [
+            ts.identifier or f"{dataset.name}-{i:04d}"
+            for i, ts in enumerate(dataset)
+        ]
+        return self.add_batch(dataset.values_list(), identifiers, dataset.labels)
+
+    def _invalidate(self) -> None:
+        """Mark serving state stale after a mutation (caller holds the lock)."""
+        self._serving = None
+        self._dirty = True
+        if self._index is not None:
+            self._index.stale = True
+
+    # ------------------------------------------------------------------ #
+    # Serving snapshot
+    # ------------------------------------------------------------------ #
+    def _ensure_serving(self) -> _Snapshot:
+        snapshot = self._serving
+        if snapshot is not None:
+            return snapshot
+        with self._lock:
+            self._require_open()
+            if self._serving is None:
+                self._serving = self._build_snapshot()
+            return self._serving
+
+    def _build_snapshot(self) -> _Snapshot:
+        cfg = self.config.engine
+        engine = DistanceEngine(
+            cfg.constraint,
+            self.config.sdtw,
+            backend=cfg.backend,
+            num_workers=cfg.num_workers,
+            prune=cfg.prune,
+            early_abandon=cfg.early_abandon,
+            batch_size=cfg.batch_size,
+            itakura_max_slope=cfg.itakura_max_slope,
+        )
+        for identifier, label in zip(self._identifiers, self._labels):
+            engine.add(
+                self._store.series_of(identifier),
+                identifier=identifier,
+                label=label,
+            )
+        # Seed the engine's salient-feature cache from the store so
+        # adaptive constraints never re-extract stored series; the
+        # store's features are materialised first (one-time, kept across
+        # snapshot rebuilds).  Fixed-band constraints never read them.
+        if engine._needs_alignment:
+            self._ensure_all_features()
+        self._store.warm_engine(engine._sdtw)
+        if len(engine):
+            engine.prepare()
+        searcher: Optional[IndexedSearcher] = None
+        if self.has_index:
+            searcher = IndexedSearcher(
+                self._index.index,
+                self._index.codebook,
+                engine,
+                config=self.config.sdtw,
+                candidate_budget=self.config.index.candidate_budget,
+            )
+        return _Snapshot(engine=engine, searcher=searcher, size=len(engine))
+
+    def _ensure_all_features(self) -> None:
+        """Materialise any deferred feature extraction (caller holds the lock)."""
+        for identifier in self._identifiers:
+            self._store.ensure_features(identifier)
+
+    # ------------------------------------------------------------------ #
+    # Indexing
+    # ------------------------------------------------------------------ #
+    def build_index(
+        self,
+        *,
+        num_codewords: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        candidate_budget: Optional[int] = None,
+    ) -> None:
+        """(Re)build the inverted index over the current collection.
+
+        Stored features are reused from the feature store — building the
+        index never re-extracts.  Path-backed workspaces persist the
+        index (and any pending mutations) immediately.
+        """
+        with self._lock:
+            self._require_open()
+            if not self._identifiers:
+                raise DatasetError("cannot build an index over an empty workspace")
+            cfg = self.config.index
+            snapshot = self._ensure_serving()
+            self._ensure_all_features()
+            codebook_config = CodebookConfig.for_sdtw(
+                self.config.sdtw,
+                num_codewords=cfg.num_codewords if num_codewords is None
+                else num_codewords,
+                seed=cfg.seed,
+            )
+            searcher = IndexedSearcher.from_engine(
+                snapshot.engine,
+                config=self.config.sdtw,
+                codebook_config=codebook_config,
+                num_shards=cfg.num_shards if num_shards is None else num_shards,
+                candidate_budget=(
+                    cfg.candidate_budget if candidate_budget is None
+                    else candidate_budget
+                ),
+                features=[
+                    list(self._store.features_of(identifier))
+                    for identifier in self._identifiers
+                ],
+            )
+            self._index = _PersistedIndex(
+                index=searcher.index, codebook=searcher.codebook
+            )
+            self._serving = _Snapshot(
+                engine=snapshot.engine, searcher=searcher, size=snapshot.size
+            )
+            self._dirty = True
+            if self.path is not None:
+                self.save()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        k: Optional[int] = None,
+        *,
+        mode: str = "auto",
+        candidates: Optional[int] = None,
+        exclude_identifier: Optional[str] = None,
+    ) -> WorkspaceQueryResult:
+        """k nearest stored series to a query.
+
+        Parameters
+        ----------
+        values:
+            The query series.
+        k:
+            Neighbours to return (default: ``config.default_k``).
+        mode:
+            ``"exact"`` runs the full engine cascade; ``"indexed"`` runs
+            candidate generation + exact re-rank (requires a fresh
+            index); ``"auto"`` picks ``indexed`` when a fresh index
+            exists, ``exact`` otherwise.
+        candidates:
+            Per-query candidate budget override (indexed mode).
+        exclude_identifier:
+            Skip this stored identifier (leave-one-out evaluations).
+        """
+        self._require_open()
+        k = self.config.default_k if k is None else check_int_at_least(k, 1, "k")
+        requested = str(mode).strip().lower()
+        if requested not in _MODES:
+            raise ValidationError(
+                f"unknown query mode {mode!r}; choose one of {_MODES}"
+            )
+        snapshot = self._ensure_serving()
+        resolved = requested
+        if requested == "auto":
+            resolved = "indexed" if snapshot.searcher is not None else "exact"
+        if resolved == "indexed":
+            if snapshot.searcher is None:
+                raise WorkspaceError(
+                    "no fresh index is available (build_index() has not run "
+                    "since the last mutation); use mode='exact' or rebuild"
+                )
+            result = snapshot.searcher.query(
+                values, k,
+                candidates=candidates,
+                exclude_identifier=exclude_identifier,
+            )
+            return WorkspaceQueryResult(
+                hits=result.hits,
+                mode="indexed",
+                requested_mode=requested,
+                k=k,
+                collection_size=snapshot.size,
+                candidates_generated=result.candidates_generated,
+                generation_seconds=result.generation_seconds,
+                rerank_seconds=result.rerank_seconds,
+                stats=result.stats,
+            )
+        if self._batcher is not None:
+            engine_result = self._batcher.submit(
+                (snapshot, as_series(values, "values"), k, exclude_identifier)
+            )
+        else:
+            engine_result = snapshot.engine.query(
+                values, k, exclude_identifier=exclude_identifier
+            )
+        return WorkspaceQueryResult(
+            hits=engine_result.hits,
+            mode="exact",
+            requested_mode=requested,
+            k=k,
+            collection_size=snapshot.size,
+            candidates_generated=snapshot.size,
+            generation_seconds=0.0,
+            rerank_seconds=engine_result.stats.elapsed_seconds,
+            stats=engine_result.stats,
+        )
+
+    def knn(
+        self,
+        queries: Sequence[Union[Sequence[float], np.ndarray]],
+        k: Optional[int] = None,
+        *,
+        exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
+    ) -> BatchKNNResult:
+        """Exact batch k-NN over many queries in one engine call."""
+        self._require_open()
+        k = self.config.default_k if k is None else check_int_at_least(k, 1, "k")
+        snapshot = self._ensure_serving()
+        return snapshot.engine.knn(
+            queries, k, exclude_identifiers=exclude_identifiers
+        )
+
+    def _run_exact_batch(self, batch: List[QueryRequest]) -> None:
+        """Micro-batch runner: group coalesced requests and run one knn each.
+
+        Requests are grouped by (snapshot, k) — concurrent callers racing
+        a mutation may hold different snapshots, and the engine's batch
+        entry point takes one k for the whole batch.  Genuine batches are
+        executed through the engine's vectorised batch kernels (the
+        throughput rationale for coalescing; results are identical across
+        backends), while a lone request keeps the configured backend.
+        """
+        groups: Dict[Tuple[int, int], List[QueryRequest]] = {}
+        for request in batch:
+            snapshot, _, k, _ = request.payload
+            groups.setdefault((id(snapshot), k), []).append(request)
+        for requests in groups.values():
+            snapshot = requests[0].payload[0]
+            k = requests[0].payload[2]
+            try:
+                outcome = snapshot.engine.knn(
+                    [request.payload[1] for request in requests],
+                    k,
+                    exclude_identifiers=[
+                        request.payload[3] for request in requests
+                    ],
+                    backend=(
+                        "vectorized"
+                        if len(requests) > 1
+                        and snapshot.engine.backend == "serial"
+                        else None
+                    ),
+                )
+            except BaseException as exc:  # noqa: BLE001 - per-request delivery
+                for request in requests:
+                    request.fail(exc)
+                continue
+            for request, result in zip(requests, outcome.results):
+                request.resolve(result)
+
+    # ------------------------------------------------------------------ #
+    # Pairwise distances
+    # ------------------------------------------------------------------ #
+    def pairwise(
+        self,
+        x: Union[Sequence[float], np.ndarray],
+        y: Union[Sequence[float], np.ndarray],
+        constraint: Optional[str] = None,
+    ) -> SDTWResult:
+        """One sDTW distance between two arbitrary series.
+
+        Delegates to :class:`~repro.core.sdtw.SDTW` under the workspace
+        configuration; the default constraint is the engine's.
+        """
+        self._require_open()
+        with self._lock:
+            if self._pairwise is None:
+                self._pairwise = SDTW(self.config.sdtw)
+            engine = self._pairwise
+        return engine.distance(
+            x, y,
+            constraint=(
+                self.config.engine.constraint if constraint is None else constraint
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def stream(
+        self,
+        pattern: Union[Sequence[float], np.ndarray],
+        *,
+        threshold: float,
+        name: Optional[str] = None,
+        mode: str = "spring",
+        constraint: Optional[str] = None,
+        streams: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Register a query pattern on the embedded stream monitor.
+
+        Returns the pattern name.  Streams are runtime state: they are
+        *not* persisted in the workspace manifest (reopenings start with
+        an empty monitor).  Use :meth:`add_stream`, :meth:`push` and
+        :meth:`extend` to feed data, or work with :attr:`monitor`
+        directly for the full streaming API.
+        """
+        return self.monitor.add_pattern(
+            pattern,
+            threshold=threshold,
+            name=name,
+            mode=mode,
+            constraint=(
+                self.config.engine.constraint if constraint is None else constraint
+            ),
+            streams=streams,
+        )
+
+    def add_stream(
+        self, name: Optional[str] = None, *, capacity: Optional[int] = None
+    ) -> str:
+        """Register a stream on the embedded monitor; returns its name."""
+        return self.monitor.add_stream(name, capacity=capacity)
+
+    def push(self, stream: str, value: float) -> List[StreamMatch]:
+        """Feed one sample into a registered stream."""
+        return self.monitor.push(stream, value)
+
+    def extend(
+        self, stream: str, values: Union[Sequence[float], np.ndarray]
+    ) -> List[StreamMatch]:
+        """Feed many samples into a registered stream in order."""
+        return self.monitor.extend(stream, values)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self) -> str:
+        """Write the manifest, feature store and index; returns the manifest path.
+
+        Only valid on path-backed workspaces (create one with
+        :meth:`create`, or assign :attr:`path` before saving).
+        """
+        with self._lock:
+            if self.path is None:
+                raise WorkspaceError(
+                    "this workspace is in-memory; create it with "
+                    "Workspace.create(path) to persist"
+                )
+            os.makedirs(self.path, exist_ok=True)
+            store_file: Optional[str] = None
+            if self._identifiers:
+                store_file = STORE_NAME
+                self._store.save(os.path.join(self.path, STORE_NAME))
+            index_dir: Optional[str] = None
+            if self._index is not None and not self._index.stale:
+                index_dir = INDEX_DIR_NAME
+                from ..indexing import IndexWriter
+
+                IndexWriter(os.path.join(self.path, INDEX_DIR_NAME)).write(
+                    self._index.index,
+                    self._index.codebook,
+                    self._identifiers,
+                    self._labels,
+                    feature_store=self._store,
+                    extraction_config=self.config.sdtw,
+                )
+            else:
+                # A previously persisted index that is now stale (or was
+                # never built) is not referenced by the manifest; drop the
+                # orphaned directory so the on-disk layout matches it.
+                orphan = os.path.join(self.path, INDEX_DIR_NAME)
+                if os.path.isdir(orphan):
+                    shutil.rmtree(orphan)
+            manifest = {
+                "format": FORMAT_NAME,
+                "version": FORMAT_VERSION,
+                "created": manifest_timestamp(),
+                "config": self.config.to_dict(),
+                "series": [
+                    {"identifier": identifier, "label": label}
+                    for identifier, label in zip(self._identifiers, self._labels)
+                ],
+                "store_file": store_file,
+                "index_dir": index_dir,
+            }
+            manifest_path = os.path.join(self.path, MANIFEST_NAME)
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2)
+                handle.write("\n")
+            self._dirty = False
+            return manifest_path
+
+
+def manifest_timestamp() -> str:
+    """Seconds-resolution UTC timestamp recorded in workspace manifests."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+__all__ = ["Workspace", "WorkspaceQueryResult"]

@@ -101,7 +101,12 @@ class StreamMonitor:
     def add_stream(self, name: Optional[str] = None, *, capacity: Optional[int] = None) -> str:
         """Register a stream; returns its name."""
         if name is None:
-            name = f"stream-{len(self._buffers):03d}"
+            counter = len(self._buffers)
+            name = f"stream-{counter:03d}"
+            # Removals make len() non-monotone; skip surviving names.
+            while name in self._buffers:
+                counter += 1
+                name = f"stream-{counter:03d}"
         name = str(name)
         if name in self._buffers:
             raise ValidationError(f"stream {name!r} is already registered")
@@ -160,7 +165,12 @@ class StreamMonitor:
             )
         array = as_series(values, "pattern")
         if name is None:
-            name = f"pattern-{len(self._patterns):03d}"
+            counter = len(self._patterns)
+            name = f"pattern-{counter:03d}"
+            # Removals make len() non-monotone; skip surviving names.
+            while name in self._patterns:
+                counter += 1
+                name = f"pattern-{counter:03d}"
         name = str(name)
         if name in self._patterns:
             raise ValidationError(f"pattern {name!r} is already registered")
@@ -222,6 +232,31 @@ class StreamMonitor:
                 spec["values"].size, self.config, hop=spec["extractor_hop"]
             )
         return self._extractors[key]
+
+    def remove_pattern(self, name: str) -> None:
+        """Unregister a pattern and drop its matchers on every stream.
+
+        Pending (unsettled) candidates of the removed matchers are
+        discarded; call :meth:`finalize` first to flush them.
+        """
+        name = str(name)
+        if name not in self._patterns:
+            known = ", ".join(sorted(self._patterns)) or "(none)"
+            raise ValidationError(
+                f"unknown pattern {name!r}; registered: {known}"
+            )
+        del self._patterns[name]
+        for key in [k for k in self._matchers if k[1] == name]:
+            del self._matchers[key]
+
+    def remove_stream(self, name: str) -> None:
+        """Unregister a stream, dropping its buffer, matchers and extractors."""
+        self._require_stream(name)
+        del self._buffers[name]
+        for key in [k for k in self._matchers if k[0] == name]:
+            del self._matchers[key]
+        for key in [k for k in self._extractors if k[0] == name]:
+            del self._extractors[key]
 
     # ------------------------------------------------------------------ #
     # Ingest

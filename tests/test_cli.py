@@ -213,3 +213,107 @@ class TestIndexCommand:
     def test_stats_on_missing_directory_reports_error(self, tmp_path, capsys):
         assert main(["index", "stats", str(tmp_path / "nope")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestWorkspaceCommand:
+    def test_workspace_requires_subcommand(self, capsys):
+        assert main(["workspace"]) == 2
+        assert "subcommand" in capsys.readouterr().err
+
+    def test_init_add_query_stats_round_trip(self, tmp_path, capsys):
+        ws_dir = str(tmp_path / "ws")
+        assert main([
+            "workspace", "init", ws_dir, "--constraint", "fc,fw",
+            "--codewords", "24", "--shards", "2", "--candidates", "5",
+        ]) == 0
+        assert "Created workspace" in capsys.readouterr().out
+
+        assert main([
+            "workspace", "add", ws_dir, "gun-small", "--num-series", "10",
+            "--build-index",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Added 10 series" in out
+        assert "index: built" in out
+
+        assert main([
+            "workspace", "query", ws_dir, "--k", "3", "--num-queries", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "indexed C=" in out
+        assert "nearest" in out
+
+        assert main([
+            "workspace", "query", ws_dir, "--k", "3", "--num-queries", "1",
+            "--mode", "exact",
+        ]) == 0
+        assert "exact" in capsys.readouterr().out
+
+        assert main(["workspace", "stats", ws_dir]) == 0
+        out = capsys.readouterr().out
+        assert "series: 10" in out
+        assert "postings" in out
+
+    def test_add_without_index_leaves_exact_mode(self, tmp_path, capsys):
+        ws_dir = str(tmp_path / "ws")
+        assert main(["workspace", "init", ws_dir]) == 0
+        assert main([
+            "workspace", "add", ws_dir, "gun-small", "--num-series", "6",
+        ]) == 0
+        assert "exact scans" in capsys.readouterr().out
+        assert main([
+            "workspace", "query", ws_dir, "--k", "2", "--num-queries", "1",
+        ]) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_init_twice_reports_clean_error(self, tmp_path, capsys):
+        ws_dir = str(tmp_path / "ws")
+        assert main(["workspace", "init", ws_dir]) == 0
+        capsys.readouterr()
+        assert main(["workspace", "init", ws_dir]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_open_missing_workspace_reports_clean_error(self, tmp_path, capsys):
+        assert main(["workspace", "stats", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_query_on_empty_workspace_reports_error(self, tmp_path, capsys):
+        ws_dir = str(tmp_path / "ws")
+        assert main(["workspace", "init", ws_dir]) == 0
+        capsys.readouterr()
+        assert main(["workspace", "query", ws_dir]) == 2
+        assert "no series" in capsys.readouterr().err
+
+    def test_indexed_mode_without_index_reports_error(self, tmp_path, capsys):
+        ws_dir = str(tmp_path / "ws")
+        assert main(["workspace", "init", ws_dir]) == 0
+        assert main([
+            "workspace", "add", ws_dir, "gun-small", "--num-series", "6",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "workspace", "query", ws_dir, "--mode", "indexed",
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestErrorExitCodes:
+    def test_os_errors_map_to_exit_3_without_traceback(self, tmp_path, capsys):
+        target = str(tmp_path / "no-such-dir" / "table1.csv")
+        code = main([
+            "experiment", "table1", "--num-series", "4", "--csv", target,
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_repro_errors_map_to_exit_2(self, capsys):
+        assert main(["engine", "no-such-dataset"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err

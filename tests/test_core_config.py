@@ -144,3 +144,47 @@ class TestSDTWConfig:
     def test_configs_are_immutable(self):
         with pytest.raises(Exception):
             DEFAULT_CONFIG.width_fraction = 0.5  # type: ignore[misc]
+
+
+class TestDictRoundTrips:
+    """Every config dataclass persists through to_dict/from_dict exactly."""
+
+    def test_scale_space_round_trip(self):
+        config = ScaleSpaceConfig(num_octaves=3, levels_per_octave=4,
+                                  base_sigma=1.5, epsilon=0.02)
+        assert ScaleSpaceConfig.from_dict(config.to_dict()) == config
+
+    def test_descriptor_round_trip(self):
+        config = DescriptorConfig(num_bins=16, samples_per_cell=3,
+                                  normalize=False)
+        assert DescriptorConfig.from_dict(config.to_dict()) == config
+
+    def test_matching_round_trip(self):
+        config = MatchingConfig(max_amplitude_difference=0.5,
+                                require_distinctive=False)
+        assert MatchingConfig.from_dict(config.to_dict()) == config
+
+    def test_sdtw_round_trip_with_non_default_sections(self):
+        config = SDTWConfig(
+            scale_space=ScaleSpaceConfig(num_octaves=2),
+            descriptor=DescriptorConfig(num_bins=8),
+            matching=MatchingConfig(max_scale_ratio=2.0),
+            width_fraction=0.06,
+            adaptive_width_upper_bound=0.5,
+            symmetric_band=True,
+        )
+        rebuilt = SDTWConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.descriptor.num_bins == 8
+
+    def test_round_trip_is_json_compatible(self):
+        import json
+
+        payload = json.dumps(DEFAULT_CONFIG.to_dict())
+        assert SDTWConfig.from_dict(json.loads(payload)) == DEFAULT_CONFIG
+
+    def test_from_dict_still_validates(self):
+        payload = DescriptorConfig().to_dict()
+        payload["num_bins"] = 7
+        with pytest.raises(ConfigurationError):
+            DescriptorConfig.from_dict(payload)

@@ -15,7 +15,7 @@ from repro.retrieval.evaluation import (
     retrieval_accuracy,
     time_gain,
 )
-from repro.retrieval.index import DistanceIndex, compute_distance_index
+from repro.retrieval.index import PairwiseDistanceMatrix, compute_distance_index
 
 
 @pytest.fixture(scope="module")
@@ -37,6 +37,25 @@ def reference_index(collection):
 def constrained_index(collection, fast_config):
     engine = SDTW(fast_config)
     return compute_distance_index(collection, "ac,aw", engine, symmetrize=False)
+
+
+class TestDeprecatedAlias:
+    def test_distance_index_alias_warns_and_resolves(self):
+        import repro.retrieval.index as index_module
+
+        with pytest.warns(DeprecationWarning, match="PairwiseDistanceMatrix"):
+            alias = index_module.DistanceIndex
+        assert alias is PairwiseDistanceMatrix
+
+    def test_package_level_alias_warns(self):
+        import repro.retrieval as retrieval
+
+        with pytest.warns(DeprecationWarning):
+            alias = retrieval.DistanceIndex
+        assert alias is PairwiseDistanceMatrix
+
+    def test_compute_returns_canonical_class(self, reference_index):
+        assert isinstance(reference_index, PairwiseDistanceMatrix)
 
 
 class TestDistanceIndex:

@@ -28,6 +28,28 @@ def engine(config, dataset):
     return search
 
 
+class TestDeprecationShim:
+    def test_construction_emits_deprecation_warning(self, config):
+        with pytest.warns(DeprecationWarning, match="Workspace"):
+            TimeSeriesSearchEngine(config=config)
+
+    def test_shim_matches_workspace_exact_mode(self, config, dataset):
+        from repro.service import EngineConfig, Workspace, WorkspaceConfig
+
+        with pytest.warns(DeprecationWarning):
+            shim = TimeSeriesSearchEngine(constraint="fc,fw", config=config)
+        shim.add_dataset(dataset)
+        workspace = Workspace(WorkspaceConfig(
+            sdtw=config, engine=EngineConfig(constraint="fc,fw")))
+        workspace.add_dataset(dataset)
+        ours = shim.query(dataset[0].values, k=3,
+                          exclude_identifier=dataset[0].identifier)
+        want = workspace.query(dataset[0].values, 3, mode="exact",
+                               exclude_identifier=dataset[0].identifier)
+        assert tuple(h.identifier for h in ours.hits) == want.ids
+        assert tuple(h.distance for h in ours.hits) == want.distances
+
+
 class TestIndexing:
     def test_add_returns_identifier(self, config):
         search = TimeSeriesSearchEngine(config=config)

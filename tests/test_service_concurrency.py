@@ -1,0 +1,239 @@
+"""Concurrency tests for the Workspace: threaded reads must be
+serial-identical, with and without micro-batching, and must survive
+concurrent mutation."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_gun_like
+from repro.service import (
+    EngineConfig,
+    IndexConfig,
+    MicroBatcher,
+    ServingConfig,
+    Workspace,
+    WorkspaceConfig,
+)
+
+NUM_THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_gun_like(num_series=12, seed=29)
+
+
+def _config(micro_batch: bool) -> WorkspaceConfig:
+    return WorkspaceConfig(
+        engine=EngineConfig(constraint="fc,fw", backend="vectorized"),
+        index=IndexConfig(num_codewords=24, num_shards=2, candidate_budget=6),
+        serving=ServingConfig(micro_batch=micro_batch, batch_window_ms=1.0),
+        default_k=3,
+    )
+
+
+def _run_threaded(workspace, queries, *, mode="exact", repeats=2):
+    """Each of NUM_THREADS threads answers every query; returns all outcomes."""
+    results = [[None] * len(queries) for _ in range(NUM_THREADS)]
+    errors = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def worker(slot):
+        try:
+            barrier.wait()
+            for _ in range(repeats):
+                for qi, values in enumerate(queries):
+                    outcome = workspace.query(values, 3, mode=mode)
+                    results[slot][qi] = (outcome.ids, outcome.distances)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the test
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,))
+        for slot in range(NUM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestThreadedReads:
+    def test_eight_threads_serial_identical_exact(self, dataset):
+        workspace = Workspace(_config(micro_batch=False))
+        workspace.add_dataset(dataset)
+        queries = [ts.values for ts in dataset.series[:4]]
+        serial = [
+            (r.ids, r.distances)
+            for r in (workspace.query(q, 3, mode="exact") for q in queries)
+        ]
+        for per_thread in _run_threaded(workspace, queries):
+            assert per_thread == serial
+
+    def test_eight_threads_serial_identical_indexed(self, dataset):
+        workspace = Workspace(_config(micro_batch=False))
+        workspace.add_dataset(dataset)
+        workspace.build_index()
+        queries = [ts.values for ts in dataset.series[:4]]
+        serial = [
+            (r.ids, r.distances)
+            for r in (workspace.query(q, 3, mode="indexed") for q in queries)
+        ]
+        for per_thread in _run_threaded(workspace, queries, mode="indexed"):
+            assert per_thread == serial
+
+    def test_micro_batched_reads_bit_identical_to_unbatched(self, dataset):
+        unbatched = Workspace(_config(micro_batch=False))
+        unbatched.add_dataset(dataset)
+        batched = Workspace(_config(micro_batch=True))
+        batched.add_dataset(dataset)
+        queries = [ts.values for ts in dataset.series[:4]]
+        serial = [
+            (r.ids, r.distances)
+            for r in (unbatched.query(q, 3, mode="exact") for q in queries)
+        ]
+        for per_thread in _run_threaded(batched, queries):
+            assert per_thread == serial
+        batcher = batched._batcher
+        assert batcher is not None
+        assert batcher.requests_batched >= NUM_THREADS
+
+    def test_micro_batched_single_caller_works(self, dataset):
+        workspace = Workspace(_config(micro_batch=True))
+        workspace.add_dataset(dataset)
+        reference = Workspace(_config(micro_batch=False))
+        reference.add_dataset(dataset)
+        ours = workspace.query(dataset[0].values, 3, mode="exact")
+        want = reference.query(dataset[0].values, 3, mode="exact")
+        assert ours.ids == want.ids
+        assert ours.distances == want.distances
+
+
+class TestReadsDuringMutation:
+    def test_queries_survive_concurrent_adds(self, dataset):
+        """Readers racing add_batch never crash and never see a torn state;
+        once the writer finishes, results equal a serial engine over the
+        final collection."""
+        workspace = Workspace(_config(micro_batch=False))
+        first, rest = dataset.series[:6], dataset.series[6:]
+        workspace.add_batch(
+            [ts.values for ts in first],
+            [ts.identifier for ts in first],
+            [ts.label for ts in first],
+        )
+        queries = [ts.values for ts in first[:3]]
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                for values in queries:
+                    try:
+                        outcome = workspace.query(values, 2, mode="exact")
+                        assert len(outcome.hits) == 2
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(NUM_THREADS)]
+        for thread in threads:
+            thread.start()
+        for ts in rest:
+            workspace.add(ts.values, identifier=ts.identifier, label=ts.label)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+        final = Workspace(_config(micro_batch=False))
+        final.add_dataset(dataset)
+        for values in queries:
+            ours = workspace.query(values, 3, mode="exact")
+            want = final.query(values, 3, mode="exact")
+            assert ours.ids == want.ids
+            assert ours.distances == want.distances
+
+    def test_queries_survive_concurrent_build_index(self, dataset):
+        workspace = Workspace(_config(micro_batch=False))
+        workspace.add_dataset(dataset)
+        queries = [ts.values for ts in dataset.series[:3]]
+        serial = [
+            (r.ids, r.distances)
+            for r in (workspace.query(q, 3, mode="exact") for q in queries)
+        ]
+        errors = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                for qi, values in enumerate(queries):
+                    try:
+                        outcome = workspace.query(values, 3, mode="exact")
+                        assert (outcome.ids, outcome.distances) == serial[qi]
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        workspace.build_index()
+        done.set()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        assert workspace.has_index
+
+
+class TestMicroBatcher:
+    def test_concurrent_submissions_share_batches(self):
+        seen = []
+
+        def run_batch(batch):
+            seen.append(len(batch))
+            for request in batch:
+                request.resolve(request.payload * 2)
+
+        batcher = MicroBatcher(run_batch, window_seconds=0.05, max_batch=16)
+        results = [None] * 6
+        barrier = threading.Barrier(6)
+
+        def worker(slot):
+            barrier.wait()
+            results[slot] = batcher.submit(slot)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == [0, 2, 4, 6, 8, 10]
+        assert sum(seen) == 6
+        assert max(seen) >= 2
+
+    def test_runner_errors_propagate_to_every_caller(self):
+        def run_batch(batch):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(run_batch, window_seconds=0.0, max_batch=4)
+        with pytest.raises(RuntimeError, match="boom"):
+            batcher.submit(1)
+
+    def test_unresolved_requests_fail_instead_of_hanging(self):
+        def run_batch(batch):
+            pass  # resolves nothing
+
+        batcher = MicroBatcher(run_batch, window_seconds=0.0, max_batch=4)
+        with pytest.raises(RuntimeError, match="did not resolve"):
+            batcher.submit(1)
