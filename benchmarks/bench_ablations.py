@@ -12,7 +12,6 @@ Trace-like sample:
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import numpy as np
 import pytest

@@ -15,8 +15,6 @@ Run with ``PYTHONPATH=src python examples/stream_monitoring.py`` (or just
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.config import DescriptorConfig, SDTWConfig
 from repro.core.sdtw import SDTW
 from repro.datasets.generators import embed_pattern_stream, make_stream_patterns

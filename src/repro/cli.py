@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .core.sdtw import SDTW
 from .core.config import SDTWConfig
@@ -139,6 +139,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="subsample the collection to this many series")
     build.add_argument("--seed", type=int, default=7,
                        help="generation/sampling seed")
+    build.add_argument("--no-pq", action="store_true",
+                       help="skip fitting the residual product quantizer "
+                            "(disables rank-mode pq on this index)")
+    build.add_argument("--pq-subquantizers", type=int, default=8,
+                       help="PQ sub-quantizers / stored bytes per feature "
+                            "(default: 8)")
+    build.add_argument("--pq-bits", type=int, default=8,
+                       help="bits per PQ code, sub-codebook size 2^bits "
+                            "(default: 8)")
 
     query = index_sub.add_parser(
         "query", help="answer indexed k-NN queries against a persisted index")
@@ -151,6 +160,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--constraint", default="fc,fw",
                        help="re-ranking constraint: full, fc,fw, itakura, "
                             "fc,aw, ac,fw, ac,aw, ac2,aw (default: fc,fw)")
+    query.add_argument("--rank-mode", default="tfidf",
+                       choices=["tfidf", "pq"],
+                       help="stage-1 candidate ranking (pq needs an index "
+                            "built with PQ codes; default: tfidf)")
     query.add_argument("--exact", action="store_true",
                        help="bypass the index (full exhaustive scan)")
     query.add_argument("--no-mmap", action="store_true",
@@ -162,6 +175,15 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = index_sub.add_parser(
         "stats", help="print an index directory's manifest and shard table")
     stats.add_argument("index_dir", help="index directory written by 'index build'")
+
+    compact = index_sub.add_parser(
+        "compact",
+        help="fold an index's delta shards and tombstones into its base "
+             "shards (bit-identical to a from-scratch postings rebuild)")
+    compact.add_argument("index_dir", help="index directory written by 'index build'")
+    compact.add_argument("--shards", type=int, default=None,
+                         help="base shard count after compaction (default: "
+                              "keep the current count)")
 
     workspace = subparsers.add_parser(
         "workspace",
@@ -207,6 +229,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="query mode (default: auto)")
     ws_query.add_argument("--candidates", type=int, default=None,
                           help="candidate budget override (indexed mode)")
+    ws_query.add_argument("--rank-mode", default=None,
+                          choices=["tfidf", "pq"],
+                          help="stage-1 ranking override for indexed queries "
+                               "(default: the workspace configuration)")
     ws_query.add_argument("--num-queries", type=int, default=5,
                           help="how many stored series to replay as queries")
 
@@ -405,20 +431,22 @@ def _run_stream(args) -> int:
 
 def _run_index(args: argparse.Namespace) -> int:
     if args.index_command is None:
-        print("error: 'index' needs a subcommand: build, query or stats",
-              file=sys.stderr)
+        print("error: 'index' needs a subcommand: build, query, compact or "
+              "stats", file=sys.stderr)
         return 2
     if args.index_command == "build":
         return _run_index_build(args)
     if args.index_command == "query":
         return _run_index_query(args)
+    if args.index_command == "compact":
+        return _run_index_compact(args)
     return _run_index_stats(args)
 
 
 def _run_index_build(args: argparse.Namespace) -> int:
     import time
 
-    from .indexing import CodebookConfig, IndexedSearcher
+    from .indexing import CodebookConfig, IndexedSearcher, PQConfig
     from .utils.rng import rng_from_seed
 
     dataset = load_dataset(args.dataset, seed=args.seed)
@@ -435,6 +463,11 @@ def _run_index_build(args: argparse.Namespace) -> int:
             config, num_codewords=args.codewords, seed=args.seed,
         ),
         num_shards=args.shards,
+        pq_config=None if args.no_pq else PQConfig(
+            subquantizers=args.pq_subquantizers,
+            bits=args.pq_bits,
+            seed=args.seed,
+        ),
     )
     manifest_path = searcher.save(args.output)
     elapsed = time.perf_counter() - started
@@ -443,6 +476,10 @@ def _run_index_build(args: argparse.Namespace) -> int:
           f"{elapsed:.2f}s")
     print(f"codebook: {searcher.codebook.num_codewords} codewords; "
           f"postings: {index.num_postings} across {len(index.shards)} shards")
+    if searcher.pq is not None:
+        print(f"pq: {searcher.pq.code_bytes} bytes/feature over "
+              f"{index.num_pq_postings} coded features "
+              f"({searcher.pq.compression_ratio:.1f}x vs raw residuals)")
     print(f"manifest: {manifest_path}")
     return 0
 
@@ -454,6 +491,7 @@ def _run_index_query(args: argparse.Namespace) -> int:
     reader = IndexReader.open(args.index_dir, mmap=not args.no_mmap)
     searcher = IndexedSearcher.from_reader(
         reader, constraint=args.constraint, candidate_budget=args.candidates,
+        rank_mode=args.rank_mode,
     )
     num_queries = max(1, min(args.num_queries, len(searcher)))
     stored = searcher.engine.stored_items()[:num_queries]
@@ -514,18 +552,73 @@ def _run_index_stats(args: argparse.Namespace) -> int:
 
     reader = IndexReader.open(args.index_dir)
     manifest = reader.manifest
+    index = reader.index
     print(f"Index at {args.index_dir}")
     print(f"format: {manifest['format']} v{manifest['version']}")
     print(f"series: {manifest['num_series']}  "
           f"codewords: {manifest['num_codewords']}  "
           f"postings: {manifest['num_postings']}  "
           f"descriptor bins: {manifest['descriptor_bins']}")
+    print(f"live series: {index.num_live}  "
+          f"delta shards: {index.num_delta_shards}  "
+          f"tombstones: {index.num_tombstones}")
+    if reader.pq is not None:
+        print(f"pq: {reader.pq.code_bytes} bytes/feature over "
+              f"{index.num_pq_postings} coded features "
+              f"(compression {reader.pq.compression_ratio:.1f}x vs raw "
+              f"residuals)")
+    else:
+        print("pq: none (TF-IDF candidate ranking only)")
     store = reader.store_path
     print(f"feature store: {store if store else '(none)'}")
     print()
     print(format_table(
         ["shard", "codeword range", "codewords", "postings", "size"],
         reader.stats_rows(), title="Shards"))
+    return 0
+
+
+def _run_index_compact(args: argparse.Namespace) -> int:
+    import time
+
+    from .indexing import IndexReader, IndexWriter
+
+    reader = IndexReader.open(args.index_dir, mmap=False)
+    index = reader.index
+    deltas, tombstones = index.num_delta_shards, index.num_tombstones
+    if not deltas and not tombstones:
+        print(f"Index at {args.index_dir} has no delta shards or tombstones; "
+              f"nothing to compact")
+        return 0
+    started = time.perf_counter()
+    num_shards = args.shards if args.shards is not None else len(index.shards)
+    compacted, slot_map = index.compact(num_shards=num_shards)
+    live_identifiers = [
+        identifier for slot, identifier in enumerate(reader.identifiers)
+        if slot_map[slot] >= 0
+    ]
+    live_labels = [
+        reader.labels[slot] for slot in range(len(reader.identifiers))
+        if slot_map[slot] >= 0
+    ]
+    feature_store = None
+    if reader.store_path is not None:
+        feature_store = reader.load_feature_store(
+            config=reader.extraction_config()
+        )
+    IndexWriter(args.index_dir).write(
+        compacted,
+        reader.codebook,
+        live_identifiers,
+        live_labels,
+        feature_store=feature_store,
+        extraction_config=reader.extraction_config(),
+        pq=reader.pq,
+    )
+    elapsed = time.perf_counter() - started
+    print(f"Compacted {deltas} delta shards and {tombstones} tombstones into "
+          f"{len(compacted.shards)} base shards in {elapsed:.2f}s")
+    print(f"postings: {compacted.num_postings} over {compacted.num_live} series")
     return 0
 
 
@@ -609,6 +702,7 @@ def _run_workspace_query(args: argparse.Namespace) -> int:
                 workspace.series_of(identifier), args.k,
                 mode=args.mode, candidates=args.candidates,
                 exclude_identifier=identifier,
+                rank_mode=args.rank_mode,
             )
             top = result.hits[0] if result.hits else None
             rows.append([
@@ -645,6 +739,12 @@ def _run_workspace_stats(args: argparse.Namespace) -> int:
             index["stale"]) else "fresh"
         print(f"index: {index['num_postings']} postings over "
               f"{index['num_codewords']} codewords ({state})")
+        print(f"index slots: {index['num_live']} live of "
+              f"{index['num_slots']}  delta shards: {index['delta_shards']}  "
+              f"tombstones: {index['tombstones']}")
+        ratio = index["pq_compression_ratio"]
+        print(f"index rank mode: {index['rank_mode']}  pq compression: "
+              f"{'none' if ratio is None else f'{ratio:.1f}x'}")
     return 0
 
 

@@ -23,7 +23,7 @@ bridges (the paper's gap-bridging rule).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -26,8 +26,6 @@ import bisect
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..utils.stats import safe_divide
 from .config import MatchingConfig
 from .matching import MatchedPair

@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
-
 from ..exceptions import ValidationError
 from .consistency import ConsistentAlignment
 

@@ -20,7 +20,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from .config import ScaleSpaceConfig
-from .scale_space import ScaleLevel, ScaleSpace, classify_scale
+from .scale_space import ScaleSpace, classify_scale
 
 
 @dataclass(frozen=True)

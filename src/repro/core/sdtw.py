@@ -17,13 +17,13 @@ measure used throughout Section 4.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .._validation import as_series
-from ..dtw.banded import BandedDTWResult, banded_dtw, band_cell_count
+from ..dtw.banded import BandedDTWResult, banded_dtw
 from ..dtw.constraints import full_band
 from ..dtw.full import dtw
 from ..dtw.path import WarpPath

@@ -23,7 +23,7 @@ temporal features preserved, time skewed differently in different places).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ linear time and space"):
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import Sequence, Union
 
 import numpy as np
 

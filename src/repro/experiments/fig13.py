@@ -8,7 +8,7 @@ the time gain and its hardware-independent cell-gain analogue.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from .runner import (
     AlgorithmSpec,

@@ -10,9 +10,7 @@ machinery plus the canonical algorithm roster of Section 4.3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence
 
 from ..core.config import SDTWConfig
 from ..core.sdtw import SDTW

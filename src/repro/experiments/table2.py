@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.config import SDTWConfig, ScaleSpaceConfig
+from ..core.config import SDTWConfig
 from ..core.features import count_features_by_scale, extract_salient_features
 from .runner import ExperimentResult, load_experiment_dataset
 

@@ -30,7 +30,13 @@ package as its ``indexed`` query mode.
 
 from .codebook import Codebook, CodebookConfig, feature_embedding
 from .postings import InvertedIndex, inverse_document_frequencies
-from .searcher import IndexedSearchResult, IndexedSearcher, RecallReport
+from .pq import PQConfig, ResidualPQ
+from .searcher import (
+    IndexedSearchResult,
+    IndexedSearcher,
+    RecallReport,
+    pq_entry_for,
+)
 from .shards import IndexShard, load_npz, mmap_npz
 from .store import IndexReader, IndexWriter
 
@@ -43,9 +49,12 @@ __all__ = [
     "IndexedSearchResult",
     "IndexedSearcher",
     "InvertedIndex",
+    "PQConfig",
     "RecallReport",
+    "ResidualPQ",
     "feature_embedding",
     "inverse_document_frequencies",
     "load_npz",
     "mmap_npz",
+    "pq_entry_for",
 ]

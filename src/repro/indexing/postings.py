@@ -13,6 +13,27 @@ postings mass.  Shards are the persistence unit: on disk each one is an
 uncompressed ``.npz`` that reopens as memory-mapped arrays, so the
 scoring loop below works identically on a freshly built in-memory index
 and on an index paged in from disk.
+
+Incremental maintenance (format version 2) follows the classic
+LSM/tombstone recipe over *immutable* shard sets:
+
+* :meth:`InvertedIndex.add_series` appends one small **delta shard**
+  covering the whole codeword space — O(new features), no refit, no
+  rebuild.  Delta postings are weighted with the index's frozen IDF
+  table (the usual, documented drift until the next compaction).
+* :meth:`InvertedIndex.remove_series` **tombstones** a series slot;
+  tombstoned slots are masked out of every score and candidate list but
+  their postings stay on disk until compaction.
+* :meth:`InvertedIndex.compact` folds base + delta shards minus
+  tombstones into a fresh base shard set, recomputing document
+  frequencies and TF-IDF weights from the raw per-posting ``counts`` —
+  the result is bit-identical to :meth:`InvertedIndex.from_bags` over
+  the surviving bags (and therefore to a from-scratch rebuild under the
+  same frozen codebook).
+
+Existing shards are never mutated in place: mutators only append to (or
+replace) the shard list, so readers holding a reference to an index
+snapshot keep scoring a consistent shard set without locks.
 """
 
 from __future__ import annotations
@@ -26,6 +47,8 @@ from ..exceptions import ValidationError
 from .shards import IndexShard
 
 Bag = Tuple[np.ndarray, np.ndarray]
+# One series' rank-0 PQ payload: (codeword per feature, (F, M) uint8 codes).
+PQEntry = Tuple[np.ndarray, np.ndarray]
 
 
 def inverse_document_frequencies(
@@ -57,19 +80,74 @@ def _split_codeword_ranges(
     return ranges or [(0, num_codewords)]
 
 
+def _csr_for_range(
+    codeword_column: np.ndarray, lo: int, hi: int
+) -> Tuple[int, int, np.ndarray, np.ndarray]:
+    """CSR pieces for one codeword range of a sorted codeword column."""
+    start = int(np.searchsorted(codeword_column, lo, side="left"))
+    stop = int(np.searchsorted(codeword_column, hi, side="left"))
+    local = codeword_column[start:stop]
+    unique, first_positions = np.unique(local, return_index=True)
+    offsets = np.concatenate([first_positions, [local.size]]).astype(np.int64)
+    return start, stop, unique.astype(np.int32), offsets
+
+
+def _sorted_columns(
+    per_series_codewords: Sequence[np.ndarray],
+    per_series_payloads: Sequence[Sequence[np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+    """Scatter per-series columns into codeword-major, series-minor order.
+
+    The lexsort is stable, so entries sharing a ``(codeword, series)``
+    pair keep their per-series input order — this is what makes a
+    compaction's output bit-identical to a fresh build.
+    """
+    codeword_parts: List[np.ndarray] = []
+    series_parts: List[np.ndarray] = []
+    payload_parts: List[List[np.ndarray]] = [[] for _ in per_series_payloads[0]] if (
+        per_series_codewords and per_series_payloads
+    ) else []
+    for series_index, codewords in enumerate(per_series_codewords):
+        codewords = np.asarray(codewords, dtype=np.int64)
+        if not codewords.size:
+            continue
+        codeword_parts.append(codewords)
+        series_parts.append(np.full(codewords.size, series_index, dtype=np.int64))
+        for column, payload in enumerate(per_series_payloads[series_index]):
+            payload_parts[column].append(payload)
+    if not codeword_parts:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            [np.zeros(0) for _ in payload_parts],
+        )
+    codeword_column = np.concatenate(codeword_parts)
+    series_column = np.concatenate(series_parts)
+    order = np.lexsort((series_column, codeword_column))
+    payloads = [np.concatenate(parts)[order] for parts in payload_parts]
+    return codeword_column[order], series_column[order], payloads
+
+
 class InvertedIndex:
     """TF-IDF scored candidate generation over sharded postings.
 
     Parameters
     ----------
     num_series:
-        Size of the indexed collection.
+        Number of series *slots* the index covers (live plus
+        tombstoned).  Slots are assigned in insertion order and are
+        never reused until :meth:`compact` renumbers them.
     num_codewords:
         Size of the codeword space (the codebook's effective k).
     shards:
-        Postings shards in ascending codeword order.
+        Base postings shards in ascending codeword order.
     idf:
         Inverse document frequency per codeword, ``(num_codewords,)``.
+    delta_shards:
+        Incremental shards appended by :meth:`add_series`; each covers
+        the whole codeword space.
+    tombstones:
+        Boolean mask of removed slots, ``(num_series,)``.
     """
 
     def __init__(
@@ -78,6 +156,9 @@ class InvertedIndex:
         num_codewords: int,
         shards: Sequence[IndexShard],
         idf: np.ndarray,
+        *,
+        delta_shards: Optional[Sequence[IndexShard]] = None,
+        tombstones: Optional[np.ndarray] = None,
     ) -> None:
         self.num_series = check_int_at_least(num_series, 1, "num_series")
         self.num_codewords = check_int_at_least(num_codewords, 1, "num_codewords")
@@ -94,6 +175,18 @@ class InvertedIndex:
             covered = shard.last_codeword
         if self.shards[0].first_codeword != 0 or covered != self.num_codewords:
             raise ValidationError("shards must cover the whole codeword space")
+        self.delta_shards = list(delta_shards) if delta_shards is not None else []
+        for shard in self.delta_shards:
+            if shard.first_codeword != 0 or shard.last_codeword != self.num_codewords:
+                raise ValidationError(
+                    "delta shards must cover the whole codeword space"
+                )
+        if tombstones is None:
+            self.tombstones = np.zeros(self.num_series, dtype=bool)
+        else:
+            self.tombstones = np.asarray(tombstones, dtype=bool).copy()
+            if self.tombstones.shape != (self.num_series,):
+                raise ValidationError("tombstones must have one entry per slot")
         self._shard_starts = np.array(
             [shard.first_codeword for shard in self.shards], dtype=int
         )
@@ -108,6 +201,7 @@ class InvertedIndex:
         num_codewords: int,
         *,
         num_shards: int = 1,
+        pq_entries: Optional[Sequence[Optional[PQEntry]]] = None,
     ) -> "InvertedIndex":
         """Build an in-memory index from per-series bags of codewords.
 
@@ -115,11 +209,22 @@ class InvertedIndex:
         :meth:`repro.indexing.codebook.Codebook.bag`.  Term frequencies
         are IDF-weighted and L2-normalised per series before being
         scattered into the postings lists, so posting weights can be
-        dot-producted directly.
+        dot-producted directly; the raw counts are stored alongside so a
+        later compaction can recompute the weights exactly.
+
+        Parameters
+        ----------
+        pq_entries:
+            Optional per-series PQ payloads, one ``(codewords, codes)``
+            pair per series (rank-0 codeword per feature in feature
+            order, plus the matching ``(F, M)`` ``uint8`` code rows) —
+            or ``None`` for series without features.
         """
         num_series = len(bags)
         if num_series == 0:
             raise ValidationError("cannot build an index over zero series")
+        if pq_entries is not None and len(pq_entries) != num_series:
+            raise ValidationError("pq_entries must have one entry per series")
         num_codewords = check_int_at_least(num_codewords, 1, "num_codewords")
         document_frequency = np.zeros(num_codewords)
         for codewords, counts in bags:
@@ -132,55 +237,86 @@ class InvertedIndex:
         idf = inverse_document_frequencies(document_frequency, num_series)
 
         # Normalised per-series weights, scattered codeword-major.
-        all_codewords: List[np.ndarray] = []
-        all_series: List[np.ndarray] = []
-        all_weights: List[np.ndarray] = []
-        for series_index, (codewords, counts) in enumerate(bags):
+        per_series_codewords: List[np.ndarray] = []
+        per_series_payloads: List[List[np.ndarray]] = []
+        for codewords, counts in bags:
             codewords = np.asarray(codewords, dtype=np.int64)
-            if not codewords.size:
-                continue
-            weights = np.asarray(counts, dtype=float) * idf[codewords]
+            counts = np.asarray(counts, dtype=np.float64)
+            weights = counts * idf[codewords]
             norm = float(np.linalg.norm(weights))
             if norm > 0.0:
                 weights = weights / norm
-            all_codewords.append(codewords)
-            all_series.append(np.full(codewords.size, series_index, dtype=np.int64))
-            all_weights.append(weights)
-        if all_codewords:
-            codeword_column = np.concatenate(all_codewords)
-            series_column = np.concatenate(all_series)
-            weight_column = np.concatenate(all_weights).astype(np.float32)
+            per_series_codewords.append(codewords)
+            per_series_payloads.append([weights.astype(np.float32), counts])
+        codeword_column, series_column, (weight_column, count_column) = (
+            _sorted_columns(per_series_codewords, per_series_payloads)
+        )
+
+        code_width = 0
+        if pq_entries is not None:
+            pq_per_series_codewords: List[np.ndarray] = []
+            pq_per_series_payloads: List[List[np.ndarray]] = []
+            for entry in pq_entries:
+                if entry is None:
+                    pq_per_series_codewords.append(np.zeros(0, dtype=np.int64))
+                    pq_per_series_payloads.append(
+                        [np.zeros((0, 0), dtype=np.uint8)]
+                    )
+                    continue
+                entry_codewords = np.asarray(entry[0], dtype=np.int64)
+                entry_codes = np.atleast_2d(np.asarray(entry[1], dtype=np.uint8))
+                if entry_codewords.size != entry_codes.shape[0]:
+                    raise ValidationError(
+                        "pq entry must carry one code row per assigned feature"
+                    )
+                if entry_codewords.size:
+                    code_width = max(code_width, entry_codes.shape[1])
+                pq_per_series_codewords.append(entry_codewords)
+                pq_per_series_payloads.append([entry_codes])
+            if code_width == 0:
+                # No series carried any encoded feature; skip the PQ
+                # structure entirely rather than building empty CSRs.
+                pq_codeword_column = None
+            else:
+                for payloads in pq_per_series_payloads:
+                    if payloads[0].shape[0] == 0:
+                        payloads[0] = np.zeros((0, code_width), dtype=np.uint8)
+                pq_codeword_column, pq_series_column, (pq_code_column,) = (
+                    _sorted_columns(pq_per_series_codewords, pq_per_series_payloads)
+                )
+                pq_code_column = np.asarray(pq_code_column, dtype=np.uint8).reshape(
+                    -1, code_width
+                )
         else:
-            codeword_column = np.zeros(0, dtype=np.int64)
-            series_column = np.zeros(0, dtype=np.int64)
-            weight_column = np.zeros(0, dtype=np.float32)
-        # Codeword-major, series-minor ordering makes postings lists
-        # contiguous and deterministically ordered.
-        order = np.lexsort((series_column, codeword_column))
-        codeword_column = codeword_column[order]
-        series_column = series_column[order]
-        weight_column = weight_column[order]
+            pq_codeword_column = None
 
         postings_per_codeword = np.bincount(
             codeword_column, minlength=num_codewords
         )
         shards = []
         for lo, hi in _split_codeword_ranges(postings_per_codeword, num_shards):
-            start = int(np.searchsorted(codeword_column, lo, side="left"))
-            stop = int(np.searchsorted(codeword_column, hi, side="left"))
-            local_codewords = codeword_column[start:stop]
-            unique, first_positions = np.unique(local_codewords, return_index=True)
-            offsets = np.concatenate(
-                [first_positions, [local_codewords.size]]
-            ).astype(np.int64)
+            start, stop, unique, offsets = _csr_for_range(codeword_column, lo, hi)
+            pq_members = {}
+            if pq_codeword_column is not None:
+                pq_start, pq_stop, pq_unique, pq_offsets = _csr_for_range(
+                    pq_codeword_column, lo, hi
+                )
+                pq_members = {
+                    "pq_codeword_ids": pq_unique,
+                    "pq_offsets": pq_offsets,
+                    "pq_series": pq_series_column[pq_start:pq_stop].astype(np.int32),
+                    "pq_codes": pq_code_column[pq_start:pq_stop],
+                }
             shards.append(
                 IndexShard(
                     first_codeword=int(lo),
                     last_codeword=int(hi),
-                    codeword_ids=unique.astype(np.int32),
+                    codeword_ids=unique,
                     offsets=offsets,
                     series=series_column[start:stop].astype(np.int32),
                     weights=weight_column[start:stop],
+                    counts=count_column[start:stop],
+                    **pq_members,
                 )
             )
         return cls(
@@ -191,11 +327,250 @@ class InvertedIndex:
         )
 
     # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    @property
+    def num_live(self) -> int:
+        """Series slots that have not been tombstoned."""
+        return int(self.num_series - self.tombstones.sum())
+
+    @property
+    def num_delta_shards(self) -> int:
+        return len(self.delta_shards)
+
+    @property
+    def num_tombstones(self) -> int:
+        return int(self.tombstones.sum())
+
+    @property
+    def has_pq(self) -> bool:
+        """Whether any shard carries PQ code postings."""
+        return any(s.has_pq for s in self.shards) or any(
+            s.has_pq for s in self.delta_shards
+        )
+
+    @property
+    def supports_incremental(self) -> bool:
+        """Whether every shard carries the raw counts compaction needs."""
+        return all(s.has_counts for s in self.shards) and all(
+            s.has_counts for s in self.delta_shards
+        )
+
+    def clone(self) -> "InvertedIndex":
+        """A copy sharing the (immutable) shard objects.
+
+        Mutating the clone via :meth:`add_series` / :meth:`remove_series`
+        never affects the original: shard payload arrays are never
+        written in place, only the clone's shard list and tombstone mask
+        change.  This is how serving snapshots stay lock-free while a
+        writer prepares the next index state.
+        """
+        return InvertedIndex(
+            num_series=self.num_series,
+            num_codewords=self.num_codewords,
+            shards=self.shards,
+            idf=self.idf,
+            delta_shards=self.delta_shards,
+            tombstones=self.tombstones,
+        )
+
+    def add_series(self, bag: Bag, pq_entry: Optional[PQEntry] = None) -> int:
+        """Append one series as a delta shard; returns its new slot id.
+
+        Cost is O(bag size): the new postings are weighted with the
+        index's *frozen* IDF table (document frequencies drift until the
+        next :meth:`compact`) and wrapped into one immutable delta shard
+        covering the whole codeword space.  Existing shards are not
+        touched.
+        """
+        slot = self.num_series
+        codewords = np.asarray(bag[0], dtype=np.int64)
+        counts = np.asarray(bag[1], dtype=np.float64)
+        if codewords.size and (
+            codewords.min() < 0 or codewords.max() >= self.num_codewords
+        ):
+            raise ValidationError("bag codeword id outside the codebook range")
+        if codewords.size and np.any(np.diff(codewords) <= 0):
+            raise ValidationError("bag codewords must be sorted and unique")
+        weights = counts * self.idf[codewords]
+        norm = float(np.linalg.norm(weights))
+        if norm > 0.0:
+            weights = weights / norm
+        pq_members = {}
+        if pq_entry is not None:
+            entry_codewords = np.asarray(pq_entry[0], dtype=np.int64)
+            entry_codes = np.atleast_2d(np.asarray(pq_entry[1], dtype=np.uint8))
+            if entry_codewords.size != entry_codes.shape[0]:
+                raise ValidationError(
+                    "pq entry must carry one code row per assigned feature"
+                )
+            order = np.argsort(entry_codewords, kind="stable")
+            sorted_codewords = entry_codewords[order]
+            unique, first_positions = np.unique(sorted_codewords, return_index=True)
+            pq_members = {
+                "pq_codeword_ids": unique.astype(np.int32),
+                "pq_offsets": np.concatenate(
+                    [first_positions, [sorted_codewords.size]]
+                ).astype(np.int64),
+                "pq_series": np.full(sorted_codewords.size, slot, dtype=np.int32),
+                "pq_codes": entry_codes[order],
+            }
+        if codewords.size or pq_members:
+            self.delta_shards.append(
+                IndexShard(
+                    first_codeword=0,
+                    last_codeword=self.num_codewords,
+                    codeword_ids=codewords.astype(np.int32),
+                    offsets=np.arange(codewords.size + 1, dtype=np.int64),
+                    series=np.full(codewords.size, slot, dtype=np.int32),
+                    weights=weights.astype(np.float32),
+                    counts=counts,
+                    **pq_members,
+                )
+            )
+        self.num_series = slot + 1
+        self.tombstones = np.append(self.tombstones, False)
+        return slot
+
+    def remove_series(self, slot: int) -> None:
+        """Tombstone one series slot (postings removed at compaction)."""
+        slot = int(slot)
+        if not 0 <= slot < self.num_series:
+            raise ValidationError(
+                f"slot {slot} is outside this index's {self.num_series} slots"
+            )
+        tombstones = self.tombstones.copy()
+        tombstones[slot] = True
+        self.tombstones = tombstones
+
+    def _gather_columns(self, pq: bool):
+        """All postings columns across base + delta shards, in shard order."""
+        codeword_parts: List[np.ndarray] = []
+        series_parts: List[np.ndarray] = []
+        payload_parts: List[np.ndarray] = []
+        for shard in list(self.shards) + list(self.delta_shards):
+            if pq:
+                if not shard.has_pq:
+                    continue
+                lengths = np.diff(np.asarray(shard.pq_offsets, dtype=np.int64))
+                codeword_parts.append(
+                    np.repeat(np.asarray(shard.pq_codeword_ids, dtype=np.int64),
+                              lengths)
+                )
+                series_parts.append(np.asarray(shard.pq_series, dtype=np.int64))
+                payload_parts.append(np.asarray(shard.pq_codes, dtype=np.uint8))
+            else:
+                if not shard.has_counts:
+                    raise ValidationError(
+                        "cannot compact an index whose shards were written "
+                        "without raw counts (format version 1); rebuild it"
+                    )
+                lengths = np.diff(np.asarray(shard.offsets, dtype=np.int64))
+                codeword_parts.append(
+                    np.repeat(np.asarray(shard.codeword_ids, dtype=np.int64),
+                              lengths)
+                )
+                series_parts.append(np.asarray(shard.series, dtype=np.int64))
+                payload_parts.append(np.asarray(shard.counts, dtype=np.float64))
+        if not codeword_parts:
+            empty_payload = (
+                np.zeros((0, 0), dtype=np.uint8) if pq else np.zeros(0)
+            )
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), (
+                empty_payload
+            )
+        return (
+            np.concatenate(codeword_parts),
+            np.concatenate(series_parts),
+            np.concatenate(payload_parts),
+        )
+
+    def compact(self, *, num_shards: int = 1) -> Tuple["InvertedIndex", np.ndarray]:
+        """Merge base + delta shards, dropping tombstoned series.
+
+        Returns ``(compacted, slot_map)``: a fresh index over the live
+        series renumbered ``0..num_live-1`` in slot order, and the
+        old-slot -> new-slot mapping (``-1`` for tombstoned slots).
+        Document frequencies and TF-IDF weights are recomputed from the
+        stored raw counts, so the result is **bit-identical** to
+        :meth:`from_bags` over the surviving bags — i.e. to a
+        from-scratch rebuild with the same codebook.
+        """
+        live = ~self.tombstones
+        if not live.any():
+            raise ValidationError("cannot compact an index with every slot removed")
+        slot_map = np.full(self.num_series, -1, dtype=np.int64)
+        slot_map[live] = np.arange(int(live.sum()), dtype=np.int64)
+
+        codewords, series, counts = self._gather_columns(pq=False)
+        keep = live[series] if series.size else np.zeros(0, dtype=bool)
+        codewords, series, counts = codewords[keep], series[keep], counts[keep]
+        # Per-series bags, codewords ascending — exactly what the
+        # original builds passed to from_bags.
+        order = np.lexsort((codewords, series))
+        codewords, series, counts = (
+            codewords[order], slot_map[series[order]], counts[order],
+        )
+        num_live = int(live.sum())
+        bags: List[Bag] = [
+            (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64))
+            for _ in range(num_live)
+        ]
+        if series.size:
+            boundaries = np.flatnonzero(np.diff(series)) + 1
+            for block_series, block_codewords, block_counts in zip(
+                np.split(series, boundaries),
+                np.split(codewords, boundaries),
+                np.split(counts, boundaries),
+            ):
+                bags[int(block_series[0])] = (block_codewords, block_counts)
+
+        pq_entries: Optional[List[Optional[PQEntry]]] = None
+        if self.has_pq:
+            pq_codewords, pq_series, pq_codes = self._gather_columns(pq=True)
+            keep = live[pq_series] if pq_series.size else np.zeros(0, dtype=bool)
+            pq_codewords, pq_series, pq_codes = (
+                pq_codewords[keep], pq_series[keep], pq_codes[keep],
+            )
+            # Stable series-major regrouping: within a series the
+            # (codeword, original order) pairs survive every merge, so
+            # the rebuilt CSR matches a fresh build bit for bit.
+            order = np.argsort(pq_series, kind="stable")
+            pq_codewords, pq_series, pq_codes = (
+                pq_codewords[order], slot_map[pq_series[order]], pq_codes[order],
+            )
+            pq_entries = [None] * num_live
+            if pq_series.size:
+                boundaries = np.flatnonzero(np.diff(pq_series)) + 1
+                for block_series, block_codewords, block_codes in zip(
+                    np.split(pq_series, boundaries),
+                    np.split(pq_codewords, boundaries),
+                    np.split(pq_codes, boundaries),
+                ):
+                    pq_entries[int(block_series[0])] = (
+                        block_codewords, block_codes,
+                    )
+
+        compacted = InvertedIndex.from_bags(
+            bags, self.num_codewords,
+            num_shards=num_shards, pq_entries=pq_entries,
+        )
+        return compacted, slot_map
+
+    # ------------------------------------------------------------------ #
     # Querying
     # ------------------------------------------------------------------ #
     @property
     def num_postings(self) -> int:
-        return sum(shard.num_postings for shard in self.shards)
+        return sum(shard.num_postings for shard in self.shards) + sum(
+            shard.num_postings for shard in self.delta_shards
+        )
+
+    @property
+    def num_pq_postings(self) -> int:
+        return sum(shard.num_pq_postings for shard in self.shards) + sum(
+            shard.num_pq_postings for shard in self.delta_shards
+        )
 
     @property
     def is_memory_mapped(self) -> bool:
@@ -221,7 +596,8 @@ class InvertedIndex:
         Returns ``(scores, touched)``: the score vector and a boolean
         mask of series that share at least one codeword with the query
         (series outside the mask were never visited — that is the
-        sublinear part).
+        sublinear part).  Tombstoned slots always score zero and are
+        never marked touched.
         """
         codewords, weights = self.query_weights(bag)
         scores = np.zeros(self.num_series)
@@ -242,16 +618,40 @@ class InvertedIndex:
             # in-memory and reopened indexes scoring bit-identically.
             scores[series] += weights[position] * posting_weights.astype(float)
             touched[series] = True
+        for shard in self.delta_shards:
+            for position in range(codewords.size):
+                series, posting_weights = shard.postings_of(int(codewords[position]))
+                if not series.size:
+                    continue
+                scores[series] += weights[position] * posting_weights.astype(float)
+                touched[series] = True
+        if self.num_tombstones:
+            scores[self.tombstones] = 0.0
+            touched[self.tombstones] = False
         return scores, touched
+
+    def pq_postings_segments(self, codeword: int):
+        """Yield ``(series, codes)`` PQ postings of one codeword per shard."""
+        codeword = int(codeword)
+        shard_index = int(
+            np.searchsorted(self._shard_starts, codeword, side="right") - 1
+        )
+        for shard in [self.shards[shard_index]] + list(self.delta_shards):
+            if not shard.has_pq:
+                continue
+            series, codes = shard.pq_postings_of(codeword)
+            if series.size:
+                yield series, codes
 
     def candidates(self, bag: Bag, limit: Optional[int] = None) -> np.ndarray:
         """Ranked candidate series indices for a query bag.
 
         Series sharing codewords with the query come first, by descending
         score with ascending index as the deterministic tie-break; when
-        *limit* exceeds the number of scored series the remaining indices
-        follow in ascending order, so ``limit >= num_series`` always
-        degrades to the full collection (the exactness escape hatch).
+        *limit* exceeds the number of scored series the remaining *live*
+        indices follow in ascending order, so ``limit >= num_live``
+        always degrades to the full live collection (the exactness
+        escape hatch).  Tombstoned slots are never returned.
         """
         if limit is None:
             limit = self.num_series
@@ -261,7 +661,7 @@ class InvertedIndex:
         ranked = scored[np.lexsort((scored, -scores[scored]))]
         if ranked.size >= limit:
             return ranked[:limit]
-        rest = np.nonzero(~touched)[0]
+        rest = np.nonzero(~touched & ~self.tombstones)[0]
         return np.concatenate([ranked, rest[: limit - ranked.size]])
 
 

@@ -1,0 +1,279 @@
+"""Product quantization of salient-feature descriptor residuals.
+
+The inverted index quantizes every salient feature to its nearest
+codebook centroid, which is lossy on purpose: two features landing in
+the same cell can still differ substantially, and TF-IDF codeword
+overlap cannot tell them apart.  :class:`ResidualPQ` recovers most of
+that lost resolution at a tiny storage cost, IVF-ADC style: the
+*residual* of each stored feature (its embedding minus the centroid it
+was assigned to) is split into ``subquantizers`` contiguous sub-vectors,
+each sub-vector is quantized against its own small codebook
+(``2**bits`` sub-centroids), and the feature is stored as one ``uint8``
+code per sub-quantizer — ``subquantizers`` bytes instead of
+``4 * dim`` bytes for the raw ``float32`` residual.
+
+At query time a feature's residual against a probed centroid is turned
+into an *asymmetric distance table* (exact query sub-vector vs. every
+sub-centroid); the approximate squared distance between the query
+feature and any stored feature of that cell is then a table lookup per
+sub-quantizer plus a sum, so candidate series can be ranked by
+approximate descriptor distance instead of TF-IDF overlap alone.
+
+Training reuses the deterministic k-means machinery of
+:mod:`repro.indexing.codebook`, so fitting, encoding and scoring are
+bit-reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ValidationError
+from ..utils.rng import rng_from_seed
+from .codebook import _lloyd
+
+
+@dataclass(frozen=True)
+class PQConfig:
+    """Parameters of the residual product quantizer.
+
+    Attributes
+    ----------
+    subquantizers:
+        Number of contiguous sub-vectors the residual is split into
+        (``M``); each stored feature costs ``M`` bytes.  Residuals whose
+        dimensionality is not a multiple of ``M`` are zero-padded.
+    bits:
+        Bits per sub-quantizer code; each sub-codebook holds
+        ``2**bits`` sub-centroids (at most 8 bits, one ``uint8`` each).
+    iterations:
+        Maximum Lloyd iterations per sub-quantizer fit.
+    training_sample:
+        Maximum number of residuals the sub-quantizers train on
+        (sampled deterministically); encoding always uses every feature.
+    seed:
+        Seed of the k-means++ initialisation and sampling.
+    """
+
+    subquantizers: int = 8
+    bits: int = 8
+    iterations: int = 20
+    training_sample: int = 20000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.subquantizers < 1:
+            raise ConfigurationError("subquantizers must be >= 1")
+        if not 1 <= self.bits <= 8:
+            raise ConfigurationError("bits must be between 1 and 8")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if self.training_sample < 1:
+            raise ConfigurationError("training_sample must be >= 1")
+
+
+@dataclass
+class ResidualPQ:
+    """A fitted product quantizer over descriptor-residual vectors.
+
+    Attributes
+    ----------
+    config:
+        The :class:`PQConfig` the quantizer was built with.
+    centroids:
+        Sub-centroid tensor of shape ``(M, K, sub_dim)`` after
+        :meth:`fit` (``K <= 2**bits``; ``sub_dim`` covers the padded
+        residual).
+    dim:
+        Dimensionality of the *unpadded* residuals the quantizer was
+        fitted on.
+    """
+
+    config: PQConfig
+    centroids: Optional[np.ndarray] = None
+    dim: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.centroids is not None
+
+    @property
+    def num_subquantizers(self) -> int:
+        self._require_fitted()
+        return int(self.centroids.shape[0])
+
+    @property
+    def num_subcentroids(self) -> int:
+        """Effective sub-codebook size (may be below ``2**bits``)."""
+        self._require_fitted()
+        return int(self.centroids.shape[1])
+
+    @property
+    def padded_dim(self) -> int:
+        self._require_fitted()
+        return int(self.centroids.shape[0] * self.centroids.shape[2])
+
+    @property
+    def code_bytes(self) -> int:
+        """Stored bytes per encoded feature (one ``uint8`` per sub-quantizer)."""
+        return int(self.config.subquantizers)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw ``float32`` residual bytes divided by stored code bytes."""
+        self._require_fitted()
+        return (4.0 * float(self.dim)) / float(self.code_bytes)
+
+    def _require_fitted(self) -> None:
+        if self.centroids is None:
+            raise ValidationError("the product quantizer has not been fitted")
+
+    def _pad(self, residuals: np.ndarray) -> np.ndarray:
+        """Zero-pad residual rows to a multiple of the sub-quantizer count."""
+        residuals = np.atleast_2d(np.asarray(residuals, dtype=float))
+        if self.dim is not None and residuals.shape[1] != self.dim:
+            raise ValidationError(
+                f"residuals have {residuals.shape[1]} columns but the "
+                f"quantizer was fitted on {self.dim}"
+            )
+        m = self.config.subquantizers
+        sub_dim = -(-residuals.shape[1] // m)
+        padded = sub_dim * m
+        if padded == residuals.shape[1]:
+            return residuals
+        out = np.zeros((residuals.shape[0], padded))
+        out[:, : residuals.shape[1]] = residuals
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, residuals: np.ndarray) -> "ResidualPQ":
+        """Train the sub-quantizers on a residual sample.
+
+        Parameters
+        ----------
+        residuals:
+            ``(num_features, dim)`` residual vectors (feature embeddings
+            minus their assigned codebook centroids).
+        """
+        residuals = np.atleast_2d(np.asarray(residuals, dtype=float))
+        if residuals.size == 0 or residuals.shape[0] < 1:
+            raise ValidationError("cannot fit a product quantizer on zero residuals")
+        self.dim = int(residuals.shape[1])
+        padded = self._pad(residuals)
+        m = self.config.subquantizers
+        sub_dim = padded.shape[1] // m
+        rng = rng_from_seed(self.config.seed)
+        if padded.shape[0] > self.config.training_sample:
+            chosen = rng.choice(
+                padded.shape[0], self.config.training_sample, replace=False
+            )
+            sample = padded[np.sort(chosen)]
+        else:
+            sample = padded
+        k = min(2 ** self.config.bits, sample.shape[0])
+        centroids = np.empty((m, k, sub_dim))
+        for sub in range(m):
+            block = sample[:, sub * sub_dim : (sub + 1) * sub_dim]
+            centroids[sub] = _lloyd(block, k, self.config.iterations, rng)
+        self.centroids = centroids
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Encoding / decoding
+    # ------------------------------------------------------------------ #
+    def encode(self, residuals: np.ndarray) -> np.ndarray:
+        """Quantize residual rows to ``(num_features, M)`` ``uint8`` codes."""
+        self._require_fitted()
+        padded = self._pad(residuals)
+        m, _, sub_dim = self.centroids.shape
+        codes = np.empty((padded.shape[0], m), dtype=np.uint8)
+        for sub in range(m):
+            block = padded[:, sub * sub_dim : (sub + 1) * sub_dim]
+            # Squared distances to every sub-centroid; argmin is
+            # deterministic (first minimum wins).
+            cross = block @ self.centroids[sub].T
+            sq = (block**2).sum(axis=1)[:, np.newaxis] - 2.0 * cross
+            sq += (self.centroids[sub] ** 2).sum(axis=1)[np.newaxis, :]
+            codes[:, sub] = sq.argmin(axis=1).astype(np.uint8)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate residuals from codes (unpadded columns)."""
+        self._require_fitted()
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+        m, _, sub_dim = self.centroids.shape
+        if codes.shape[1] != m:
+            raise ValidationError(
+                f"codes have {codes.shape[1]} columns but the quantizer "
+                f"uses {m} sub-quantizers"
+            )
+        out = np.empty((codes.shape[0], m * sub_dim))
+        for sub in range(m):
+            out[:, sub * sub_dim : (sub + 1) * sub_dim] = self.centroids[sub][
+                codes[:, sub]
+            ]
+        return out[:, : self.dim]
+
+    # ------------------------------------------------------------------ #
+    # Asymmetric distance computation
+    # ------------------------------------------------------------------ #
+    def adc_table(self, residual: np.ndarray) -> np.ndarray:
+        """Asymmetric distance table for one query residual.
+
+        Returns ``(M, K)`` squared sub-distances between the *exact*
+        query sub-vectors and every sub-centroid; summing one entry per
+        sub-quantizer yields the approximate squared distance to a
+        stored (quantized) feature.
+        """
+        self._require_fitted()
+        padded = self._pad(np.asarray(residual, dtype=float).reshape(1, -1))[0]
+        m, _, sub_dim = self.centroids.shape
+        blocks = padded.reshape(m, 1, sub_dim)
+        return ((self.centroids - blocks) ** 2).sum(axis=2)
+
+    def adc_scores(self, codes: np.ndarray, table: np.ndarray) -> np.ndarray:
+        """Approximate squared distances of coded features to the query.
+
+        Parameters
+        ----------
+        codes:
+            ``(num_features, M)`` stored codes.
+        table:
+            The :meth:`adc_table` of the query residual.
+        """
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        m = table.shape[0]
+        return table[np.arange(m)[np.newaxis, :], codes].sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Persist the fitted quantizer to one ``.npz`` archive."""
+        self._require_fitted()
+        blob = json.dumps(asdict(self.config)).encode("utf-8")
+        np.savez(
+            os.fspath(path),
+            centroids=self.centroids,
+            dim=np.array([self.dim], dtype=np.int64),
+            config=np.frombuffer(blob, dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "ResidualPQ":
+        """Load a quantizer written by :meth:`save`."""
+        with np.load(os.fspath(path), allow_pickle=False) as archive:
+            config = PQConfig(**json.loads(bytes(archive["config"]).decode("utf-8")))
+            centroids = np.asarray(archive["centroids"], dtype=float)
+            dim = int(archive["dim"][0])
+        return cls(config=config, centroids=centroids, dim=dim)
+
+
+__all__ = ["PQConfig", "ResidualPQ"]

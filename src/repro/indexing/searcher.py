@@ -38,9 +38,12 @@ from ..engine import DistanceEngine
 from ..engine.engine import EngineHit, QueryResult
 from ..engine.stats import EngineStats
 from ..exceptions import ValidationError
-from .codebook import Codebook, CodebookConfig
+from .codebook import Codebook, CodebookConfig, feature_embedding
 from .postings import InvertedIndex
+from .pq import PQConfig, ResidualPQ
 from .store import IndexReader, IndexWriter
+
+_RANK_MODES = ("tfidf", "pq")
 
 
 @dataclass(frozen=True)
@@ -102,6 +105,66 @@ class RecallReport:
         return self.exhaustive_seconds / self.indexed_seconds
 
 
+def pq_entry_for(
+    codebook: Codebook,
+    pq: ResidualPQ,
+    features: Sequence,
+    series_length: int,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Rank-0 codewords and PQ codes of one series' features.
+
+    Both the build-time and the incremental ``add_series`` paths encode
+    through this helper (one series at a time), so a compacted index is
+    bit-identical to a from-scratch build with the same frozen codebook
+    and quantizer.
+    """
+    if not len(features):
+        return None
+    embedded = feature_embedding(features, series_length, codebook.config)
+    assigned = codebook.assign(features, series_length, 1)[:, 0].astype(np.int64)
+    codes = pq.encode(embedded - codebook.centroids[assigned])
+    return assigned, codes
+
+
+def _fit_pq(
+    codebook: Codebook,
+    features_per_series: Sequence[Sequence],
+    lengths: Sequence[int],
+    pq_config: PQConfig,
+) -> Tuple[ResidualPQ, List[Optional[Tuple[np.ndarray, np.ndarray]]]]:
+    """Fit a residual quantizer on a collection and encode every series.
+
+    Embeddings/assignments are computed once per series and reused for
+    both the training-residual collection and the per-series encode, so
+    the build pays the quantization geometry exactly once.  Each series
+    is encoded individually — the same per-series call shape as the
+    incremental :func:`pq_entry_for` path — so incrementally added
+    series round-trip bit-identically through compaction.
+    """
+    per_series: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+    residual_blocks: List[np.ndarray] = []
+    for features, length in zip(features_per_series, lengths):
+        if not len(features):
+            per_series.append(None)
+            continue
+        embedded = feature_embedding(features, length, codebook.config)
+        assigned = codebook.assign(features, length, 1)[:, 0].astype(np.int64)
+        residuals = embedded - codebook.centroids[assigned]
+        per_series.append((assigned, residuals))
+        residual_blocks.append(residuals)
+    if not residual_blocks:
+        raise ValidationError(
+            "cannot fit a product quantizer: the collection has no salient "
+            "features"
+        )
+    pq = ResidualPQ(pq_config).fit(np.vstack(residual_blocks))
+    entries: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [
+        None if cached is None else (cached[0], pq.encode(cached[1]))
+        for cached in per_series
+    ]
+    return pq, entries
+
+
 class IndexedSearcher:
     """k-NN search with sublinear candidate generation.
 
@@ -120,6 +183,18 @@ class IndexedSearcher:
         configuration the indexed features were extracted with.
     candidate_budget:
         Default number of candidates generated per query.
+    pq:
+        Optional fitted :class:`~repro.indexing.pq.ResidualPQ`; required
+        for ``rank_mode="pq"`` queries (approximate descriptor-distance
+        ranking of the candidate set).
+    rank_mode:
+        Default stage-1 ranking: ``"tfidf"`` (codeword-overlap cosine
+        scores) or ``"pq"`` (asymmetric PQ distances over the touched
+        series, falling back to TF-IDF order for series without codes).
+    index_to_engine:
+        Optional slot -> engine-position mapping.  Needed when the index
+        carries tombstoned slots (the engine then only stores the live
+        series); ``-1`` marks dead slots.  ``None`` means identity.
     """
 
     def __init__(
@@ -130,17 +205,51 @@ class IndexedSearcher:
         *,
         config: Optional[SDTWConfig] = None,
         candidate_budget: int = 100,
+        pq: Optional[ResidualPQ] = None,
+        rank_mode: str = "tfidf",
+        index_to_engine: Optional[Sequence[int]] = None,
     ) -> None:
-        if len(engine) != index.num_series:
-            raise ValidationError(
-                f"engine holds {len(engine)} series but the index covers "
-                f"{index.num_series}"
-            )
+        if index_to_engine is None:
+            if len(engine) != index.num_series:
+                raise ValidationError(
+                    f"engine holds {len(engine)} series but the index covers "
+                    f"{index.num_series}"
+                )
+            if index.num_tombstones:
+                raise ValidationError(
+                    "an index with tombstoned slots needs an explicit "
+                    "index_to_engine mapping (the engine only stores live "
+                    "series)"
+                )
+            self._index_to_engine: Optional[np.ndarray] = None
+        else:
+            mapping = np.asarray(index_to_engine, dtype=np.int64)
+            if mapping.shape != (index.num_series,):
+                raise ValidationError(
+                    "index_to_engine must have one entry per index slot"
+                )
+            live = mapping[~index.tombstones]
+            if live.size and (live.min() < 0 or live.max() >= len(engine)):
+                raise ValidationError(
+                    "index_to_engine maps a live slot outside the engine"
+                )
+            self._index_to_engine = mapping
         if not codebook.is_fitted:
             raise ValidationError("the searcher needs a fitted codebook")
+        if rank_mode not in _RANK_MODES:
+            raise ValidationError(
+                f"unknown rank_mode {rank_mode!r}; choose one of {_RANK_MODES}"
+            )
+        if rank_mode == "pq" and (pq is None or not index.has_pq):
+            raise ValidationError(
+                "rank_mode='pq' needs a fitted ResidualPQ and an index built "
+                "with PQ codes"
+            )
         self.index = index
         self.codebook = codebook
         self.engine = engine
+        self.pq = pq
+        self.rank_mode = rank_mode
         self.config = config if config is not None else SDTWConfig()
         if self.config.descriptor.num_bins != codebook.config.descriptor_bins:
             raise ValidationError(
@@ -154,6 +263,9 @@ class IndexedSearcher:
         )
         # Build-time features, kept so save() can skip re-extraction.
         self._features: Optional[List] = None
+        # Lazily built identifier set; keeps add_series O(new features)
+        # instead of re-materialising the collection per insertion.
+        self._identifier_set: Optional[set] = None
 
     def __len__(self) -> int:
         return self.index.num_series
@@ -171,6 +283,8 @@ class IndexedSearcher:
         num_shards: int = 4,
         candidate_budget: int = 100,
         features: Optional[Sequence[Sequence]] = None,
+        pq_config: Optional[PQConfig] = None,
+        rank_mode: str = "tfidf",
     ) -> "IndexedSearcher":
         """Build the index layers over an engine's stored collection.
 
@@ -189,6 +303,10 @@ class IndexedSearcher:
             must come from the same extraction configuration.  Skips the
             per-series extraction pass entirely — this is how the
             Workspace facade builds its index without ever re-extracting.
+        pq_config:
+            When given, a :class:`ResidualPQ` is fitted on the rank-0
+            descriptor residuals and its codes are stored alongside the
+            postings, enabling ``rank_mode="pq"`` queries.
         """
         config = config if config is not None else SDTWConfig()
         if codebook_config is None:
@@ -219,12 +337,23 @@ class IndexedSearcher:
             codebook.bag(feature_list, length)
             for feature_list, length in zip(features, lengths)
         ]
+        pq: Optional[ResidualPQ] = None
+        pq_entries = None
+        if pq_config is not None:
+            pq, pq_entries = _fit_pq(codebook, features, lengths, pq_config)
+        elif rank_mode == "pq":
+            raise ValidationError(
+                "rank_mode='pq' requires a pq_config so the residual codes "
+                "are built"
+            )
         index = InvertedIndex.from_bags(
-            bags, codebook.num_codewords, num_shards=num_shards
+            bags, codebook.num_codewords,
+            num_shards=num_shards, pq_entries=pq_entries,
         )
         searcher = cls(
             index, codebook, engine,
             config=config, candidate_budget=candidate_budget,
+            pq=pq, rank_mode=rank_mode,
         )
         searcher._features = features
         return searcher
@@ -243,6 +372,8 @@ class IndexedSearcher:
         candidate_budget: int = 100,
         backend: str = "serial",
         engine_kwargs: Optional[dict] = None,
+        pq_config: Optional[PQConfig] = None,
+        rank_mode: str = "tfidf",
     ) -> "IndexedSearcher":
         """Build a searcher (codebook + index + engine) over a collection."""
         config = config if config is not None else SDTWConfig()
@@ -268,6 +399,8 @@ class IndexedSearcher:
             codebook_config=codebook_config,
             num_shards=num_shards,
             candidate_budget=candidate_budget,
+            pq_config=pq_config,
+            rank_mode=rank_mode,
         )
 
     @classmethod
@@ -291,11 +424,14 @@ class IndexedSearcher:
         candidate_budget: int = 100,
         backend: str = "serial",
         engine_kwargs: Optional[dict] = None,
+        rank_mode: str = "tfidf",
     ) -> "IndexedSearcher":
         """Reopen a persisted index (with its bundled feature store).
 
         The feature store supplies the raw series for re-ranking, in the
-        index's series order, so no re-extraction happens.
+        index's series order, so no re-extraction happens.  Tombstoned
+        slots are skipped: the engine only stores live series and the
+        searcher routes candidates through a slot mapping.
         """
         persisted = reader.extraction_config()
         if config is None:
@@ -312,7 +448,15 @@ class IndexedSearcher:
         engine = DistanceEngine(
             constraint, config, backend=backend, **(engine_kwargs or {})
         )
+        tombstones = reader.index.tombstones
+        mapping: Optional[np.ndarray] = None
+        if reader.index.num_tombstones:
+            mapping = np.full(reader.index.num_series, -1, dtype=np.int64)
         for position, identifier in enumerate(reader.identifiers):
+            if tombstones[position]:
+                continue
+            if mapping is not None:
+                mapping[position] = len(engine)
             engine.add(
                 store.series_of(identifier),
                 identifier=identifier,
@@ -321,6 +465,8 @@ class IndexedSearcher:
         return cls(
             reader.index, reader.codebook, engine,
             config=config, candidate_budget=candidate_budget,
+            pq=reader.pq, rank_mode=rank_mode,
+            index_to_engine=mapping,
         )
 
     def save(self, directory, *, feature_store=None) -> str:
@@ -328,8 +474,15 @@ class IndexedSearcher:
 
         When *feature_store* is omitted one is assembled from the
         engine's stored series (re-using build-time features when this
-        searcher was created by :meth:`build`).
+        searcher was created by :meth:`build`).  Delta shards appended
+        by :meth:`add_series` are persisted as-is (no forced
+        compaction).
         """
+        if self.index.num_tombstones:
+            raise ValidationError(
+                "cannot save a searcher over tombstoned slots; run compact() "
+                "first (or persist through the owning Workspace)"
+            )
         stored = self.engine.stored_items()
         if feature_store is None:
             from ..retrieval.feature_store import FeatureStore
@@ -352,6 +505,7 @@ class IndexedSearcher:
             [label for _, _, label in stored],
             feature_store=feature_store,
             extraction_config=self.config,
+            pq=self.pq,
         )
 
     @classmethod
@@ -361,20 +515,164 @@ class IndexedSearcher:
         return cls.from_reader(IndexReader.open(directory, mmap=mmap), **kwargs)
 
     # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    def add_series(
+        self,
+        values: Union[Sequence[float], np.ndarray],
+        identifier: Optional[str] = None,
+        label: Optional[int] = None,
+    ) -> str:
+        """Index one new series incrementally; returns its identifier.
+
+        Cost is O(new features): the series is added to the engine, its
+        features are extracted, quantized against the *frozen* codebook
+        (and PQ, when present) and appended to the index as a delta
+        shard — no codebook refit, no postings rebuild.  Run
+        :meth:`compact` periodically to fold deltas back into the base
+        shards with fresh IDF statistics.
+        """
+        array = as_series(values, "values")
+        if self._identifier_set is None:
+            self._identifier_set = {
+                stored_id for stored_id, _, _ in self.engine.stored_items()
+            }
+        if identifier is not None and str(identifier) in self._identifier_set:
+            raise ValidationError(
+                f"identifier {identifier!r} is already indexed"
+            )
+        identifier = self.engine.add(array, identifier=identifier, label=label)
+        self._identifier_set.add(identifier)
+        features = extract_salient_features(array, self.config)
+        bag = self.codebook.bag(features, array.size)
+        pq_entry = None
+        if self.pq is not None:
+            pq_entry = pq_entry_for(self.codebook, self.pq, features, array.size)
+        self.index.add_series(bag, pq_entry)
+        if self._index_to_engine is not None:
+            self._index_to_engine = np.append(
+                self._index_to_engine, len(self.engine) - 1
+            )
+        if self._features is not None:
+            self._features.append(list(features))
+        return identifier
+
+    def compact(self, *, num_shards: Optional[int] = None) -> np.ndarray:
+        """Fold delta shards (and tombstones) into a fresh base shard set.
+
+        Returns the old-slot -> new-slot mapping.  The compacted
+        postings are bit-identical to a from-scratch
+        :meth:`InvertedIndex.from_bags` build over the surviving bags
+        under the same codebook/PQ, and exact re-rank results are
+        unchanged.
+        """
+        if num_shards is None:
+            num_shards = len(self.index.shards)
+        compacted, slot_map = self.index.compact(num_shards=num_shards)
+        self.index = compacted
+        if self._index_to_engine is not None:
+            self._index_to_engine = self._index_to_engine[slot_map >= 0]
+        return slot_map
+
+    # ------------------------------------------------------------------ #
     # Querying
     # ------------------------------------------------------------------ #
+    def _slots_to_engine(self, slots: np.ndarray) -> np.ndarray:
+        """Translate index slots into engine positions (drop dead slots)."""
+        if self._index_to_engine is None:
+            return slots
+        mapped = self._index_to_engine[slots]
+        return mapped[mapped >= 0]
+
+    def _resolve_rank_mode(self, rank_mode: Optional[str]) -> str:
+        if rank_mode is None:
+            return self.rank_mode
+        if rank_mode not in _RANK_MODES:
+            raise ValidationError(
+                f"unknown rank_mode {rank_mode!r}; choose one of {_RANK_MODES}"
+            )
+        if rank_mode == "pq" and (self.pq is None or not self.index.has_pq):
+            raise ValidationError(
+                "rank_mode='pq' needs a fitted ResidualPQ and an index built "
+                "with PQ codes"
+            )
+        return rank_mode
+
+    def _pq_candidate_slots(
+        self, features: Sequence, series_length: int, limit: int
+    ) -> np.ndarray:
+        """Stage 1 in PQ mode: rank touched series by asymmetric distance.
+
+        Every query feature probes its ``query_multiplicity`` nearest
+        codewords, builds the asymmetric distance table of its residual
+        and takes the minimum approximate distance to any stored rank-0
+        feature of each candidate in those cells (features that match
+        nothing for a candidate contribute that feature's worst observed
+        distance, so candidates covering more of the query rank
+        strictly better).  The candidate universe is the TF-IDF touched
+        set — PQ re-scores it, it never shrinks it — and the tail is
+        padded exactly like TF-IDF ranking, so ``limit >= num_live``
+        still degrades to the full live collection.
+        """
+        index, codebook, pq = self.index, self.codebook, self.pq
+        bag = codebook.bag(features, series_length, query=True)
+        if not len(features):
+            return index.candidates(bag, limit)
+        _, touched = index.scores(bag)
+        touched_slots = np.nonzero(touched)[0]
+        if not touched_slots.size:
+            return index.candidates(bag, limit)
+        embedded = feature_embedding(features, series_length, codebook.config)
+        probes = codebook.assign(
+            features, series_length, codebook.config.query_multiplicity
+        )
+        totals = np.zeros(index.num_series)
+        feature_min = np.empty(index.num_series)
+        for row in range(probes.shape[0]):
+            feature_min.fill(np.inf)
+            for cell in probes[row]:
+                cell = int(cell)
+                table = pq.adc_table(embedded[row] - codebook.centroids[cell])
+                for series, codes in index.pq_postings_segments(cell):
+                    np.minimum.at(
+                        feature_min, series, pq.adc_scores(codes, table)
+                    )
+            matched = feature_min[touched_slots]
+            finite = np.isfinite(matched)
+            if not finite.any():
+                continue  # feature matches no candidate: uninformative
+            miss = float(matched[finite].max())
+            totals[touched_slots] += np.where(finite, matched, miss)
+        order = np.lexsort((touched_slots, totals[touched_slots]))
+        ranked = touched_slots[order]
+        if ranked.size >= limit:
+            return ranked[:limit]
+        rest = np.nonzero(~touched & ~index.tombstones)[0]
+        return np.concatenate([ranked, rest[: limit - ranked.size]])
+
     def generate_candidates(
         self,
         values: Union[Sequence[float], np.ndarray],
         limit: Optional[int] = None,
+        *,
+        rank_mode: Optional[str] = None,
     ) -> np.ndarray:
-        """Stage 1 alone: the ranked candidate indices for a query."""
+        """Stage 1 alone: the ranked candidate indices for a query.
+
+        Returned indices are engine positions (identical to index slots
+        unless the index carries tombstoned slots).
+        """
         query = as_series(values, "query")
         features = extract_salient_features(query, self.config)
-        bag = self.codebook.bag(features, query.size, query=True)
-        return self.index.candidates(
-            bag, limit if limit is not None else self.candidate_budget
-        )
+        limit = limit if limit is not None else self.candidate_budget
+        limit = check_int_at_least(limit, 1, "limit")
+        mode = self._resolve_rank_mode(rank_mode)
+        if mode == "pq":
+            slots = self._pq_candidate_slots(features, query.size, limit)
+        else:
+            bag = self.codebook.bag(features, query.size, query=True)
+            slots = self.index.candidates(bag, limit)
+        return self._slots_to_engine(slots)
 
     def query(
         self,
@@ -384,6 +682,7 @@ class IndexedSearcher:
         candidates: Optional[int] = None,
         exact: bool = False,
         exclude_identifier: Optional[str] = None,
+        rank_mode: Optional[str] = None,
     ) -> IndexedSearchResult:
         """Find the k nearest stored series to a query.
 
@@ -402,6 +701,9 @@ class IndexedSearcher:
             hatch; the result is the exhaustive ranking).
         exclude_identifier:
             Skip this stored identifier (leave-one-out evaluations).
+        rank_mode:
+            Stage-1 ranking override: ``"tfidf"`` or ``"pq"`` (default:
+            the searcher's configured mode).
         """
         k = check_int_at_least(k, 1, "k")
         if exact:
@@ -417,7 +719,9 @@ class IndexedSearcher:
                 stats=result.stats,
             )
         started = time.perf_counter()
-        candidate_set = self.generate_candidates(values, candidates)
+        candidate_set = self.generate_candidates(
+            values, candidates, rank_mode=rank_mode
+        )
         generation_seconds = time.perf_counter() - started
         result: QueryResult = self.engine.query(
             values, k,
@@ -440,6 +744,7 @@ class IndexedSearcher:
         *,
         candidates: Optional[int] = None,
         exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
+        rank_mode: Optional[str] = None,
     ) -> List[IndexedSearchResult]:
         """Indexed k-NN for many queries (results in query order)."""
         if exclude_identifiers is not None and len(exclude_identifiers) != len(queries):
@@ -453,6 +758,7 @@ class IndexedSearcher:
                 exclude_identifier=(
                     exclude_identifiers[qi] if exclude_identifiers else None
                 ),
+                rank_mode=rank_mode,
             )
             for qi, values in enumerate(queries)
         ]
@@ -467,6 +773,7 @@ class IndexedSearcher:
         *,
         candidates: Optional[int] = None,
         exclude_identifiers: Optional[Sequence[Optional[str]]] = None,
+        rank_mode: Optional[str] = None,
     ) -> RecallReport:
         """Recall@k of the indexed ranking vs. the exhaustive ranking.
 
@@ -486,7 +793,8 @@ class IndexedSearcher:
                 exclude_identifiers[qi] if exclude_identifiers is not None else None
             )
             indexed = self.query(
-                values, k, candidates=budget, exclude_identifier=exclude
+                values, k, candidates=budget, exclude_identifier=exclude,
+                rank_mode=rank_mode,
             )
             report.indexed_seconds += indexed.elapsed_seconds
             exact = self.query(values, k, exact=True, exclude_identifier=exclude)
@@ -500,4 +808,9 @@ class IndexedSearcher:
         return report
 
 
-__all__ = ["IndexedSearchResult", "IndexedSearcher", "RecallReport"]
+__all__ = [
+    "IndexedSearchResult",
+    "IndexedSearcher",
+    "RecallReport",
+    "pq_entry_for",
+]

@@ -26,7 +26,7 @@ import os
 import struct
 import zipfile
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -39,6 +39,14 @@ _LOCAL_HEADER = struct.Struct("<4s5H3I2H")
 _LOCAL_MAGIC = b"PK\x03\x04"
 
 SHARD_MEMBERS = ("codeword_ids", "offsets", "series", "weights")
+# Members introduced by the incremental/PQ index format (version 2).
+# ``counts`` holds the raw (pre-IDF, unnormalised) term frequencies so a
+# compaction can recompute TF-IDF weights bit-identically to a fresh
+# build; the ``pq_*`` members hold the rank-0 feature assignments and
+# their product-quantized residual codes in a second CSR structure.
+OPTIONAL_SHARD_MEMBERS = (
+    "counts", "pq_codeword_ids", "pq_offsets", "pq_series", "pq_codes",
+)
 
 
 def _member_data_offset(handle, info: zipfile.ZipInfo) -> int:
@@ -118,6 +126,14 @@ class IndexShard:
     The arrays may be ordinary in-memory ``ndarray`` objects (while an
     index is being built) or :class:`numpy.memmap` views (after a shard is
     reopened from disk); queries treat both identically.
+
+    Version-2 shards additionally carry ``counts`` (raw term
+    frequencies, ``float64``; the input a compaction recomputes TF-IDF
+    weights from) and an optional second CSR structure over the *rank-0*
+    feature assignments: ``pq_codeword_ids`` / ``pq_offsets`` routing
+    into ``pq_series`` (stored series per encoded feature) and
+    ``pq_codes`` (``(num_features, M)`` ``uint8`` product-quantizer
+    codes).  All five are optional so version-1 shards keep loading.
     """
 
     first_codeword: int
@@ -126,6 +142,11 @@ class IndexShard:
     offsets: np.ndarray
     series: np.ndarray
     weights: np.ndarray
+    counts: Optional[np.ndarray] = None
+    pq_codeword_ids: Optional[np.ndarray] = None
+    pq_offsets: Optional[np.ndarray] = None
+    pq_series: Optional[np.ndarray] = None
+    pq_codes: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.last_codeword < self.first_codeword:
@@ -134,10 +155,44 @@ class IndexShard:
             raise ValidationError("shard offsets must have one entry per codeword plus a sentinel")
         if self.series.size != self.weights.size:
             raise ValidationError("shard series/weights arrays must have equal length")
+        if self.counts is not None and self.counts.size != self.series.size:
+            raise ValidationError("shard counts must parallel the postings arrays")
+        pq_members = (
+            self.pq_codeword_ids, self.pq_offsets, self.pq_series, self.pq_codes,
+        )
+        if any(member is not None for member in pq_members) and any(
+            member is None for member in pq_members
+        ):
+            raise ValidationError(
+                "shard PQ members must be present together (pq_codeword_ids, "
+                "pq_offsets, pq_series, pq_codes) or all absent"
+            )
+        if self.has_pq:
+            if self.pq_offsets.size != self.pq_codeword_ids.size + 1:
+                raise ValidationError(
+                    "shard pq_offsets must have one entry per pq codeword "
+                    "plus a sentinel"
+                )
+            if self.pq_codes.shape[0] != self.pq_series.size:
+                raise ValidationError(
+                    "shard pq_codes must have one row per pq_series entry"
+                )
 
     @property
     def num_postings(self) -> int:
         return int(self.series.size)
+
+    @property
+    def has_counts(self) -> bool:
+        return self.counts is not None
+
+    @property
+    def has_pq(self) -> bool:
+        return self.pq_series is not None
+
+    @property
+    def num_pq_postings(self) -> int:
+        return int(self.pq_series.size) if self.has_pq else 0
 
     @property
     def is_memory_mapped(self) -> bool:
@@ -159,15 +214,77 @@ class IndexShard:
         stop = int(self.offsets[position + 1])
         return self.series[start:stop], self.weights[start:stop]
 
+    def counts_of(self, codeword: int) -> np.ndarray:
+        """Raw term frequencies for one codeword (requires ``counts``)."""
+        if self.counts is None:
+            raise ValidationError(
+                "this shard was written without raw counts (format version 1); "
+                "rebuild the index to enable incremental maintenance"
+            )
+        position = int(np.searchsorted(self.codeword_ids, codeword))
+        if (
+            position >= self.codeword_ids.size
+            or int(self.codeword_ids[position]) != codeword
+        ):
+            return np.empty(0, dtype=self.counts.dtype)
+        start = int(self.offsets[position])
+        stop = int(self.offsets[position + 1])
+        return self.counts[start:stop]
+
+    def pq_postings_of(self, codeword: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(series, codes)`` of the rank-0 features quantized to a codeword."""
+        if not self.has_pq:
+            return (
+                np.empty(0, dtype=np.int32),
+                np.empty((0, 0), dtype=np.uint8),
+            )
+        position = int(np.searchsorted(self.pq_codeword_ids, codeword))
+        if (
+            position >= self.pq_codeword_ids.size
+            or int(self.pq_codeword_ids[position]) != codeword
+        ):
+            return (
+                np.empty(0, dtype=self.pq_series.dtype),
+                np.empty((0, self.pq_codes.shape[1]), dtype=self.pq_codes.dtype),
+            )
+        start = int(self.pq_offsets[position])
+        stop = int(self.pq_offsets[position + 1])
+        return self.pq_series[start:stop], self.pq_codes[start:stop]
+
     def save(self, path: Union[str, os.PathLike]) -> None:
-        """Write the shard as an uncompressed (mappable) ``.npz`` archive."""
-        np.savez(
-            os.fspath(path),
-            codeword_ids=np.asarray(self.codeword_ids, dtype=np.int32),
-            offsets=np.asarray(self.offsets, dtype=np.int64),
-            series=np.asarray(self.series, dtype=np.int32),
-            weights=np.asarray(self.weights, dtype=np.float32),
-        )
+        """Write the shard as an uncompressed (mappable) ``.npz`` archive.
+
+        The archive is assembled in a sibling temp file and moved into
+        place with :func:`os.replace`, so a reader (or a crashed writer)
+        never observes a half-written shard — overwriting a live index
+        directory is safe on POSIX even while the previous shard files
+        are still memory-mapped (the old inodes stay alive under the
+        existing mappings).
+        """
+        payload = {
+            "codeword_ids": np.asarray(self.codeword_ids, dtype=np.int32),
+            "offsets": np.asarray(self.offsets, dtype=np.int64),
+            "series": np.asarray(self.series, dtype=np.int32),
+            "weights": np.asarray(self.weights, dtype=np.float32),
+        }
+        if self.counts is not None:
+            payload["counts"] = np.asarray(self.counts, dtype=np.float64)
+        if self.has_pq:
+            payload["pq_codeword_ids"] = np.asarray(
+                self.pq_codeword_ids, dtype=np.int32
+            )
+            payload["pq_offsets"] = np.asarray(self.pq_offsets, dtype=np.int64)
+            payload["pq_series"] = np.asarray(self.pq_series, dtype=np.int32)
+            payload["pq_codes"] = np.asarray(self.pq_codes, dtype=np.uint8)
+        path = os.fspath(path)
+        temp_path = path + ".tmp"
+        try:
+            with open(temp_path, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(temp_path, path)
+        finally:
+            if os.path.exists(temp_path):  # pragma: no cover - error path
+                os.remove(temp_path)
 
     @classmethod
     def open(
@@ -197,4 +314,9 @@ class IndexShard:
             offsets=arrays["offsets"],
             series=arrays["series"],
             weights=arrays["weights"],
+            counts=arrays.get("counts"),
+            pq_codeword_ids=arrays.get("pq_codeword_ids"),
+            pq_offsets=arrays.get("pq_offsets"),
+            pq_series=arrays.get("pq_series"),
+            pq_codes=arrays.get("pq_codes"),
         )

@@ -5,9 +5,12 @@ An index lives in one directory::
     index-dir/
         manifest.json     # routing table + identifiers + fingerprints
         codebook.npz      # fitted k-means quantizer
+        pq.npz            # optional residual product quantizer
         stats.npz         # per-codeword IDF
-        shard-0000.npz    # postings shards (uncompressed, mappable)
+        shard-0000.npz    # base postings shards (uncompressed, mappable)
         shard-0001.npz
+        delta-0000.npz    # incremental delta shards (same format, full
+        delta-0001.npz    # codeword range each)
         store.npz         # optional FeatureStore (series + features)
 
 The manifest records which codeword range each shard file covers, so a
@@ -15,6 +18,11 @@ reader routes a codeword to its shard without opening the others; shard
 payloads are memory-mapped on open (see :mod:`repro.indexing.shards`),
 so opening an index reads only the manifest, codebook and IDF table —
 postings pages fault in as queries touch them.
+
+Format version 2 adds incremental state: delta shard entries, the
+tombstoned slot list, the optional PQ codec file and per-posting raw
+counts inside the shards.  Version-1 directories still open (they
+simply cannot be compacted until rebuilt).
 """
 
 from __future__ import annotations
@@ -29,14 +37,27 @@ import numpy as np
 from ..exceptions import DatasetError, ValidationError
 from .codebook import Codebook
 from .postings import InvertedIndex
+from .pq import ResidualPQ
 from .shards import IndexShard
 
 MANIFEST_NAME = "manifest.json"
 CODEBOOK_NAME = "codebook.npz"
+PQ_NAME = "pq.npz"
 STATS_NAME = "stats.npz"
 STORE_NAME = "store.npz"
 FORMAT_NAME = "repro-salient-index"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+
+def _shard_entry(filename: str, shard: IndexShard) -> Dict[str, object]:
+    return {
+        "file": filename,
+        "first_codeword": shard.first_codeword,
+        "last_codeword": shard.last_codeword,
+        "num_postings": shard.num_postings,
+        "num_codewords_present": int(shard.codeword_ids.size),
+        "num_pq_postings": shard.num_pq_postings,
+    }
 
 
 @dataclass
@@ -61,15 +82,20 @@ class IndexWriter:
         *,
         feature_store=None,
         extraction_config=None,
+        pq: Optional[ResidualPQ] = None,
     ) -> str:
         """Persist everything; returns the manifest path.
 
         Parameters
         ----------
         index, codebook:
-            The built inverted index and its fitted quantizer.
+            The built inverted index and its fitted quantizer.  Delta
+            shards and tombstones are persisted as-is, so an
+            incrementally updated index round-trips without compaction.
         identifiers:
-            Series identifiers, in index order (one per indexed series).
+            Series identifiers, one per index *slot* (live identifiers
+            must be unique; tombstoned slots keep their historical name
+            so slot numbering survives the round trip).
         labels:
             Optional class labels, in the same order.
         feature_store:
@@ -81,12 +107,20 @@ class IndexWriter:
             features were extracted with; persisted in the manifest so a
             reader reconstructs (and can verify) the exact configuration
             instead of trusting the descriptor-bin count alone.
+        pq:
+            Optional fitted :class:`~repro.indexing.pq.ResidualPQ` whose
+            codes are embedded in the shards.
         """
         if len(identifiers) != index.num_series:
             raise ValidationError(
                 "identifiers must have one entry per indexed series"
             )
-        if len(set(identifiers)) != len(identifiers):
+        live_identifiers = [
+            identifier
+            for slot, identifier in enumerate(identifiers)
+            if not index.tombstones[slot]
+        ]
+        if len(set(live_identifiers)) != len(live_identifiers):
             # The on-disk format (and the bundled FeatureStore) key series
             # by identifier; duplicates would silently collapse on reopen.
             raise ValidationError(
@@ -97,28 +131,24 @@ class IndexWriter:
             raise ValidationError("labels must have one entry per indexed series")
         directory = os.fspath(self.directory)
         os.makedirs(directory, exist_ok=True)
-        # Rebuilds may produce fewer shards than a previous build left
-        # behind; drop stale ones so overwriting really is idempotent.
-        for name in os.listdir(directory):
-            if name.startswith("shard-") and name.endswith(".npz"):
-                os.remove(os.path.join(directory, name))
 
         codebook.save(os.path.join(directory, CODEBOOK_NAME))
+        pq_file: Optional[str] = None
+        if pq is not None:
+            pq_file = PQ_NAME
+            pq.save(os.path.join(directory, PQ_NAME))
         np.savez(os.path.join(directory, STATS_NAME), idf=index.idf)
 
         shard_entries: List[Dict[str, object]] = []
         for number, shard in enumerate(index.shards):
             filename = f"shard-{number:04d}.npz"
             shard.save(os.path.join(directory, filename))
-            shard_entries.append(
-                {
-                    "file": filename,
-                    "first_codeword": shard.first_codeword,
-                    "last_codeword": shard.last_codeword,
-                    "num_postings": shard.num_postings,
-                    "num_codewords_present": int(shard.codeword_ids.size),
-                }
-            )
+            shard_entries.append(_shard_entry(filename, shard))
+        delta_entries: List[Dict[str, object]] = []
+        for number, shard in enumerate(index.delta_shards):
+            filename = f"delta-{number:04d}.npz"
+            shard.save(os.path.join(directory, filename))
+            delta_entries.append(_shard_entry(filename, shard))
 
         store_file: Optional[str] = None
         if feature_store is not None:
@@ -129,6 +159,7 @@ class IndexWriter:
             "format": FORMAT_NAME,
             "version": FORMAT_VERSION,
             "num_series": index.num_series,
+            "num_live": index.num_live,
             "num_codewords": index.num_codewords,
             "num_postings": index.num_postings,
             "descriptor_bins": codebook.config.descriptor_bins,
@@ -137,17 +168,40 @@ class IndexWriter:
                 None if label is None else int(label) for label in labels
             ],
             "shards": shard_entries,
+            "delta_shards": delta_entries,
+            "tombstones": [
+                int(slot) for slot in np.nonzero(index.tombstones)[0]
+            ],
             "codebook_file": CODEBOOK_NAME,
+            "pq_file": pq_file,
             "stats_file": STATS_NAME,
             "store_file": store_file,
             "extraction_config": (
                 None if extraction_config is None else extraction_config.to_dict()
             ),
         }
+        # Atomic manifest swap: until the new manifest is in place the
+        # old one keeps referencing only files that still exist (shard
+        # writes replace in place, nothing has been deleted yet), so a
+        # crash or concurrent IndexReader.open never sees a manifest
+        # pointing at missing shards.
         manifest_path = os.path.join(directory, MANIFEST_NAME)
-        with open(manifest_path, "w", encoding="utf-8") as handle:
+        temp_path = manifest_path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2)
             handle.write("\n")
+        os.replace(temp_path, manifest_path)
+        # Only now prune files a previous (larger) build left behind —
+        # nothing references them anymore.
+        written = {str(entry["file"]) for entry in shard_entries}
+        written.update(str(entry["file"]) for entry in delta_entries)
+        for name in os.listdir(directory):
+            if (
+                name.startswith(("shard-", "delta-"))
+                and name.endswith(".npz")
+                and name not in written
+            ):
+                os.remove(os.path.join(directory, name))
         return manifest_path
 
 
@@ -164,10 +218,15 @@ class IndexReader:
     codebook:
         The fitted quantizer.
     index:
-        The inverted index, with shard postings memory-mapped unless the
-        reader was opened with ``mmap=False``.
+        The inverted index (base + delta shards, tombstones applied),
+        with shard postings memory-mapped unless the reader was opened
+        with ``mmap=False``.
+    pq:
+        The residual product quantizer, or ``None`` when the index was
+        written without one.
     identifiers, labels:
-        Series identifiers / labels in index order.
+        Series identifiers / labels in slot order (including tombstoned
+        slots; see :meth:`live_identifiers`).
     """
 
     directory: str
@@ -176,6 +235,7 @@ class IndexReader:
     index: InvertedIndex
     identifiers: List[str]
     labels: List[Optional[int]] = field(default_factory=list)
+    pq: Optional[ResidualPQ] = None
 
     @classmethod
     def open(
@@ -205,6 +265,10 @@ class IndexReader:
         codebook = Codebook.load(
             os.path.join(directory, str(manifest["codebook_file"]))
         )
+        pq: Optional[ResidualPQ] = None
+        pq_file = manifest.get("pq_file")
+        if pq_file:
+            pq = ResidualPQ.load(os.path.join(directory, str(pq_file)))
         with np.load(
             os.path.join(directory, str(manifest["stats_file"])),
             allow_pickle=False,
@@ -220,11 +284,26 @@ class IndexReader:
             )
             for entry in manifest["shards"]
         ]
+        delta_shards = [
+            IndexShard.open(
+                os.path.join(directory, str(entry["file"])),
+                int(entry["first_codeword"]),
+                int(entry["last_codeword"]),
+                mmap=mmap,
+            )
+            for entry in manifest.get("delta_shards", [])
+        ]
+        num_series = int(manifest["num_series"])
+        tombstones = np.zeros(num_series, dtype=bool)
+        for slot in manifest.get("tombstones", []):
+            tombstones[int(slot)] = True
         index = InvertedIndex(
-            num_series=int(manifest["num_series"]),
+            num_series=num_series,
             num_codewords=int(manifest["num_codewords"]),
             shards=shards,
             idf=idf,
+            delta_shards=delta_shards,
+            tombstones=tombstones,
         )
         labels = manifest.get("labels")
         return cls(
@@ -232,6 +311,7 @@ class IndexReader:
             manifest=manifest,
             codebook=codebook,
             index=index,
+            pq=pq,
             identifiers=[str(name) for name in manifest["identifiers"]],
             labels=(
                 [None] * index.num_series if labels is None
@@ -242,6 +322,14 @@ class IndexReader:
     @property
     def num_series(self) -> int:
         return self.index.num_series
+
+    def live_identifiers(self) -> List[str]:
+        """Identifiers of the non-tombstoned slots, in slot order."""
+        return [
+            identifier
+            for slot, identifier in enumerate(self.identifiers)
+            if not self.index.tombstones[slot]
+        ]
 
     def extraction_config(self):
         """The persisted :class:`SDTWConfig`, or ``None`` on old manifests."""
@@ -274,7 +362,10 @@ class IndexReader:
     def stats_rows(self) -> List[List[object]]:
         """Tabular summary used by ``repro index stats``."""
         rows: List[List[object]] = []
-        for entry in self.manifest["shards"]:
+        entries = list(self.manifest["shards"]) + list(
+            self.manifest.get("delta_shards", [])
+        )
+        for entry in entries:
             path = os.path.join(self.directory, str(entry["file"]))
             size = os.path.getsize(path) if os.path.exists(path) else 0
             rows.append(

@@ -15,14 +15,14 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.config import SDTWConfig
 from ..core.features import SalientFeature, extract_salient_features
 from ..core.sdtw import SDTW
-from ..datasets.base import Dataset, TimeSeries
+from ..datasets.base import Dataset
 from ..exceptions import DatasetError, ValidationError
 
 # One feature row in the packed matrix:
@@ -162,6 +162,13 @@ class FeatureStore:
         for index, ts in enumerate(dataset):
             identifier = ts.identifier or f"{dataset.name}-{index:04d}"
             self.add_series(identifier, ts.values)
+
+    def remove_series(self, identifier: str) -> None:
+        """Drop one series (and its features) from the store."""
+        if identifier not in self._series:
+            raise DatasetError(f"no series stored for {identifier!r}")
+        del self._series[identifier]
+        self._features.pop(identifier, None)
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -102,6 +102,27 @@ class IndexConfig(_DictRoundTrip):
     mmap:
         Whether reopened shards are served memory-mapped (lock-free
         reads that fault pages in on demand) or loaded fully into RAM.
+    incremental:
+        Keep the index fresh across :meth:`Workspace.add` /
+        :meth:`Workspace.remove` by appending delta shards and
+        tombstones (O(new features) per mutation) instead of marking it
+        stale until the next full rebuild.
+    max_delta_shards:
+        Auto-compaction threshold: once an incremental update would
+        leave more than this many delta shards, the workspace folds
+        them back into the base shards.
+    pq:
+        Fit a :class:`~repro.indexing.pq.ResidualPQ` at build time and
+        store descriptor-residual codes alongside the postings (enables
+        ``rank_mode="pq"`` and the compression reported by ``stats``).
+    pq_subquantizers:
+        Sub-quantizers of the residual PQ (stored bytes per feature).
+    pq_bits:
+        Bits per PQ sub-quantizer code (sub-codebook size ``2**bits``).
+    rank_mode:
+        Default stage-1 candidate ranking for indexed queries:
+        ``"tfidf"`` (codeword-overlap cosine) or ``"pq"`` (asymmetric
+        PQ descriptor distances; requires ``pq=True``).
     """
 
     num_codewords: int = 256
@@ -109,6 +130,12 @@ class IndexConfig(_DictRoundTrip):
     candidate_budget: int = 100
     seed: int = 7
     mmap: bool = True
+    incremental: bool = True
+    max_delta_shards: int = 32
+    pq: bool = True
+    pq_subquantizers: int = 8
+    pq_bits: int = 8
+    rank_mode: str = "tfidf"
 
     def __post_init__(self) -> None:
         if self.num_codewords < 1:
@@ -117,6 +144,20 @@ class IndexConfig(_DictRoundTrip):
             raise ConfigurationError("num_shards must be >= 1")
         if self.candidate_budget < 1:
             raise ConfigurationError("candidate_budget must be >= 1")
+        if self.max_delta_shards < 1:
+            raise ConfigurationError("max_delta_shards must be >= 1")
+        if self.pq_subquantizers < 1:
+            raise ConfigurationError("pq_subquantizers must be >= 1")
+        if not 1 <= self.pq_bits <= 8:
+            raise ConfigurationError("pq_bits must be between 1 and 8")
+        if self.rank_mode not in ("tfidf", "pq"):
+            raise ConfigurationError(
+                f"rank_mode must be 'tfidf' or 'pq', got {self.rank_mode!r}"
+            )
+        if self.rank_mode == "pq" and not self.pq:
+            raise ConfigurationError(
+                "rank_mode='pq' requires pq=True (codes must be built)"
+            )
 
 
 @dataclass(frozen=True)

@@ -67,7 +67,13 @@ from ..engine import BatchKNNResult, DistanceEngine
 from ..engine.engine import EngineHit, QueryResult
 from ..engine.stats import EngineStats
 from ..exceptions import DatasetError, ValidationError, WorkspaceError
-from ..indexing import CodebookConfig, IndexReader, IndexedSearcher
+from ..indexing import (
+    CodebookConfig,
+    IndexReader,
+    IndexedSearcher,
+    PQConfig,
+    pq_entry_for,
+)
 from ..retrieval.feature_store import FeatureStore
 from ..streaming import StreamMatch, StreamMonitor
 from .batching import MicroBatcher, QueryRequest
@@ -180,10 +186,19 @@ class _Snapshot:
 
 @dataclass
 class _PersistedIndex:
-    """The index layers kept across snapshot rebuilds."""
+    """The index layers kept across snapshot rebuilds.
+
+    ``slots`` names the identifier behind every index slot (live *and*
+    tombstoned, in slot order); incremental updates never mutate an
+    existing instance — they swap in a fresh one built around a cloned
+    :class:`InvertedIndex`, so serving snapshots keep reading an
+    immutable shard set.
+    """
 
     index: object  # InvertedIndex
     codebook: object  # Codebook
+    slots: List[str] = field(default_factory=list)
+    pq: object = None  # Optional[ResidualPQ]
     stale: bool = False
 
 
@@ -297,13 +312,16 @@ class Workspace:
             reader = IndexReader.open(
                 os.path.join(path, str(index_dir)), mmap=config.index.mmap
             )
-            if reader.identifiers != workspace._identifiers:
+            if reader.live_identifiers() != workspace._identifiers:
                 raise WorkspaceError(
                     "the persisted index covers a different series roster than "
                     "the workspace manifest; rebuild the index"
                 )
             workspace._index = _PersistedIndex(
-                index=reader.index, codebook=reader.codebook
+                index=reader.index,
+                codebook=reader.codebook,
+                slots=list(reader.identifiers),
+                pq=reader.pq,
             )
         return workspace
 
@@ -383,10 +401,20 @@ class Workspace:
         lengths = [self._store.series_of(i).size for i in self._identifiers]
         index_info: Optional[Dict[str, object]] = None
         if self._index is not None:
+            index = self._index.index
             index_info = {
-                "num_postings": int(self._index.index.num_postings),
-                "num_codewords": int(self._index.index.num_codewords),
+                "num_postings": int(index.num_postings),
+                "num_codewords": int(index.num_codewords),
                 "stale": bool(self._index.stale),
+                "num_slots": int(index.num_series),
+                "num_live": int(index.num_live),
+                "delta_shards": int(index.num_delta_shards),
+                "tombstones": int(index.num_tombstones),
+                "rank_mode": self._effective_rank_mode(),
+                "pq_compression_ratio": (
+                    None if self._index.pq is None
+                    else float(self._index.pq.compression_ratio)
+                ),
             }
         return {
             "path": self.path,
@@ -415,9 +443,16 @@ class Workspace:
         features are extracted lazily — at :meth:`build_index` /
         :meth:`save` time, or when an adaptive constraint's serving
         snapshot needs them — so purely fixed-band workloads never pay
-        for extraction.  Adding marks any existing index stale: ``auto``
-        queries fall back to the exact scan until :meth:`build_index`
-        runs again.
+        for extraction.
+
+        With ``config.index.incremental`` (the default) an existing
+        fresh index stays fresh: the new series' features are extracted,
+        quantized against the frozen codebook (and PQ codec) and
+        appended as one delta shard — O(new features) instead of a full
+        rebuild, and ``auto`` queries keep using the indexed path.
+        With ``incremental=False`` adding marks the index stale and
+        ``auto`` queries fall back to the exact scan until
+        :meth:`build_index` runs again.
         """
         with self._lock:
             self._require_open()
@@ -439,8 +474,94 @@ class Workspace:
             self._store.add_series(identifier, array, extract=False)
             self._identifiers.append(identifier)
             self._labels.append(label)
-            self._invalidate()
+            self._invalidate(index_updated=self._index_add(identifier, array))
             return identifier
+
+    def _index_add(self, identifier: str, array: np.ndarray) -> bool:
+        """Incrementally index one just-stored series (caller holds the lock).
+
+        Returns ``True`` when the index absorbed the series (it stays
+        fresh), ``False`` when the caller must mark it stale instead.
+        Updates go through a clone of the inverted index, so serving
+        snapshots taken before this mutation keep reading an immutable
+        shard set.
+        """
+        persisted = self._index
+        if (
+            persisted is None
+            or persisted.stale
+            or not self.config.index.incremental
+            or not persisted.index.supports_incremental
+        ):
+            return False
+        features = self._store.ensure_features(identifier)
+        codebook = persisted.codebook
+        bag = codebook.bag(features, array.size)
+        pq_entry = None
+        if persisted.pq is not None:
+            pq_entry = pq_entry_for(codebook, persisted.pq, features, array.size)
+        updated = persisted.index.clone()
+        updated.add_series(bag, pq_entry)
+        slots = persisted.slots + [identifier]
+        if updated.num_delta_shards > self.config.index.max_delta_shards:
+            updated, slot_map = updated.compact(
+                num_shards=self.config.index.num_shards
+            )
+            slots = [name for slot, name in enumerate(slots) if slot_map[slot] >= 0]
+        self._index = _PersistedIndex(
+            index=updated,
+            codebook=codebook,
+            slots=slots,
+            pq=persisted.pq,
+        )
+        return True
+
+    def remove(self, identifier: str) -> None:
+        """Remove one stored series from the workspace.
+
+        With ``config.index.incremental`` a fresh index stays fresh: the
+        series' slot is tombstoned (its postings are skipped by every
+        query and dropped physically at the next compaction).  Without
+        incremental maintenance the index goes stale.
+        """
+        with self._lock:
+            self._require_open()
+            identifier = str(identifier)
+            if identifier not in self._store:
+                raise DatasetError(
+                    f"no series stored under identifier {identifier!r}"
+                )
+            position = self._identifiers.index(identifier)
+            del self._identifiers[position]
+            del self._labels[position]
+            self._store.remove_series(identifier)
+            self._invalidate(index_updated=self._index_remove(identifier))
+
+    def _index_remove(self, identifier: str) -> bool:
+        """Tombstone one series' index slot (caller holds the lock)."""
+        persisted = self._index
+        if (
+            persisted is None
+            or persisted.stale
+            or not self.config.index.incremental
+        ):
+            return False
+        slot = None
+        for candidate, name in enumerate(persisted.slots):
+            if name == identifier and not persisted.index.tombstones[candidate]:
+                slot = candidate
+                break
+        if slot is None:
+            return False
+        updated = persisted.index.clone()
+        updated.remove_series(slot)
+        self._index = _PersistedIndex(
+            index=updated,
+            codebook=persisted.codebook,
+            slots=list(persisted.slots),
+            pq=persisted.pq,
+        )
+        return True
 
     def add_batch(
         self,
@@ -488,11 +609,16 @@ class Workspace:
         ]
         return self.add_batch(dataset.values_list(), identifiers, dataset.labels)
 
-    def _invalidate(self) -> None:
-        """Mark serving state stale after a mutation (caller holds the lock)."""
+    def _invalidate(self, *, index_updated: bool = False) -> None:
+        """Mark serving state stale after a mutation (caller holds the lock).
+
+        ``index_updated=True`` means the mutation already refreshed the
+        index incrementally, so only the serving snapshot needs a
+        rebuild; otherwise any existing index goes stale.
+        """
         self._serving = None
         self._dirty = True
-        if self._index is not None:
+        if not index_updated and self._index is not None:
             self._index.stale = True
 
     # ------------------------------------------------------------------ #
@@ -543,8 +669,43 @@ class Workspace:
                 engine,
                 config=self.config.sdtw,
                 candidate_budget=self.config.index.candidate_budget,
+                pq=self._index.pq,
+                rank_mode=self._effective_rank_mode(),
+                index_to_engine=self._slot_mapping(),
             )
         return _Snapshot(engine=engine, searcher=searcher, size=len(engine))
+
+    def _effective_rank_mode(self) -> str:
+        """The configured rank mode, downgraded when the index lacks codes."""
+        if (
+            self.config.index.rank_mode == "pq"
+            and self._index is not None
+            and self._index.pq is not None
+            and self._index.index.has_pq
+        ):
+            return "pq"
+        return "tfidf"
+
+    def _slot_mapping(self) -> Optional[np.ndarray]:
+        """Index-slot -> engine-position mapping (``None`` when identity)."""
+        persisted = self._index
+        if persisted is None:
+            return None
+        if (
+            not persisted.index.num_tombstones
+            and persisted.slots == self._identifiers
+        ):
+            return None
+        position_of = {
+            identifier: position
+            for position, identifier in enumerate(self._identifiers)
+        }
+        mapping = np.full(len(persisted.slots), -1, dtype=np.int64)
+        tombstones = persisted.index.tombstones
+        for slot, identifier in enumerate(persisted.slots):
+            if not tombstones[slot]:
+                mapping[slot] = position_of[identifier]
+        return mapping
 
     def _ensure_all_features(self) -> None:
         """Materialise any deferred feature extraction (caller holds the lock)."""
@@ -580,6 +741,13 @@ class Workspace:
                 else num_codewords,
                 seed=cfg.seed,
             )
+            pq_config = None
+            if cfg.pq:
+                pq_config = PQConfig(
+                    subquantizers=cfg.pq_subquantizers,
+                    bits=cfg.pq_bits,
+                    seed=cfg.seed,
+                )
             searcher = IndexedSearcher.from_engine(
                 snapshot.engine,
                 config=self.config.sdtw,
@@ -593,13 +761,56 @@ class Workspace:
                     list(self._store.features_of(identifier))
                     for identifier in self._identifiers
                 ],
+                pq_config=pq_config,
+                rank_mode=cfg.rank_mode,
             )
             self._index = _PersistedIndex(
-                index=searcher.index, codebook=searcher.codebook
+                index=searcher.index,
+                codebook=searcher.codebook,
+                slots=list(self._identifiers),
+                pq=searcher.pq,
             )
             self._serving = _Snapshot(
                 engine=snapshot.engine, searcher=searcher, size=snapshot.size
             )
+            self._dirty = True
+            if self.path is not None:
+                self.save()
+
+    def compact_index(self, *, num_shards: Optional[int] = None) -> None:
+        """Fold the index's delta shards and tombstones into its base.
+
+        Compaction recomputes IDF statistics and TF-IDF weights from the
+        stored raw counts; the result is bit-identical to rebuilding the
+        postings from scratch under the same frozen codebook, so query
+        results are unchanged (modulo the documented IDF drift deltas
+        accumulate before compaction).  A no-op when the index has no
+        deltas and no tombstones.
+        """
+        with self._lock:
+            self._require_open()
+            if self._index is None or self._index.stale:
+                raise WorkspaceError(
+                    "no fresh index to compact; run build_index() first"
+                )
+            persisted = self._index
+            index = persisted.index
+            if not index.num_delta_shards and not index.num_tombstones:
+                return
+            cfg = self.config.index
+            compacted, slot_map = index.compact(
+                num_shards=cfg.num_shards if num_shards is None else num_shards
+            )
+            self._index = _PersistedIndex(
+                index=compacted,
+                codebook=persisted.codebook,
+                slots=[
+                    name for slot, name in enumerate(persisted.slots)
+                    if slot_map[slot] >= 0
+                ],
+                pq=persisted.pq,
+            )
+            self._serving = None
             self._dirty = True
             if self.path is not None:
                 self.save()
@@ -615,6 +826,7 @@ class Workspace:
         mode: str = "auto",
         candidates: Optional[int] = None,
         exclude_identifier: Optional[str] = None,
+        rank_mode: Optional[str] = None,
     ) -> WorkspaceQueryResult:
         """k nearest stored series to a query.
 
@@ -633,6 +845,9 @@ class Workspace:
             Per-query candidate budget override (indexed mode).
         exclude_identifier:
             Skip this stored identifier (leave-one-out evaluations).
+        rank_mode:
+            Stage-1 ranking override for indexed queries: ``"tfidf"``
+            or ``"pq"`` (default: ``config.index.rank_mode``).
         """
         self._require_open()
         k = self.config.default_k if k is None else check_int_at_least(k, 1, "k")
@@ -655,6 +870,7 @@ class Workspace:
                 values, k,
                 candidates=candidates,
                 exclude_identifier=exclude_identifier,
+                rank_mode=rank_mode,
             )
             return WorkspaceQueryResult(
                 hits=result.hits,
@@ -839,13 +1055,20 @@ class Workspace:
                 index_dir = INDEX_DIR_NAME
                 from ..indexing import IndexWriter
 
+                label_of = dict(zip(self._identifiers, self._labels))
+                tombstones = self._index.index.tombstones
+                slot_labels = [
+                    None if tombstones[slot] else label_of.get(identifier)
+                    for slot, identifier in enumerate(self._index.slots)
+                ]
                 IndexWriter(os.path.join(self.path, INDEX_DIR_NAME)).write(
                     self._index.index,
                     self._index.codebook,
-                    self._identifiers,
-                    self._labels,
+                    self._index.slots,
+                    slot_labels,
                     feature_store=self._store,
                     extraction_config=self.config.sdtw,
+                    pq=self._index.pq,
                 )
             else:
                 # A previously persisted index that is now stale (or was

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.config import (
     DescriptorConfig,
-    MatchingConfig,
     SDTWConfig,
     ScaleSpaceConfig,
 )

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.config import MatchingConfig
 from repro.core.consistency import (
-    ConsistentAlignment,
     amplitude_percentage_difference,
     prune_inconsistent_pairs,
     score_pairs,

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.config import DescriptorConfig, SDTWConfig, ScaleSpaceConfig
 from repro.core.features import (
-    SalientFeature,
     count_features_by_scale,
     extract_salient_features,
 )

@@ -1,0 +1,270 @@
+"""The residual product quantizer and PQ-ranked candidate generation.
+
+Checks the codec itself (fit/encode/decode round trips, asymmetric
+distance tables, determinism, persistence, compression accounting) and
+its integration with :class:`IndexedSearcher`: ``rank_mode="pq"``
+queries stay exact within the candidate set (C = N reproduces the
+exhaustive ranking bit for bit), self-queries rank themselves first,
+and PQ state survives save/open and compaction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DescriptorConfig, SDTWConfig
+from repro.datasets.synthetic import make_gun_like
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.indexing import (
+    CodebookConfig,
+    IndexedSearcher,
+    PQConfig,
+    ResidualPQ,
+)
+from repro.service import IndexConfig, Workspace, WorkspaceConfig
+from repro.utils.rng import rng_from_seed
+
+CONFIG = SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
+
+
+def _residuals(num=300, dim=20, seed=3):
+    rng = rng_from_seed(seed)
+    return rng.normal(size=(num, dim))
+
+
+class TestPQConfig:
+    def test_defaults_valid(self):
+        config = PQConfig()
+        assert config.subquantizers == 8
+        assert config.bits == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"subquantizers": 0},
+        {"bits": 0},
+        {"bits": 9},
+        {"iterations": 0},
+        {"training_sample": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PQConfig(**kwargs)
+
+
+class TestResidualPQ:
+    def test_fit_encode_shapes(self):
+        pq = ResidualPQ(PQConfig(subquantizers=4, bits=6)).fit(_residuals())
+        assert pq.is_fitted
+        assert pq.num_subquantizers == 4
+        assert pq.num_subcentroids == 64
+        assert pq.dim == 20
+        codes = pq.encode(_residuals(num=17))
+        assert codes.shape == (17, 4)
+        assert codes.dtype == np.uint8
+
+    def test_dimension_padding(self):
+        # 20 columns over 8 sub-quantizers pads to 24 (sub_dim 3).
+        pq = ResidualPQ(PQConfig(subquantizers=8, bits=4)).fit(_residuals())
+        assert pq.padded_dim == 24
+        decoded = pq.decode(pq.encode(_residuals(num=5)))
+        assert decoded.shape == (5, 20)
+
+    def test_fit_is_deterministic(self):
+        first = ResidualPQ(PQConfig(subquantizers=4, seed=9)).fit(_residuals())
+        second = ResidualPQ(PQConfig(subquantizers=4, seed=9)).fit(_residuals())
+        assert np.array_equal(first.centroids, second.centroids)
+        probe = _residuals(num=11, seed=5)
+        assert np.array_equal(first.encode(probe), second.encode(probe))
+
+    def test_decode_reduces_error(self):
+        data = _residuals()
+        pq = ResidualPQ(PQConfig(subquantizers=4, bits=8)).fit(data)
+        reconstruction = pq.decode(pq.encode(data))
+        err = np.linalg.norm(data - reconstruction, axis=1).mean()
+        baseline = np.linalg.norm(data, axis=1).mean()
+        assert err < baseline
+
+    def test_adc_scores_match_explicit_distances(self):
+        data = _residuals()
+        pq = ResidualPQ(PQConfig(subquantizers=4, bits=6)).fit(data)
+        stored = _residuals(num=9, seed=8)
+        codes = pq.encode(stored)
+        query = _residuals(num=1, seed=13)[0]
+        table = pq.adc_table(query)
+        scores = pq.adc_scores(codes, table)
+        # ADC distance == exact distance between the query and the
+        # *decoded* (quantized) stored vectors, summed per sub-vector.
+        padded_query = pq._pad(query.reshape(1, -1))[0]
+        m, _, sub_dim = pq.centroids.shape
+        expected = np.zeros(len(codes))
+        for row in range(len(codes)):
+            for sub in range(m):
+                centroid = pq.centroids[sub][codes[row, sub]]
+                block = padded_query[sub * sub_dim:(sub + 1) * sub_dim]
+                expected[row] += ((block - centroid) ** 2).sum()
+        assert np.allclose(scores, expected)
+
+    def test_encode_before_fit_rejected(self):
+        pq = ResidualPQ(PQConfig())
+        with pytest.raises(ValidationError):
+            pq.encode(_residuals(num=2))
+        with pytest.raises(ValidationError):
+            pq.fit(np.zeros((0, 4)))
+
+    def test_mismatched_dim_rejected(self):
+        pq = ResidualPQ(PQConfig(subquantizers=4)).fit(_residuals(dim=20))
+        with pytest.raises(ValidationError):
+            pq.encode(_residuals(num=3, dim=21))
+
+    def test_compression_ratio(self):
+        pq = ResidualPQ(PQConfig(subquantizers=5)).fit(_residuals(dim=20))
+        # 20 float32 columns = 80 bytes raw vs 5 uint8 code bytes.
+        assert pq.compression_ratio == pytest.approx(16.0)
+        assert pq.code_bytes == 5
+
+    def test_save_load_round_trip(self, tmp_path):
+        pq = ResidualPQ(PQConfig(subquantizers=4, bits=5, seed=2)).fit(
+            _residuals()
+        )
+        path = str(tmp_path / "pq.npz")
+        pq.save(path)
+        loaded = ResidualPQ.load(path)
+        assert loaded.config == pq.config
+        assert loaded.dim == pq.dim
+        assert np.array_equal(loaded.centroids, pq.centroids)
+        probe = _residuals(num=6, seed=21)
+        assert np.array_equal(loaded.encode(probe), pq.encode(probe))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_gun_like(num_series=14, seed=29)
+
+
+@pytest.fixture(scope="module")
+def searcher(dataset):
+    return IndexedSearcher.from_dataset(
+        dataset,
+        config=CONFIG,
+        codebook_config=CodebookConfig.for_sdtw(
+            CONFIG, num_codewords=24, seed=7
+        ),
+        num_shards=2,
+        candidate_budget=6,
+        pq_config=PQConfig(subquantizers=4, seed=7),
+    )
+
+
+class TestSearcherPQMode:
+    def test_index_carries_codes(self, searcher):
+        assert searcher.pq is not None
+        assert searcher.index.has_pq
+        assert searcher.index.num_pq_postings > 0
+        assert searcher.pq.compression_ratio >= 4.0
+
+    def test_full_budget_pq_reproduces_exhaustive(self, searcher, dataset):
+        for probe in (dataset[0].values, dataset[5].values):
+            exact = searcher.query(probe, 4, exact=True)
+            ranked = searcher.query(
+                probe, 4, candidates=len(searcher.engine), rank_mode="pq"
+            )
+            assert ranked.indices == exact.indices
+            assert [hit.distance for hit in ranked.hits] == [
+                hit.distance for hit in exact.hits
+            ]
+
+    def test_self_query_ranks_itself_first(self, searcher, dataset):
+        # A stored series' features quantize to their own codes, so its
+        # aggregate asymmetric distance is minimal among candidates.
+        candidates = searcher.generate_candidates(
+            dataset[3].values, 3, rank_mode="pq"
+        )
+        assert candidates[0] == 3
+
+    def test_pq_candidates_are_deterministic(self, searcher, dataset):
+        first = searcher.generate_candidates(dataset[2].values, 6,
+                                             rank_mode="pq")
+        second = searcher.generate_candidates(dataset[2].values, 6,
+                                              rank_mode="pq")
+        assert np.array_equal(first, second)
+
+    def test_rank_mode_validation(self, searcher, dataset):
+        with pytest.raises(ValidationError):
+            searcher.query(dataset[0].values, 2, rank_mode="cosine")
+        plain = IndexedSearcher.from_dataset(
+            dataset,
+            config=CONFIG,
+            codebook_config=CodebookConfig.for_sdtw(
+                CONFIG, num_codewords=24, seed=7
+            ),
+            num_shards=2,
+        )
+        with pytest.raises(ValidationError):
+            plain.query(dataset[0].values, 2, rank_mode="pq")
+        with pytest.raises(ValidationError):
+            IndexedSearcher(
+                plain.index, plain.codebook, plain.engine,
+                config=CONFIG, rank_mode="pq",
+            )
+
+    def test_pq_survives_save_open(self, searcher, dataset, tmp_path):
+        directory = str(tmp_path / "idx")
+        expected = searcher.query(dataset[1].values, 4, rank_mode="pq")
+        searcher.save(directory)
+        reopened = IndexedSearcher.open(directory, candidate_budget=6)
+        assert reopened.pq is not None
+        assert np.array_equal(reopened.pq.centroids, searcher.pq.centroids)
+        result = reopened.query(dataset[1].values, 4, rank_mode="pq")
+        assert [hit.identifier for hit in result.hits] == [
+            hit.identifier for hit in expected.hits
+        ]
+
+    def test_pq_survives_compaction(self, dataset):
+        searcher = IndexedSearcher.from_dataset(
+            dataset,
+            config=CONFIG,
+            codebook_config=CodebookConfig.for_sdtw(
+                CONFIG, num_codewords=24, seed=7
+            ),
+            num_shards=2,
+            candidate_budget=6,
+            pq_config=PQConfig(subquantizers=4, seed=7),
+        )
+        probe = dataset[0].values * 0.9
+        searcher.add_series(probe, identifier="fresh")
+        before = searcher.generate_candidates(probe, 6, rank_mode="pq")
+        pq_postings = searcher.index.num_pq_postings
+        searcher.compact()
+        assert searcher.index.num_pq_postings == pq_postings
+        after = searcher.generate_candidates(probe, 6, rank_mode="pq")
+        assert after[0] == before[0]  # the fresh series still matches itself
+
+
+class TestWorkspacePQMode:
+    def test_workspace_pq_rank_mode(self, dataset):
+        config = WorkspaceConfig(
+            sdtw=CONFIG,
+            index=IndexConfig(
+                num_codewords=24, num_shards=2, candidate_budget=6,
+                pq_subquantizers=4, rank_mode="pq", seed=7,
+            ),
+            default_k=3,
+        )
+        workspace = Workspace(config)
+        for ts in dataset.series[:10]:
+            workspace.add(ts.values, identifier=ts.identifier, label=ts.label)
+        workspace.build_index()
+        stats = workspace.stats()["index"]
+        assert stats["rank_mode"] == "pq"
+        assert stats["pq_compression_ratio"] >= 4.0
+        exact = workspace.query(dataset[0].values, 3, mode="exact",
+                                exclude_identifier=dataset[0].identifier)
+        indexed = workspace.query(dataset[0].values, 3, mode="indexed",
+                                  candidates=10,
+                                  exclude_identifier=dataset[0].identifier)
+        assert indexed.ids == exact.ids
+        assert indexed.distances == exact.distances
+
+    def test_rank_mode_pq_requires_pq(self):
+        with pytest.raises(ConfigurationError):
+            IndexConfig(pq=False, rank_mode="pq")

@@ -6,7 +6,6 @@ from __future__ import annotations
 
 import threading
 
-import numpy as np
 import pytest
 
 from repro.datasets.synthetic import make_gun_like

@@ -137,8 +137,16 @@ class TestIndexedEquivalence:
         assert indexed.ids == exact.ids
         assert indexed.distances == exact.distances
 
-    def test_add_marks_index_stale(self, dataset, config):
-        workspace = _fill(Workspace(config), dataset)
+    def test_add_marks_index_stale_without_incremental(self, dataset, config):
+        cfg = WorkspaceConfig(
+            engine=config.engine,
+            index=IndexConfig(
+                num_codewords=24, num_shards=2, candidate_budget=6,
+                incremental=False,
+            ),
+            default_k=config.default_k,
+        )
+        workspace = _fill(Workspace(cfg), dataset)
         workspace.build_index()
         assert workspace.has_index
         workspace.add(dataset[0].values * 0.5)
@@ -148,6 +156,20 @@ class TestIndexedEquivalence:
             workspace.query(dataset[0].values, 2, mode="indexed")
         workspace.build_index()
         assert workspace.query(dataset[0].values, 2).mode == "indexed"
+
+    def test_add_keeps_index_fresh_incrementally(self, dataset, config):
+        workspace = _fill(Workspace(config), dataset)
+        workspace.build_index()
+        assert workspace.has_index
+        identifier = workspace.add(dataset[0].values * 0.5)
+        # The default (incremental) path absorbs the mutation as a delta
+        # shard: no staleness, auto still resolves to the indexed path,
+        # and the new series is immediately retrievable.
+        assert workspace.has_index
+        assert workspace.stats()["index"]["delta_shards"] == 1
+        result = workspace.query(dataset[0].values * 0.5, 2)
+        assert result.mode == "indexed"
+        assert identifier in result.ids
 
 
 class TestPersistence:
