@@ -1,5 +1,5 @@
 """Workspace serving benchmark: concurrent-query throughput, micro-batching
-on vs. off.
+on vs. off, plus a serving-churn run for the incremental snapshot path.
 
 Simulates a serving deployment: T client threads fire exact k-NN queries
 at one shared :class:`repro.service.Workspace` and the benchmark measures
@@ -28,20 +28,40 @@ time inside GIL-releasing numpy kernels, and there concurrent unbatched
 threads scale with cores while coalescing serialises — micro-batching
 is the right knob for the default transparent backend, not for that one.
 
+The ``--churn`` mode measures the PR 6 incremental serving snapshot
+instead: interleaved add/remove/query over a large collection (10k
+series by default).  With ``serving.incremental_snapshots`` on, the
+snapshot taken after a mutation *extends* the previous one — shared
+prepared segments, one appended segment for the new series, tombstone
+masks for removals — so the first query after an add pays O(new)
+preparation instead of re-preparing all N stored series.  The run
+reports steady-state p50/p99 query latency, churn-phase p50/p99, and
+the first-query-after-add cost, and gates (ratio form, since the query
+scan itself is O(N)) that the first query after an add stays within a
+small factor of the steady-state median rather than absorbing an O(N)
+rebuild.  A shorter rebuild-mode pass (``incremental_snapshots=False``)
+runs alongside for comparison.
+
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_workspace_serving.py \
         --series 64 --length 128 --queries 48 --threads 8
+    PYTHONPATH=src python benchmarks/bench_workspace_serving.py \
+        --churn --churn-series 10000
 
-``--dry-run`` shrinks everything for CI.
+``--dry-run`` (alias ``--quick``) shrinks everything for CI; with
+``--churn --json PATH`` the churn metrics are merged into PATH under
+the ``"workspace_churn"`` key (the CI perf-guard artifact
+``BENCH_ci.json`` is shared with the incremental-index guard).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import threading
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -108,6 +128,192 @@ def run_clients(
     return elapsed, outcomes
 
 
+def _percentile_ms(samples: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples) * 1000.0, q))
+
+
+def build_churn_workspace(dataset, size: int, *, incremental: bool) -> Workspace:
+    workspace = Workspace(WorkspaceConfig(
+        engine=EngineConfig(constraint="fc,fw", backend="vectorized"),
+        serving=ServingConfig(incremental_snapshots=incremental),
+        default_k=5,
+    ))
+    for position in range(size):
+        ts = dataset[position]
+        workspace.add(
+            ts.values,
+            identifier=ts.identifier or f"series-{position:05d}",
+            label=ts.label,
+        )
+    workspace.engine  # pay the initial snapshot before timing anything
+    return workspace
+
+
+def drive_churn(
+    workspace: Workspace,
+    dataset,
+    *,
+    size: int,
+    rounds: int,
+    steady_queries: int,
+    k: int,
+) -> Dict[str, List[float]]:
+    """Interleave add/remove/query; return per-phase latency samples.
+
+    Each round adds one fresh series and times the very next query
+    (which absorbs the snapshot refresh), then a follow-up query at the
+    new roster (churn steady state).  Every third round also removes a
+    stored series so tombstone masking stays on the measured path.
+    """
+    rng = np.random.default_rng(17)
+    length = dataset[0].values.size
+    probes = [
+        dataset[int(rng.integers(size))].values
+        + rng.normal(scale=0.05, size=length)
+        for _ in range(8)
+    ]
+
+    def timed_query(position: int) -> float:
+        started = time.perf_counter()
+        workspace.query(probes[position % len(probes)], k, mode="exact")
+        return time.perf_counter() - started
+
+    steady = [timed_query(position) for position in range(steady_queries)]
+    first_after_add: List[float] = []
+    churn: List[float] = []
+    cursor = size
+    for round_index in range(rounds):
+        ts = dataset[cursor]
+        workspace.add(
+            ts.values,
+            identifier=ts.identifier or f"series-{cursor:05d}",
+            label=ts.label,
+        )
+        cursor += 1
+        first_after_add.append(timed_query(round_index))
+        churn.append(timed_query(round_index + 1))
+        if round_index % 3 == 2:
+            victims = workspace.identifiers
+            workspace.remove(victims[int(rng.integers(len(victims)))])
+            churn.append(timed_query(round_index + 2))
+    return {
+        "steady": steady,
+        "first_after_add": first_after_add,
+        "churn": churn,
+    }
+
+
+def run_churn_benchmark(args: argparse.Namespace) -> int:
+    total_needed = args.churn_series + args.churn_rounds
+    dataset = make_gun_like(
+        num_series=total_needed, length=args.length, seed=13
+    )
+    print(f"Serving churn: {args.churn_series} stored series x length "
+          f"{args.length}, {args.churn_rounds} add/remove/query rounds, "
+          f"k={args.k}")
+
+    derived_ws = build_churn_workspace(
+        dataset, args.churn_series, incremental=True
+    )
+    derived = drive_churn(
+        derived_ws, dataset, size=args.churn_series,
+        rounds=args.churn_rounds, steady_queries=args.churn_steady,
+        k=args.k,
+    )
+    # A short rebuild-mode pass for comparison: every post-mutation query
+    # re-prepares all N series, so keep it brief at large N.
+    rebuild_rounds = min(args.churn_rounds, 8)
+    rebuilt_ws = build_churn_workspace(
+        dataset, args.churn_series, incremental=False
+    )
+    rebuilt = drive_churn(
+        rebuilt_ws, dataset, size=args.churn_series,
+        rounds=rebuild_rounds, steady_queries=max(args.churn_steady // 2, 4),
+        k=args.k,
+    )
+
+    steady_p50 = _percentile_ms(derived["steady"], 50)
+    steady_p99 = _percentile_ms(derived["steady"], 99)
+    churn_p50 = _percentile_ms(derived["churn"], 50)
+    churn_p99 = _percentile_ms(derived["churn"], 99)
+    first_p50 = _percentile_ms(derived["first_after_add"], 50)
+    rebuilt_first_p50 = _percentile_ms(rebuilt["first_after_add"], 50)
+    ratio = first_p50 / steady_p50 if steady_p50 > 0 else float("inf")
+
+    print()
+    print(format_table(
+        ["metric", "derived (ms)", "rebuilt (ms)"],
+        [
+            ["steady query p50", round(steady_p50, 3),
+             round(_percentile_ms(rebuilt["steady"], 50), 3)],
+            ["steady query p99", round(steady_p99, 3),
+             round(_percentile_ms(rebuilt["steady"], 99), 3)],
+            ["churn query p50", round(churn_p50, 3),
+             round(_percentile_ms(rebuilt["churn"], 50), 3)],
+            ["churn query p99", round(churn_p99, 3),
+             round(_percentile_ms(rebuilt["churn"], 99), 3)],
+            ["first query after add p50", round(first_p50, 3),
+             round(rebuilt_first_p50, 3)],
+        ],
+        title="Serving churn latency: incremental snapshots vs rebuild",
+    ))
+    print()
+    print(f"first-query-after-add / steady p50: {ratio:.2f}x "
+          f"(bar: {args.max_first_query_ratio:.1f}x + "
+          f"{args.first_query_floor_ms:.1f} ms floor)")
+
+    failures: List[str] = []
+    bar = (args.max_first_query_ratio * steady_p50
+           + args.first_query_floor_ms)
+    if first_p50 > bar:
+        failures.append(
+            f"first query after an add took {first_p50:.2f} ms at p50, over "
+            f"the {bar:.2f} ms bar ({args.max_first_query_ratio:.1f}x "
+            f"steady p50 {steady_p50:.2f} ms + {args.first_query_floor_ms:.1f}"
+            " ms) — snapshot refresh is not O(new)"
+        )
+
+    if args.json:
+        metrics = {
+            "series": args.churn_series,
+            "rounds": args.churn_rounds,
+            "length": args.length,
+            "k": args.k,
+            "steady_p50_ms": round(steady_p50, 4),
+            "steady_p99_ms": round(steady_p99, 4),
+            "churn_p50_ms": round(churn_p50, 4),
+            "churn_p99_ms": round(churn_p99, 4),
+            "first_query_after_add_p50_ms": round(first_p50, 4),
+            "rebuilt_first_query_after_add_p50_ms": round(
+                rebuilt_first_p50, 4
+            ),
+            "first_query_ratio": round(ratio, 3),
+            "failures": failures,
+        }
+        try:
+            with open(args.json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                payload = {"incremental_index": payload}
+        except (FileNotFoundError, json.JSONDecodeError):
+            payload = {}
+        payload["workspace_churn"] = metrics
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nchurn metrics merged into {args.json} "
+              "under 'workspace_churn'")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("\nOK: first query after an add stays within the steady-state "
+          "latency envelope")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--series", type=int, default=64,
@@ -123,7 +329,29 @@ def main() -> int:
                         help="micro-batch window (default: 2.0 ms)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions, best-of (default: 3)")
-    parser.add_argument("--dry-run", action="store_true",
+    parser.add_argument("--churn", action="store_true",
+                        help="run the serving-churn benchmark (incremental "
+                             "snapshots) instead of the throughput run")
+    parser.add_argument("--churn-series", type=int, default=10_000,
+                        help="stored collection size for --churn "
+                             "(default: 10000)")
+    parser.add_argument("--churn-rounds", type=int, default=30,
+                        help="add/remove/query rounds for --churn "
+                             "(default: 30)")
+    parser.add_argument("--churn-steady", type=int, default=20,
+                        help="steady-state queries timed before the churn "
+                             "phase (default: 20)")
+    parser.add_argument("--max-first-query-ratio", type=float, default=3.0,
+                        help="first-query-after-add p50 must stay within "
+                             "this multiple of steady p50 (default: 3.0)")
+    parser.add_argument("--first-query-floor-ms", type=float, default=5.0,
+                        help="additive floor on the first-query bar, "
+                             "absorbs timer noise at tiny scales "
+                             "(default: 5.0)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="merge churn metrics into PATH under "
+                             "'workspace_churn' (CI artifact)")
+    parser.add_argument("--dry-run", "--quick", action="store_true",
                         help="tiny configuration for CI")
     args = parser.parse_args()
 
@@ -133,6 +361,12 @@ def main() -> int:
         args.queries = 16
         args.threads = 4
         args.repeats = 2
+        args.churn_series = 300
+        args.churn_rounds = 12
+        args.churn_steady = 10
+
+    if args.churn:
+        return run_churn_benchmark(args)
 
     dataset = make_gun_like(num_series=args.series, length=args.length, seed=7)
     rng = np.random.default_rng(11)

@@ -16,6 +16,13 @@ Three strategies orchestrate the same per-query cascade:
 
 All three produce identical distances and k-NN rankings; the equivalence
 test suite (``tests/test_engine_equivalence.py``) enforces it.
+
+Backends are agnostic to how the engine stores its collection: the
+engine's prepared state is segmented (immutable per-segment arrays
+shared structurally between derived serving snapshots, with tombstone
+masks for removals), and every backend receives flat per-candidate
+views gathered from the **live** slots only — a derived snapshot and a
+from-scratch engine hand a backend byte-identical inputs.
 """
 
 from __future__ import annotations

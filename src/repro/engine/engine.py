@@ -196,22 +196,109 @@ class _Stored:
     label: Optional[int]
 
 
+@dataclass(frozen=True)
+class _PreparedSegment:
+    """One immutable slice of the prepared collection caches.
+
+    Segments are the unit of structural sharing between an engine and the
+    engines derived from it via :meth:`DistanceEngine.extended`: a derived
+    engine keeps its parent's segment objects untouched and appends one new
+    segment holding only the caches of the added series, so deriving costs
+    O(new) envelope/profile work instead of O(N).  Only the large per-sample
+    arrays live here (the stacked series matrix and the tight LB_Keogh
+    envelopes, each O(size x length)); the O(size) arrays are merged into
+    :class:`_Prepared` at derivation time because copying them is cheap.
+    """
+
+    size: int
+    matrix: Optional[np.ndarray]
+    tight_upper: Optional[np.ndarray]
+    tight_lower: Optional[np.ndarray]
+
+
+def _merge_segments(left: _PreparedSegment, right: _PreparedSegment) -> _PreparedSegment:
+    """Concatenate two adjacent segments (the binary-counter merge step)."""
+
+    def _cat(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if a is None or b is None or a.shape[1:] != b.shape[1:]:
+            return None
+        return np.concatenate([a, b])
+
+    return _PreparedSegment(
+        size=left.size + right.size,
+        matrix=_cat(left.matrix, right.matrix),
+        tight_upper=_cat(left.tight_upper, right.tight_upper),
+        tight_lower=_cat(left.tight_lower, right.tight_lower),
+    )
+
+
 @dataclass
 class _Prepared:
-    """Per-collection caches built once and shared by every query."""
+    """Per-collection caches built once and shared by every query.
+
+    The O(N)-sized arrays (lengths, Kim profiles, min/max, identifier map)
+    are stored merged; the O(N x L) arrays are split across ``segments`` so
+    derived engines can share them structurally (see :class:`_PreparedSegment`).
+    """
 
     lengths: np.ndarray
     equal_length: bool
-    matrix: Optional[np.ndarray]
     profiles: np.ndarray
     mins: np.ndarray
     maxs: np.ndarray
+    segments: Tuple[_PreparedSegment, ...] = ()
+    seg_starts: np.ndarray = field(default_factory=lambda: np.zeros(1, dtype=int))
     tight_radius: Optional[int] = None
-    tight_upper: Optional[np.ndarray] = None
-    tight_lower: Optional[np.ndarray] = None
     # Every index stored under an identifier: duplicates must all be
     # excluded by leave-one-out queries, like the sequential engine did.
     indices_of: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def has_matrix(self) -> bool:
+        return bool(self.segments) and all(s.matrix is not None for s in self.segments)
+
+    @property
+    def has_tight(self) -> bool:
+        return (
+            self.tight_radius is not None
+            and bool(self.segments)
+            and all(s.tight_upper is not None for s in self.segments)
+        )
+
+    def _segment_of(self, indices: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.seg_starts, indices, side="right") - 1
+
+    def _gather(self, indices, member: str) -> np.ndarray:
+        """Gather rows of a segmented O(N x L) cache for the given slots."""
+        idx = np.asarray(indices, dtype=int)
+        if len(self.segments) == 1:
+            return getattr(self.segments[0], member)[idx]
+        first = getattr(self.segments[0], member)
+        out = np.empty((idx.size,) + first.shape[1:], dtype=first.dtype)
+        seg_ids = self._segment_of(idx)
+        for s in np.unique(seg_ids):
+            rows = seg_ids == s
+            local = idx[rows] - int(self.seg_starts[s])
+            out[rows] = getattr(self.segments[int(s)], member)[local]
+        return out
+
+    def matrix_rows(self, indices) -> np.ndarray:
+        """Stacked series values of the given slots (equal-length only)."""
+        return self._gather(indices, "matrix")
+
+    def tight_rows(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+        """Tight LB_Keogh envelopes (upper, lower) of the given slots."""
+        return self._gather(indices, "tight_upper"), self._gather(indices, "tight_lower")
+
+    def tight_row_one(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Tight envelope of one slot (the serial cascade's hot accessor)."""
+        if len(self.segments) == 1:
+            seg = self.segments[0]
+            return seg.tight_upper[index], seg.tight_lower[index]
+        s = int(self._segment_of(np.array([index]))[0])
+        local = index - int(self.seg_starts[s])
+        seg = self.segments[s]
+        return seg.tight_upper[local], seg.tight_lower[local]
 
 
 class DistanceEngine:
@@ -273,6 +360,10 @@ class DistanceEngine:
         self._sdtw = SDTW(self.config)
         self._stored: List[_Stored] = []
         self._prepared: Optional[_Prepared] = None
+        # Tombstone mask over stored slots (None: every slot is live).
+        # Derived engines mark removals here instead of re-packing the
+        # collection, so old snapshots keep serving their slots untouched.
+        self._alive: Optional[np.ndarray] = None
         distance_name = self.config.pointwise_distance
         self._bounds_admissible = (
             isinstance(distance_name, str)
@@ -307,6 +398,8 @@ class DistanceEngine:
                 counter += 1
                 identifier = f"series-{counter:05d}"
         self._stored.append(_Stored(identifier=identifier, values=array, label=label))
+        if self._alive is not None:
+            self._alive = np.append(self._alive, True)
         self._prepared = None
         return identifier
 
@@ -333,14 +426,60 @@ class DistanceEngine:
         return engine
 
     def stored_items(self) -> List[Tuple[str, np.ndarray, Optional[int]]]:
-        """The stored collection as ``(identifier, values, label)`` tuples.
+        """The live collection as ``(identifier, values, label)`` tuples.
 
         The public accessor consumers (CLI, benchmarks, the indexing
         subsystem) use to replay stored series as queries or enumerate
         the collection, instead of depending on the engine's internal
-        storage layout.
+        storage layout.  On a derived engine tombstoned slots are skipped,
+        so the listing always matches what queries can return.
         """
-        return [(s.identifier, s.values, s.label) for s in self._stored]
+        if self._alive is None:
+            return [(s.identifier, s.values, s.label) for s in self._stored]
+        return [
+            (s.identifier, s.values, s.label)
+            for i, s in enumerate(self._stored)
+            if self._alive[i]
+        ]
+
+    @property
+    def num_live(self) -> int:
+        """Live (non-tombstoned) series count; equals ``len(self)`` on
+        engines that were never derived with removals."""
+        if self._alive is None:
+            return len(self._stored)
+        return int(self._alive.sum())
+
+    @property
+    def alive_mask(self) -> Optional[np.ndarray]:
+        """The tombstone mask over stored slots (``None``: all live).
+
+        Callers must treat the array as read-only; it is shared with the
+        query path.
+        """
+        return self._alive
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of stored slots that are tombstoned."""
+        if not self._stored or self._alive is None:
+            return 0.0
+        return 1.0 - float(self._alive.sum()) / len(self._stored)
+
+    def slot_of(self, identifier: str) -> int:
+        """The stored slot of the live series under *identifier*.
+
+        With duplicated identifiers the most recently added live slot is
+        returned (the serving layer forbids duplicates, so this is exact
+        there).
+        """
+        self.prepare()
+        if self._prepared is None:
+            raise DatasetError("the distance engine contains no series")
+        for index in reversed(self._prepared.indices_of.get(identifier, ())):
+            if self._alive is None or self._alive[index]:
+                return int(index)
+        raise DatasetError(f"no live series stored under {identifier!r}")
 
     # ------------------------------------------------------------------ #
     # Preparation (amortised one-time work, Section 3.4 of the paper)
@@ -362,39 +501,195 @@ class DistanceEngine:
             return
         lengths = np.array([s.values.size for s in self._stored], dtype=int)
         equal_length = bool(lengths.size and (lengths == lengths[0]).all())
-        matrix = (
-            np.stack([s.values for s in self._stored]) if equal_length else None
-        )
         profiles = np.stack([kim_profile(s.values) for s in self._stored])
         mins = np.array([float(s.values.min()) for s in self._stored])
         maxs = np.array([float(s.values.max()) for s in self._stored])
         indices_of: Dict[str, Tuple[int, ...]] = {}
         for i, stored in enumerate(self._stored):
             indices_of[stored.identifier] = indices_of.get(stored.identifier, ()) + (i,)
-        prepared = _Prepared(
+        tight_radius = self._tight_radius(int(lengths[0])) if equal_length else None
+        segment = self._build_segment(
+            [s.values for s in self._stored],
+            equal_length=equal_length,
+            tight_radius=tight_radius,
+        )
+        self._prepared = _Prepared(
             lengths=lengths,
             equal_length=equal_length,
-            matrix=matrix,
             profiles=profiles,
             mins=mins,
             maxs=maxs,
+            segments=(segment,),
+            seg_starts=np.zeros(1, dtype=int),
+            tight_radius=tight_radius if segment.tight_upper is not None else None,
             indices_of=indices_of,
         )
-        if self.constraint == "fc,fw" and equal_length:
-            length = int(lengths[0])
-            # One more sample than the band's half-width, so floor/ceil
-            # rounding in the band builder can never break admissibility.
-            radius = max(1, int(round(self.config.width_fraction * length / 2.0))) + 1
-            envelopes = [keogh_envelope(s.values, radius) for s in self._stored]
-            prepared.tight_radius = radius
-            prepared.tight_upper = np.stack([e[0] for e in envelopes])
-            prepared.tight_lower = np.stack([e[1] for e in envelopes])
         if self._needs_alignment:
             # Salient features are a one-time, per-series cost; extracting
             # them here lets multiprocessing workers inherit a warm cache.
             for stored in self._stored:
                 self._sdtw.extract_features(stored.values)
-        self._prepared = prepared
+
+    def _tight_radius(self, length: int) -> Optional[int]:
+        """The tight LB_Keogh envelope radius, when the family supports it."""
+        if self.constraint != "fc,fw":
+            return None
+        # One more sample than the band's half-width, so floor/ceil
+        # rounding in the band builder can never break admissibility.
+        return max(1, int(round(self.config.width_fraction * length / 2.0))) + 1
+
+    def _build_segment(
+        self,
+        values: Sequence[np.ndarray],
+        *,
+        equal_length: bool,
+        tight_radius: Optional[int],
+    ) -> _PreparedSegment:
+        """Compute one segment's O(size x length) caches from raw series."""
+        matrix = np.stack(values) if equal_length else None
+        tight_upper = tight_lower = None
+        if tight_radius is not None and equal_length:
+            envelopes = [keogh_envelope(v, tight_radius) for v in values]
+            tight_upper = np.stack([e[0] for e in envelopes])
+            tight_lower = np.stack([e[1] for e in envelopes])
+        return _PreparedSegment(
+            size=len(values),
+            matrix=matrix,
+            tight_upper=tight_upper,
+            tight_lower=tight_lower,
+        )
+
+    def extended(
+        self,
+        added: Sequence[Tuple[Union[Sequence[float], np.ndarray], str, Optional[int]]] = (),
+        *,
+        removed_identifiers: Sequence[str] = (),
+    ) -> "DistanceEngine":
+        """Derive a new prepared engine in O(new) work, sharing this one.
+
+        The derived engine reuses this engine's prepared segments (Kim
+        profiles, tight envelopes, stacked values) untouched, appends one
+        freshly computed segment for *added* series (``(values,
+        identifier, label)`` tuples), and tombstones *removed_identifiers*
+        in its own liveness mask — this engine is never mutated, so
+        readers holding it keep serving bit-identical results.  Adjacent
+        small segments are merged binary-counter style, which keeps the
+        segment count O(log N) and the amortised merge cost O(1) copies
+        per added series.
+        """
+        self._require_collection()
+        self.prepare()
+        prep = self._prepared
+        stored = list(self._stored)
+        alive = (
+            np.ones(len(stored), dtype=bool)
+            if self._alive is None
+            else self._alive.copy()
+        )
+        for identifier in removed_identifiers:
+            slots = [
+                i for i in prep.indices_of.get(identifier, ()) if alive[i]
+            ]
+            if not slots:
+                raise DatasetError(f"no live series stored under {identifier!r}")
+            for slot in slots:
+                alive[slot] = False
+
+        new_stored = []
+        for values, identifier, label in added:
+            if identifier is None:
+                raise ValidationError(
+                    "extended() requires explicit identifiers for added series"
+                )
+            new_stored.append(
+                _Stored(
+                    identifier=identifier,
+                    values=as_series(values, "values"),
+                    label=label,
+                )
+            )
+
+        derived = DistanceEngine(
+            self.constraint,
+            self.config,
+            backend=self.backend,
+            num_workers=self.num_workers,
+            use_lb_kim=self.use_lb_kim,
+            use_lb_keogh=self.use_lb_keogh,
+            early_abandon=self.early_abandon,
+            itakura_max_slope=self.itakura_max_slope,
+            batch_size=self.batch_size,
+        )
+        derived._sdtw = self._sdtw  # share the salient-feature cache
+        derived._stored = stored + new_stored
+        derived._alive = np.concatenate(
+            [alive, np.ones(len(new_stored), dtype=bool)]
+        )
+
+        if not new_stored:
+            derived._prepared = _Prepared(
+                lengths=prep.lengths,
+                equal_length=prep.equal_length,
+                profiles=prep.profiles,
+                mins=prep.mins,
+                maxs=prep.maxs,
+                segments=prep.segments,
+                seg_starts=prep.seg_starts,
+                tight_radius=prep.tight_radius,
+                indices_of=prep.indices_of,
+            )
+            return derived
+
+        new_values = [s.values for s in new_stored]
+        new_lengths = np.array([v.size for v in new_values], dtype=int)
+        lengths = np.concatenate([prep.lengths, new_lengths])
+        equal_length = bool((lengths == lengths[0]).all())
+        seg_equal = bool((new_lengths == new_lengths[0]).all())
+        # The new segment gets tight envelopes only when it stays
+        # compatible with the parent's (same radius, same length), so
+        # the all-segments-tight invariant of ``_Prepared.has_tight``
+        # holds by construction.
+        tight_radius = prep.tight_radius if equal_length else None
+        segment = self._build_segment(
+            new_values,
+            equal_length=seg_equal and equal_length,
+            tight_radius=tight_radius,
+        )
+        segments = prep.segments + (segment,)
+        while len(segments) >= 2 and segments[-2].size <= 2 * segments[-1].size:
+            segments = segments[:-2] + (_merge_segments(segments[-2], segments[-1]),)
+        sizes = np.array([s.size for s in segments], dtype=int)
+        seg_starts = np.concatenate([[0], np.cumsum(sizes[:-1])])
+
+        indices_of = dict(prep.indices_of)
+        base = len(stored)
+        for offset, item in enumerate(new_stored):
+            indices_of[item.identifier] = indices_of.get(item.identifier, ()) + (
+                base + offset,
+            )
+        derived._prepared = _Prepared(
+            lengths=lengths,
+            equal_length=equal_length,
+            profiles=np.concatenate(
+                [prep.profiles, np.stack([kim_profile(v) for v in new_values])]
+            ),
+            mins=np.concatenate(
+                [prep.mins, np.array([float(v.min()) for v in new_values])]
+            ),
+            maxs=np.concatenate(
+                [prep.maxs, np.array([float(v.max()) for v in new_values])]
+            ),
+            segments=segments,
+            seg_starts=seg_starts,
+            tight_radius=(
+                tight_radius if segment.tight_upper is not None else None
+            ),
+            indices_of=indices_of,
+        )
+        if self._needs_alignment:
+            for item in new_stored:
+                self._sdtw.extract_features(item.values)
+        return derived
 
     # ------------------------------------------------------------------ #
     # Constraint plumbing
@@ -439,7 +734,7 @@ class DistanceEngine:
         prep = self._prepared
         return (
             prep is not None
-            and prep.tight_upper is not None
+            and prep.has_tight
             and prep.equal_length
             and n == int(prep.lengths[0])
         )
@@ -449,7 +744,7 @@ class DistanceEngine:
         if self._keogh_tight_applicable(query.size):
             return lb_keogh(
                 query, self._stored[index].values, prep.tight_radius,
-                envelope=(prep.tight_upper[index], prep.tight_lower[index]),
+                envelope=prep.tight_row_one(index),
             )
         return _global_keogh_one(
             query, float(prep.mins[index]), float(prep.maxs[index])
@@ -461,10 +756,13 @@ class DistanceEngine:
         prep = self._prepared
         if self._keogh_tight_applicable(query.size):
             if subset is not None:
-                return lb_keogh_batch(
-                    query, prep.tight_upper[subset], prep.tight_lower[subset]
-                )
-            return lb_keogh_batch(query, prep.tight_upper, prep.tight_lower)
+                upper, lower = prep.tight_rows(subset)
+                return lb_keogh_batch(query, upper, lower)
+            parts = [
+                lb_keogh_batch(query, seg.tight_upper, seg.tight_lower)
+                for seg in prep.segments
+            ]
+            return parts[0] if len(parts) == 1 else np.concatenate(parts)
         if subset is not None:
             return _global_keogh_batch(
                 query, prep.mins[subset], prep.maxs[subset]
@@ -487,9 +785,14 @@ class DistanceEngine:
         stats = EngineStats(queries=1)
         n = query.size
         excluded = set(exclude_indices)
+        alive = self._alive
         if candidate_indices is None:
             include = np.array(
-                [i for i in range(len(self._stored)) if i not in excluded],
+                [
+                    i
+                    for i in range(len(self._stored))
+                    if i not in excluded and (alive is None or alive[i])
+                ],
                 dtype=int,
             )
         else:
@@ -504,7 +807,12 @@ class DistanceEngine:
                     "candidate_indices contains out-of-range stored indices"
                 )
             include = np.array(
-                [i for i in candidates.tolist() if i not in excluded], dtype=int
+                [
+                    i
+                    for i in candidates.tolist()
+                    if i not in excluded and (alive is None or alive[i])
+                ],
+                dtype=int,
             )
         stats.candidates = int(include.size)
         stats.total_cells = int(n * prep.lengths[include].sum())
@@ -598,7 +906,7 @@ class DistanceEngine:
                 threshold = limit if (self.early_abandon and np.isfinite(limit)) else None
                 dp_start = time.perf_counter()
                 dists, cell_counts, abandoned_mask = banded_dtw_batch(
-                    query, prep.matrix[chunk], band,
+                    query, prep.matrix_rows(chunk), band,
                     get_pointwise_distance(self.config.pointwise_distance),
                     threshold,
                 )
@@ -664,12 +972,16 @@ class DistanceEngine:
         band = self._shared_band(n, int(prep.lengths[0])) if prep.equal_length else None
         if mode == "vectorized" and band is not None:
             dp_start = time.perf_counter()
-            row, cell_counts, _ = banded_dtw_batch(
-                query, prep.matrix, band,
-                get_pointwise_distance(self.config.pointwise_distance), None,
-            )
+            parts = []
+            pointwise = get_pointwise_distance(self.config.pointwise_distance)
+            for seg in prep.segments:
+                seg_row, cell_counts, _ = banded_dtw_batch(
+                    query, seg.matrix, band, pointwise, None,
+                )
+                parts.append(seg_row)
+                stats.cells_filled += int(cell_counts.sum())
+            row = parts[0] if len(parts) == 1 else np.concatenate(parts)
             stats.dp_seconds += time.perf_counter() - dp_start
-            stats.cells_filled += int(cell_counts.sum())
             stats.dtw_computed += count
         else:
             for index, stored in enumerate(self._stored):
@@ -801,6 +1113,12 @@ class DistanceEngine:
         the square constraint-distance matrix the experiments consume.
         """
         self._require_collection()
+        if self._alive is not None and not bool(self._alive.all()):
+            raise ValidationError(
+                "distance_matrix is not available on a derived engine with "
+                "tombstoned series; rebuild the engine over the live "
+                "collection first"
+            )
         self.prepare()
         if queries is None:
             arrays = [s.values for s in self._stored]

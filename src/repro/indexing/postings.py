@@ -190,6 +190,9 @@ class InvertedIndex:
         self._shard_starts = np.array(
             [shard.first_codeword for shard in self.shards], dtype=int
         )
+        # Decoded-postings page cache capacity (per shard); propagated to
+        # clones so delta shards appended after a clone inherit it.
+        self._postings_cache_capacity = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -365,7 +368,7 @@ class InvertedIndex:
         change.  This is how serving snapshots stay lock-free while a
         writer prepares the next index state.
         """
-        return InvertedIndex(
+        clone = InvertedIndex(
             num_series=self.num_series,
             num_codewords=self.num_codewords,
             shards=self.shards,
@@ -373,6 +376,22 @@ class InvertedIndex:
             delta_shards=self.delta_shards,
             tombstones=self.tombstones,
         )
+        clone._postings_cache_capacity = self._postings_cache_capacity
+        return clone
+
+    def enable_postings_cache(self, capacity: int) -> None:
+        """Enable the decoded-postings page cache on every shard.
+
+        *capacity* is the number of hot codeword pages each shard keeps
+        (``<= 0`` disables).  Shards are shared structurally across
+        :meth:`clone` copies and serving snapshots, so pages warmed by
+        one snapshot stay hot for the next — the payload arrays are
+        immutable, which is what makes the sharing safe.  Delta shards
+        appended later by :meth:`add_series` inherit the capacity.
+        """
+        self._postings_cache_capacity = max(0, int(capacity))
+        for shard in list(self.shards) + list(self.delta_shards):
+            shard.enable_postings_cache(self._postings_cache_capacity)
 
     def add_series(self, bag: Bag, pq_entry: Optional[PQEntry] = None) -> int:
         """Append one series as a delta shard; returns its new slot id.
@@ -416,18 +435,19 @@ class InvertedIndex:
                 "pq_codes": entry_codes[order],
             }
         if codewords.size or pq_members:
-            self.delta_shards.append(
-                IndexShard(
-                    first_codeword=0,
-                    last_codeword=self.num_codewords,
-                    codeword_ids=codewords.astype(np.int32),
-                    offsets=np.arange(codewords.size + 1, dtype=np.int64),
-                    series=np.full(codewords.size, slot, dtype=np.int32),
-                    weights=weights.astype(np.float32),
-                    counts=counts,
-                    **pq_members,
-                )
+            delta = IndexShard(
+                first_codeword=0,
+                last_codeword=self.num_codewords,
+                codeword_ids=codewords.astype(np.int32),
+                offsets=np.arange(codewords.size + 1, dtype=np.int64),
+                series=np.full(codewords.size, slot, dtype=np.int32),
+                weights=weights.astype(np.float32),
+                counts=counts,
+                **pq_members,
             )
+            if self._postings_cache_capacity:
+                delta.enable_postings_cache(self._postings_cache_capacity)
+            self.delta_shards.append(delta)
         self.num_series = slot + 1
         self.tombstones = np.append(self.tombstones, False)
         return slot
@@ -607,7 +627,9 @@ class InvertedIndex:
         shard_of = np.searchsorted(self._shard_starts, codewords, side="right") - 1
         for position in range(codewords.size):
             shard = self.shards[int(shard_of[position])]
-            series, posting_weights = shard.postings_of(int(codewords[position]))
+            series, posting_weights = shard.scored_postings_of(
+                int(codewords[position])
+            )
             if not series.size:
                 continue
             # Series indices are unique within one codeword's postings
@@ -615,15 +637,19 @@ class InvertedIndex:
             # indexing accumulates correctly — and avoids np.add.at's
             # slow unbuffered path on the hot stage-1 loop.  float64
             # accumulation over float32 postings, in stored order, keeps
-            # in-memory and reopened indexes scoring bit-identically.
-            scores[series] += weights[position] * posting_weights.astype(float)
+            # in-memory and reopened indexes scoring bit-identically
+            # (scored_postings_of memoises exactly the float64 widening
+            # this loop used to do inline).
+            scores[series] += weights[position] * posting_weights
             touched[series] = True
         for shard in self.delta_shards:
             for position in range(codewords.size):
-                series, posting_weights = shard.postings_of(int(codewords[position]))
+                series, posting_weights = shard.scored_postings_of(
+                    int(codewords[position])
+                )
                 if not series.size:
                     continue
-                scores[series] += weights[position] * posting_weights.astype(float)
+                scores[series] += weights[position] * posting_weights
                 touched[series] = True
         if self.num_tombstones:
             scores[self.tombstones] = 0.0

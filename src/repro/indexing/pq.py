@@ -38,6 +38,48 @@ from ..utils.rng import rng_from_seed
 from .codebook import _lloyd
 
 
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-pack a ``(rows, M)`` ``uint8`` code matrix into a flat stream.
+
+    Each code contributes exactly *bits* bits (MSB first), row-major, so
+    ``pq_bits < 8`` stops spending a full byte per code on disk.  With
+    ``bits == 8`` the input is returned as-is (already dense).  The
+    inverse is :func:`unpack_codes`; the round trip is exact because
+    every code of a fitted quantizer is below ``2**bits``.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    if bits >= 8 or codes.size == 0:
+        return codes.reshape(codes.shape)
+    if int(codes.max()) >= (1 << bits):
+        raise ValidationError(
+            f"cannot pack codes >= 2**{bits} into {bits}-bit fields"
+        )
+    # Per-code bit rows (8 columns, MSB first), keep the low `bits`.
+    bit_rows = np.unpackbits(codes.reshape(-1, 1), axis=1)[:, 8 - bits:]
+    return np.packbits(bit_rows.reshape(-1))
+
+
+def unpack_codes(
+    packed: np.ndarray, bits: int, rows: int, cols: int
+) -> np.ndarray:
+    """Invert :func:`pack_codes` back into a ``(rows, cols)`` code matrix."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if bits >= 8:
+        return packed.reshape(rows, cols)
+    if rows * cols == 0:
+        return np.zeros((rows, cols), dtype=np.uint8)
+    total_bits = rows * cols * bits
+    if packed.size * 8 < total_bits:
+        raise ValidationError(
+            f"packed code stream holds {packed.size * 8} bits but "
+            f"{rows}x{cols} {bits}-bit codes need {total_bits}"
+        )
+    bit_rows = np.unpackbits(packed, count=total_bits).reshape(-1, bits)
+    weights = (1 << np.arange(bits - 1, -1, -1)).astype(np.int64)
+    values = (bit_rows.astype(np.int64) * weights).sum(axis=1)
+    return values.astype(np.uint8).reshape(rows, cols)
+
+
 @dataclass(frozen=True)
 class PQConfig:
     """Parameters of the residual product quantizer.
@@ -120,8 +162,15 @@ class ResidualPQ:
 
     @property
     def code_bytes(self) -> int:
-        """Stored bytes per encoded feature (one ``uint8`` per sub-quantizer)."""
-        return int(self.config.subquantizers)
+        """Persisted bytes per encoded feature.
+
+        Codes are bit-packed on disk (:func:`pack_codes`), so a feature
+        costs ``ceil(M * bits / 8)`` bytes — with ``bits=8`` that is the
+        classic one byte per sub-quantizer, with ``bits<8`` strictly
+        less.  In memory codes always stay one ``uint8`` per
+        sub-quantizer for fast asymmetric-distance lookups.
+        """
+        return (self.config.subquantizers * self.config.bits + 7) // 8
 
     @property
     def compression_ratio(self) -> float:
@@ -276,4 +325,4 @@ class ResidualPQ:
         return cls(config=config, centroids=centroids, dim=dim)
 
 
-__all__ = ["PQConfig", "ResidualPQ"]
+__all__ = ["PQConfig", "ResidualPQ", "pack_codes", "unpack_codes"]

@@ -24,7 +24,9 @@ trade-off against the exhaustive ranking.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -195,6 +197,13 @@ class IndexedSearcher:
         Optional slot -> engine-position mapping.  Needed when the index
         carries tombstoned slots (the engine then only stores the live
         series); ``-1`` marks dead slots.  ``None`` means identity.
+    postings_cache:
+        Hot decoded-postings pages kept per shard (see
+        :meth:`InvertedIndex.enable_postings_cache`); ``0`` disables.
+    candidate_cache:
+        LRU entries of stage-1 candidate sets keyed by (query bytes,
+        budget, rank mode); a repeat query skips candidate generation
+        entirely.  Cleared on every mutation.  ``0`` disables.
     """
 
     def __init__(
@@ -208,6 +217,8 @@ class IndexedSearcher:
         pq: Optional[ResidualPQ] = None,
         rank_mode: str = "tfidf",
         index_to_engine: Optional[Sequence[int]] = None,
+        postings_cache: int = 0,
+        candidate_cache: int = 0,
     ) -> None:
         if index_to_engine is None:
             if len(engine) != index.num_series:
@@ -266,9 +277,55 @@ class IndexedSearcher:
         # Lazily built identifier set; keeps add_series O(new features)
         # instead of re-materialising the collection per insertion.
         self._identifier_set: Optional[set] = None
+        # Stage-1 candidate-set LRU (see enable_caches).
+        self._candidate_cache: "OrderedDict[Tuple[bytes, int, str], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._candidate_cache_capacity = 0
+        self._candidate_cache_lock = threading.Lock()
+        self.enable_caches(
+            postings_cache=postings_cache, candidate_cache=candidate_cache
+        )
 
     def __len__(self) -> int:
         return self.index.num_series
+
+    @property
+    def index_to_engine(self) -> Optional[np.ndarray]:
+        """The slot -> engine-position mapping (``None`` means identity).
+
+        Exposed read-only so a derived serving snapshot can extend the
+        previous snapshot's mapping in O(new slots) instead of
+        recomputing it from the roster.
+        """
+        return self._index_to_engine
+
+    def enable_caches(
+        self,
+        *,
+        postings_cache: Optional[int] = None,
+        candidate_cache: Optional[int] = None,
+    ) -> None:
+        """(Re)configure the read-path caches.
+
+        ``postings_cache`` sets the per-shard decoded-postings page
+        capacity (shard payloads are immutable, so those pages can never
+        go stale and survive snapshot derivations).  ``candidate_cache``
+        sets the per-searcher LRU capacity for stage-1 candidate sets;
+        that cache is dropped wholesale on :meth:`add_series` and
+        :meth:`compact` because any mutation can change candidate
+        rankings.  ``None`` leaves a knob unchanged; ``0`` disables.
+        """
+        if postings_cache is not None:
+            self.index.enable_postings_cache(postings_cache)
+        if candidate_cache is not None:
+            with self._candidate_cache_lock:
+                self._candidate_cache_capacity = max(0, int(candidate_cache))
+                self._candidate_cache.clear()
+
+    def _clear_candidate_cache(self) -> None:
+        with self._candidate_cache_lock:
+            self._candidate_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -549,6 +606,7 @@ class IndexedSearcher:
         if self.pq is not None:
             pq_entry = pq_entry_for(self.codebook, self.pq, features, array.size)
         self.index.add_series(bag, pq_entry)
+        self._clear_candidate_cache()
         if self._index_to_engine is not None:
             self._index_to_engine = np.append(
                 self._index_to_engine, len(self.engine) - 1
@@ -569,7 +627,12 @@ class IndexedSearcher:
         if num_shards is None:
             num_shards = len(self.index.shards)
         compacted, slot_map = self.index.compact(num_shards=num_shards)
+        # The compacted index is a fresh shard set: carry the postings
+        # cache capacity over (pages rebuild lazily) and drop the
+        # candidate LRU (slot renumbering invalidates every entry).
+        compacted.enable_postings_cache(self.index._postings_cache_capacity)
         self.index = compacted
+        self._clear_candidate_cache()
         if self._index_to_engine is not None:
             self._index_to_engine = self._index_to_engine[slot_map >= 0]
         return slot_map
@@ -661,18 +724,39 @@ class IndexedSearcher:
 
         Returned indices are engine positions (identical to index slots
         unless the index carries tombstoned slots).
+
+        With an enabled candidate cache (see :meth:`enable_caches`) a
+        byte-identical repeat of a recent (query, budget, rank-mode)
+        triple returns the memoised candidate set without touching the
+        postings; the cache is cleared on every index mutation, so a
+        hit is always exactly what a fresh stage 1 would produce.
         """
         query = as_series(values, "query")
-        features = extract_salient_features(query, self.config)
         limit = limit if limit is not None else self.candidate_budget
         limit = check_int_at_least(limit, 1, "limit")
         mode = self._resolve_rank_mode(rank_mode)
+        cache_key: Optional[Tuple[bytes, int, str]] = None
+        if self._candidate_cache_capacity:
+            cache_key = (query.tobytes(), limit, mode)
+            with self._candidate_cache_lock:
+                cached = self._candidate_cache.get(cache_key)
+                if cached is not None:
+                    self._candidate_cache.move_to_end(cache_key)
+                    return cached.copy()
+        features = extract_salient_features(query, self.config)
         if mode == "pq":
             slots = self._pq_candidate_slots(features, query.size, limit)
         else:
             bag = self.codebook.bag(features, query.size, query=True)
             slots = self.index.candidates(bag, limit)
-        return self._slots_to_engine(slots)
+        candidates = self._slots_to_engine(slots)
+        if cache_key is not None:
+            with self._candidate_cache_lock:
+                self._candidate_cache[cache_key] = candidates.copy()
+                self._candidate_cache.move_to_end(cache_key)
+                while len(self._candidate_cache) > self._candidate_cache_capacity:
+                    self._candidate_cache.popitem(last=False)
+        return candidates
 
     def query(
         self,

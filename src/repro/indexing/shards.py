@@ -47,6 +47,14 @@ SHARD_MEMBERS = ("codeword_ids", "offsets", "series", "weights")
 OPTIONAL_SHARD_MEMBERS = (
     "counts", "pq_codeword_ids", "pq_offsets", "pq_series", "pq_codes",
 )
+# Archive-only members of the version-3 sub-byte layout: ``pq_codes``
+# may be replaced on disk by the bit-packed pair ``pq_codes_packed`` +
+# ``pq_codes_shape`` (bits, rows, cols) when the quantizer uses fewer
+# than 8 bits per code.  :meth:`IndexShard.open` unpacks transparently
+# back into the dense ``pq_codes`` attribute, so these names never
+# appear on a live shard object — and v2 archives (dense codes) keep
+# loading unchanged.
+PACKED_ARCHIVE_MEMBERS = ("pq_codes_packed", "pq_codes_shape")
 
 
 def _member_data_offset(handle, info: zipfile.ZipInfo) -> int:
@@ -149,6 +157,10 @@ class IndexShard:
     pq_codes: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
+        # Optional decoded-postings cache (see enable_postings_cache);
+        # plain instance state, never persisted with the shard.
+        self._postings_cache: Optional[Dict[int, Tuple[np.ndarray, np.ndarray]]] = None
+        self._postings_cache_capacity = 0
         if self.last_codeword < self.first_codeword:
             raise ValidationError("shard codeword range is inverted")
         if self.offsets.size != self.codeword_ids.size + 1:
@@ -214,6 +226,57 @@ class IndexShard:
         stop = int(self.offsets[position + 1])
         return self.series[start:stop], self.weights[start:stop]
 
+    def enable_postings_cache(self, capacity: int) -> None:
+        """Keep up to *capacity* decoded postings pages hot in memory.
+
+        A cached page is the ``(series, weights)`` pair of one codeword
+        with the series indices materialised from the (possibly
+        memory-mapped) backing arrays and the weights already widened to
+        ``float64`` — exactly the form the scoring loop needs, so a hot
+        codeword skips both the page fault and the ``astype`` copy.
+        Shard payloads are immutable, so cached pages can never go
+        stale; the cache itself rides along when a shard object is
+        shared across index clones and serving snapshots.
+        ``capacity <= 0`` disables caching.
+        """
+        capacity = int(capacity)
+        if capacity <= 0:
+            self._postings_cache = None
+            self._postings_cache_capacity = 0
+            return
+        self._postings_cache_capacity = capacity
+        if self._postings_cache is None:
+            self._postings_cache = {}
+
+    def scored_postings_of(self, codeword: int):
+        """``(series, float64 weights)`` for one codeword, cached when hot.
+
+        The uncached result is bit-identical to
+        ``postings_of(codeword)`` followed by ``weights.astype(float)``
+        — the cache only memoises that conversion, it never changes it.
+        """
+        cache = self._postings_cache
+        if cache is not None:
+            page = cache.get(codeword)
+            if page is not None:
+                return page
+        series, weights = self.postings_of(codeword)
+        page = (
+            np.array(series, dtype=np.intp, copy=True),
+            weights.astype(float),
+        )
+        if cache is not None and series.size:
+            if len(cache) >= self._postings_cache_capacity:
+                # FIFO eviction; dicts iterate in insertion order.  A
+                # rare concurrent eviction race just clears the cache —
+                # correctness never depends on what is cached.
+                try:
+                    del cache[next(iter(cache))]
+                except (KeyError, RuntimeError, StopIteration):
+                    cache.clear()
+            cache[codeword] = page
+        return page
+
     def counts_of(self, codeword: int) -> np.ndarray:
         """Raw term frequencies for one codeword (requires ``counts``)."""
         if self.counts is None:
@@ -251,7 +314,9 @@ class IndexShard:
         stop = int(self.pq_offsets[position + 1])
         return self.pq_series[start:stop], self.pq_codes[start:stop]
 
-    def save(self, path: Union[str, os.PathLike]) -> None:
+    def save(
+        self, path: Union[str, os.PathLike], *, pq_bits: Optional[int] = None
+    ) -> None:
         """Write the shard as an uncompressed (mappable) ``.npz`` archive.
 
         The archive is assembled in a sibling temp file and moved into
@@ -260,6 +325,11 @@ class IndexShard:
         directory is safe on POSIX even while the previous shard files
         are still memory-mapped (the old inodes stay alive under the
         existing mappings).
+
+        With ``pq_bits < 8`` the PQ code matrix is bit-packed into
+        ``ceil(bits/8)`` of its dense size (format version 3); without
+        *pq_bits* (or at 8 bits) codes are written dense, which is the
+        version-2 layout.
         """
         payload = {
             "codeword_ids": np.asarray(self.codeword_ids, dtype=np.int32),
@@ -275,7 +345,16 @@ class IndexShard:
             )
             payload["pq_offsets"] = np.asarray(self.pq_offsets, dtype=np.int64)
             payload["pq_series"] = np.asarray(self.pq_series, dtype=np.int32)
-            payload["pq_codes"] = np.asarray(self.pq_codes, dtype=np.uint8)
+            codes = np.asarray(self.pq_codes, dtype=np.uint8)
+            if pq_bits is not None and pq_bits < 8:
+                from .pq import pack_codes
+
+                payload["pq_codes_packed"] = pack_codes(codes, pq_bits)
+                payload["pq_codes_shape"] = np.array(
+                    [pq_bits, codes.shape[0], codes.shape[1]], dtype=np.int64
+                )
+            else:
+                payload["pq_codes"] = codes
         path = os.fspath(path)
         temp_path = path + ".tmp"
         try:
@@ -307,6 +386,24 @@ class IndexShard:
             raise ValidationError(
                 f"shard archive {os.fspath(path)!r} is missing members: {missing}"
             )
+        pq_codes = arrays.get("pq_codes")
+        if pq_codes is None and "pq_codes_packed" in arrays:
+            # Version-3 sub-byte layout: decode the bit-packed stream
+            # back into the dense uint8 matrix queries expect.  The
+            # decoded matrix lives in RAM (it cannot be memory-mapped),
+            # which is the documented cost of the smaller file.
+            from .pq import unpack_codes
+
+            shape = np.asarray(arrays["pq_codes_shape"], dtype=np.int64)
+            if shape.shape != (3,):
+                raise ValidationError(
+                    f"shard archive {os.fspath(path)!r} has a malformed "
+                    f"pq_codes_shape member"
+                )
+            pq_codes = unpack_codes(
+                arrays["pq_codes_packed"],
+                int(shape[0]), int(shape[1]), int(shape[2]),
+            )
         return cls(
             first_codeword=first_codeword,
             last_codeword=last_codeword,
@@ -318,5 +415,5 @@ class IndexShard:
             pq_codeword_ids=arrays.get("pq_codeword_ids"),
             pq_offsets=arrays.get("pq_offsets"),
             pq_series=arrays.get("pq_series"),
-            pq_codes=arrays.get("pq_codes"),
+            pq_codes=pq_codes,
         )

@@ -21,8 +21,11 @@ postings pages fault in as queries touch them.
 
 Format version 2 adds incremental state: delta shard entries, the
 tombstoned slot list, the optional PQ codec file and per-posting raw
-counts inside the shards.  Version-1 directories still open (they
-simply cannot be compacted until rebuilt).
+counts inside the shards.  Version 3 bit-packs sub-byte PQ codes inside
+the shards (``pq_bits < 8`` no longer spends a full byte per code on
+disk).  Both older versions still open: version-1 directories simply
+cannot be compacted until rebuilt, and version-2 shards carry dense
+codes the reader accepts as-is.
 """
 
 from __future__ import annotations
@@ -46,7 +49,7 @@ PQ_NAME = "pq.npz"
 STATS_NAME = "stats.npz"
 STORE_NAME = "store.npz"
 FORMAT_NAME = "repro-salient-index"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 
 def _shard_entry(filename: str, shard: IndexShard) -> Dict[str, object]:
@@ -139,15 +142,18 @@ class IndexWriter:
             pq.save(os.path.join(directory, PQ_NAME))
         np.savez(os.path.join(directory, STATS_NAME), idf=index.idf)
 
+        # Sub-byte quantizers get their codes bit-packed inside the
+        # shard files (format version 3); 8-bit codes stay dense.
+        pq_bits = None if pq is None else int(pq.config.bits)
         shard_entries: List[Dict[str, object]] = []
         for number, shard in enumerate(index.shards):
             filename = f"shard-{number:04d}.npz"
-            shard.save(os.path.join(directory, filename))
+            shard.save(os.path.join(directory, filename), pq_bits=pq_bits)
             shard_entries.append(_shard_entry(filename, shard))
         delta_entries: List[Dict[str, object]] = []
         for number, shard in enumerate(index.delta_shards):
             filename = f"delta-{number:04d}.npz"
-            shard.save(os.path.join(directory, filename))
+            shard.save(os.path.join(directory, filename), pq_bits=pq_bits)
             delta_entries.append(_shard_entry(filename, shard))
 
         store_file: Optional[str] = None

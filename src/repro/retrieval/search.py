@@ -36,7 +36,7 @@ from .._validation import as_series
 from ..core.config import SDTWConfig
 from ..datasets.base import Dataset
 from ..engine import DistanceEngine, QueryResult
-from ..exceptions import ValidationError
+from ..exceptions import DatasetError, ValidationError, WorkspaceError
 
 
 @dataclass(frozen=True)
@@ -228,9 +228,14 @@ class TimeSeriesSearchEngine:
             leave-one-out evaluations when the query itself is stored).
         """
         query = as_series(values, "query")
-        batch = self._workspace.knn(
-            [query], k, exclude_identifiers=[exclude_identifier]
-        )
+        try:
+            batch = self._workspace.knn(
+                [query], k, exclude_identifiers=[exclude_identifier]
+            )
+        except WorkspaceError as exc:
+            # The Workspace rejects empty-roster queries with its own
+            # error type; this shim's documented contract predates it.
+            raise DatasetError(str(exc)) from exc
         return _to_search_result(batch.results[0])
 
     def batch_query(
@@ -245,9 +250,12 @@ class TimeSeriesSearchEngine:
         With the multiprocessing backend the queries are fanned out across
         worker processes; results arrive in query order regardless.
         """
-        batch = self._workspace.knn(
-            queries, k, exclude_identifiers=exclude_identifiers
-        )
+        try:
+            batch = self._workspace.knn(
+                queries, k, exclude_identifiers=exclude_identifiers
+            )
+        except WorkspaceError as exc:
+            raise DatasetError(str(exc)) from exc
         return [_to_search_result(result) for result in batch.results]
 
     def build_index(

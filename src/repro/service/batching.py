@@ -8,11 +8,21 @@ vectorised backend — advancing the batched dynamic program in numpy
 instead of N Python row loops.  :class:`MicroBatcher` is the combiner
 that turns concurrent ``query`` calls into such batches:
 
-* the first caller to arrive becomes the **leader**: it waits up to a
-  configurable window for companions (closing early once ``max_batch``
-  requests are queued), drains the queue, and executes the batch;
+* the first caller to arrive becomes the **leader**: if no companion is
+  queued it executes immediately (a solo query never pays a batching
+  latency floor); once at least one companion is waiting it holds the
+  window open up to the configured duration (closing early once
+  ``max_batch`` requests are queued), drains the queue, and executes
+  the batch;
 * every other caller (**follower**) just blocks on its own event and is
-  handed its result when the leader finishes.
+  handed its result when the leader finishes;
+* leadership is held across batch execution: requests arriving while a
+  batch is in flight queue as followers, and the leader drains them as
+  the next batch before retiring (group-commit coalescing — under load
+  the batch size tracks the execution time of the previous batch, with
+  no window sleep at all).  Leadership is only released, under the
+  queue lock, once the queue is empty, so no request can be stranded
+  between batches.
 
 Queue draining and leadership hand-off happen under one lock, so a
 request can never be stranded between batches.  Because the engine
@@ -61,7 +71,9 @@ class MicroBatcher:
         every request it is handed.  Exceptions escaping it fail the
         whole batch, so no follower can block forever.
     window_seconds:
-        How long a leader waits for companion requests.
+        How long a leader holds the window open once at least one
+        companion request is queued.  A leader whose queue stays empty
+        closes the window immediately instead of sleeping it out.
     max_batch:
         Queue length at which the window closes early.
     """
@@ -102,36 +114,51 @@ class MicroBatcher:
     # Leader protocol
     # ------------------------------------------------------------------ #
     def _lead(self) -> None:
-        deadline = time.monotonic() + self.window_seconds
         while True:
-            with self._lock:
-                if len(self._queue) >= self.max_batch:
+            deadline = time.monotonic() + self.window_seconds
+            while True:
+                with self._lock:
+                    size = len(self._queue)
+                if size >= self.max_batch:
                     break
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                break
-            time.sleep(min(0.0005, remaining))
-        with self._lock:
-            # Drain and release leadership atomically: every request
-            # enqueued before this point is in the batch, every request
-            # after it sees no active leader and starts the next batch.
-            batch = self._queue
-            self._queue = []
-            self._leader_active = False
-            self.batches_executed += 1
-            self.requests_batched += len(batch)
-        try:
-            self._run_batch(batch)
-        except BaseException as exc:  # noqa: BLE001 - propagated per request
-            for request in batch:
-                if not request.event.is_set():
-                    request.fail(exc)
-        finally:
-            for request in batch:
-                if not request.event.is_set():
-                    request.fail(
-                        RuntimeError("batch runner did not resolve this request")
-                    )
+                if size <= 1:
+                    # Nothing but (at most) one request is waiting:
+                    # close the window immediately instead of sleeping
+                    # it out, so a solo query never pays a batching
+                    # latency floor.
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                time.sleep(min(0.0005, remaining))
+            with self._lock:
+                batch = self._queue
+                self._queue = []
+                self.batches_executed += 1
+                self.requests_batched += len(batch)
+            try:
+                self._run_batch(batch)
+            except BaseException as exc:  # noqa: BLE001 - propagated per request
+                for request in batch:
+                    if not request.event.is_set():
+                        request.fail(exc)
+            finally:
+                for request in batch:
+                    if not request.event.is_set():
+                        request.fail(
+                            RuntimeError(
+                                "batch runner did not resolve this request"
+                            )
+                        )
+            with self._lock:
+                # Retire only once the queue is drained; requests that
+                # arrived during execution are this leader's next batch.
+                # Hand-off is atomic with the emptiness check, so a
+                # submission always finds either an active leader or an
+                # empty queue — never a stranded request.
+                if not self._queue:
+                    self._leader_active = False
+                    return
 
 
 __all__ = ["MicroBatcher", "QueryRequest"]

@@ -123,6 +123,15 @@ class IndexConfig(_DictRoundTrip):
         Default stage-1 candidate ranking for indexed queries:
         ``"tfidf"`` (codeword-overlap cosine) or ``"pq"`` (asymmetric
         PQ descriptor distances; requires ``pq=True``).
+    postings_cache:
+        Hot postings pages kept decoded per shard (codeword -> posting
+        arrays with weights already converted to float64).  Serving
+        shards are immutable, so cached pages stay valid across snapshot
+        derivations and index clones.  ``0`` disables the cache.
+    candidate_cache:
+        LRU entries of quantised-query candidate sets kept per serving
+        searcher (keyed by query bytes, budget and rank mode).  A repeat
+        query skips stage 1 entirely.  ``0`` disables the cache.
     """
 
     num_codewords: int = 256
@@ -136,6 +145,8 @@ class IndexConfig(_DictRoundTrip):
     pq_subquantizers: int = 8
     pq_bits: int = 8
     rank_mode: str = "tfidf"
+    postings_cache: int = 256
+    candidate_cache: int = 128
 
     def __post_init__(self) -> None:
         if self.num_codewords < 1:
@@ -158,6 +169,10 @@ class IndexConfig(_DictRoundTrip):
             raise ConfigurationError(
                 "rank_mode='pq' requires pq=True (codes must be built)"
             )
+        if self.postings_cache < 0:
+            raise ConfigurationError("postings_cache must be >= 0")
+        if self.candidate_cache < 0:
+            raise ConfigurationError("candidate_cache must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -173,14 +188,24 @@ class ServingConfig(_DictRoundTrip):
         way; batching trades a small queueing delay for shared batch-DP
         work and is worthwhile under multi-threaded load.
     batch_window_ms:
-        How long the first request of a batch waits for companions.
+        How long the first request of a batch waits once at least one
+        companion is queued (a request that stays alone never waits; see
+        :class:`~repro.service.batching.MicroBatcher`).
     max_batch:
         Requests per batch before the window closes early.
+    incremental_snapshots:
+        Derive the serving snapshot from the previous one after a
+        mutation (shared prepared segments, appended series, query-time
+        tombstones — O(new) instead of an O(N) engine rebuild).
+        ``False`` restores the PR 5 behaviour of rebuilding the snapshot
+        from scratch on the first query after any mutation; results are
+        bit-identical either way.
     """
 
     micro_batch: bool = False
     batch_window_ms: float = 2.0
     max_batch: int = 32
+    incremental_snapshots: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:

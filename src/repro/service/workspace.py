@@ -50,6 +50,7 @@ calls for throughput.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import shutil
@@ -177,11 +178,23 @@ class WorkspaceQueryResult:
 
 @dataclass(frozen=True)
 class _Snapshot:
-    """An immutable serving state: prepared engine + optional searcher."""
+    """An immutable serving state: prepared engine + optional searcher.
+
+    ``size`` counts *live* series (tombstoned engine slots excluded);
+    ``engine_to_live`` maps engine slots to live ranks (``None`` when
+    they coincide, i.e. the engine has no tombstones) — hit indices are
+    remapped through it so callers always see positions into the live
+    roster, whichever snapshot lineage served them.  ``index_generation``
+    records which index slot-numbering epoch the searcher's slot mapping
+    was built against, so a derived snapshot knows whether it may extend
+    the mapping in place of rebuilding it.
+    """
 
     engine: DistanceEngine
     searcher: Optional[IndexedSearcher]
     size: int
+    engine_to_live: Optional[np.ndarray] = None
+    index_generation: Optional[int] = None
 
 
 @dataclass
@@ -192,7 +205,10 @@ class _PersistedIndex:
     tombstoned, in slot order); incremental updates never mutate an
     existing instance — they swap in a fresh one built around a cloned
     :class:`InvertedIndex`, so serving snapshots keep reading an
-    immutable shard set.
+    immutable shard set.  ``generation`` changes whenever slot numbering
+    changes (full rebuilds and compactions); within one generation slots
+    are append-only, which is what lets derived snapshots extend the
+    previous slot mapping instead of recomputing it.
     """
 
     index: object  # InvertedIndex
@@ -200,6 +216,7 @@ class _PersistedIndex:
     slots: List[str] = field(default_factory=list)
     pq: object = None  # Optional[ResidualPQ]
     stale: bool = False
+    generation: int = 0
 
 
 class Workspace:
@@ -225,6 +242,11 @@ class Workspace:
         self._labels: List[Optional[int]] = []
         self._index: Optional[_PersistedIndex] = None
         self._serving: Optional[_Snapshot] = None
+        # Snapshot-derivation state: the last snapshot that served (kept
+        # as the derivation base after ``_serving`` is invalidated) and
+        # the mutation log accumulated since it was built.
+        self._previous: Optional[_Snapshot] = None
+        self._pending: List[Tuple[str, str]] = []
         self._monitor: Optional[StreamMonitor] = None
         self._pairwise: Optional[SDTW] = None
         self._dirty = False
@@ -343,6 +365,8 @@ class Workspace:
                 self.save()
             self._closed = True
             self._serving = None
+            self._previous = None
+            self._pending.clear()
 
     def _require_open(self) -> None:
         if self._closed:
@@ -474,7 +498,10 @@ class Workspace:
             self._store.add_series(identifier, array, extract=False)
             self._identifiers.append(identifier)
             self._labels.append(label)
-            self._invalidate(index_updated=self._index_add(identifier, array))
+            self._invalidate(
+                index_updated=self._index_add(identifier, array),
+                op=("add", identifier),
+            )
             return identifier
 
     def _index_add(self, identifier: str, array: np.ndarray) -> bool:
@@ -503,16 +530,19 @@ class Workspace:
         updated = persisted.index.clone()
         updated.add_series(bag, pq_entry)
         slots = persisted.slots + [identifier]
+        generation = persisted.generation
         if updated.num_delta_shards > self.config.index.max_delta_shards:
             updated, slot_map = updated.compact(
                 num_shards=self.config.index.num_shards
             )
             slots = [name for slot, name in enumerate(slots) if slot_map[slot] >= 0]
+            generation += 1  # compaction renumbers slots
         self._index = _PersistedIndex(
             index=updated,
             codebook=codebook,
             slots=slots,
             pq=persisted.pq,
+            generation=generation,
         )
         return True
 
@@ -535,7 +565,10 @@ class Workspace:
             del self._identifiers[position]
             del self._labels[position]
             self._store.remove_series(identifier)
-            self._invalidate(index_updated=self._index_remove(identifier))
+            self._invalidate(
+                index_updated=self._index_remove(identifier),
+                op=("remove", identifier),
+            )
 
     def _index_remove(self, identifier: str) -> bool:
         """Tombstone one series' index slot (caller holds the lock)."""
@@ -560,6 +593,7 @@ class Workspace:
             codebook=persisted.codebook,
             slots=list(persisted.slots),
             pq=persisted.pq,
+            generation=persisted.generation,  # tombstones keep slot numbers
         )
         return True
 
@@ -609,14 +643,28 @@ class Workspace:
         ]
         return self.add_batch(dataset.values_list(), identifiers, dataset.labels)
 
-    def _invalidate(self, *, index_updated: bool = False) -> None:
+    def _invalidate(
+        self,
+        *,
+        index_updated: bool = False,
+        op: Optional[Tuple[str, str]] = None,
+    ) -> None:
         """Mark serving state stale after a mutation (caller holds the lock).
 
         ``index_updated=True`` means the mutation already refreshed the
         index incrementally, so only the serving snapshot needs a
-        rebuild; otherwise any existing index goes stale.
+        rebuild; otherwise any existing index goes stale.  ``op`` (an
+        ``("add"|"remove", identifier)`` pair) is appended to the
+        mutation log, letting the next query *derive* its snapshot from
+        the previous one — shared prepared segments, an appended segment
+        for new series, tombstones for removals — instead of rebuilding
+        the engine from scratch.
         """
+        if self._serving is not None:
+            self._previous = self._serving
         self._serving = None
+        if op is not None:
+            self._pending.append(op)
         self._dirty = True
         if not index_updated and self._index is not None:
             self._index.stale = True
@@ -631,8 +679,168 @@ class Workspace:
         with self._lock:
             self._require_open()
             if self._serving is None:
-                self._serving = self._build_snapshot()
+                self._serving = self._next_snapshot()
+                self._previous = None
+                self._pending.clear()
             return self._serving
+
+    # Rebuild (instead of derive) once this fraction of a derived
+    # engine's slots would be tombstones: queries pay for dead slots in
+    # bound computation, so unbounded tombstone accumulation would slowly
+    # degrade the read path.  A rebuild compacts them away.
+    _MAX_DEAD_FRACTION = 0.5
+
+    def _next_snapshot(self) -> _Snapshot:
+        """The snapshot for the current roster (caller holds the lock).
+
+        Derives from the previous snapshot when possible — O(pending
+        mutations) instead of an O(N) engine rebuild — and falls back to
+        :meth:`_build_snapshot` when there is no usable base (first
+        query, ``incremental_snapshots=False``, or too many accumulated
+        tombstones).
+        """
+        previous = self._previous
+        if (
+            not self.config.serving.incremental_snapshots
+            or previous is None
+            or previous.engine._prepared is None
+        ):
+            return self._build_snapshot()
+        added, removed = self._net_pending()
+        total = len(previous.engine) + len(added)
+        live = len(self._identifiers)
+        if total and (total - live) / total > self._MAX_DEAD_FRACTION:
+            return self._build_snapshot()
+        return self._derive_snapshot(previous, added, removed)
+
+    def _net_pending(self) -> Tuple[List[str], List[str]]:
+        """Collapse the mutation log into net (added, removed) identifier
+        lists relative to the previous snapshot.
+
+        Add-then-remove within one log cancels out entirely; a
+        remove-then-re-add of the same identifier yields one tombstone
+        plus one appended slot, which is exactly what the engine
+        derivation needs (the re-added series may have different
+        values).
+        """
+        added: List[str] = []
+        removed: List[str] = []
+        for op, identifier in self._pending:
+            if op == "add":
+                added.append(identifier)
+            elif identifier in added:
+                added.remove(identifier)
+            else:
+                removed.append(identifier)
+        return added, removed
+
+    def _derive_snapshot(
+        self,
+        previous: _Snapshot,
+        added: List[str],
+        removed: List[str],
+    ) -> _Snapshot:
+        """Extend the previous snapshot to the current roster.
+
+        The engine derivation shares the previous engine's prepared
+        segments and costs O(added) cache building plus O(N) small-array
+        copies — never the O(N) envelope/profile recomputation of
+        :meth:`_build_snapshot`.  The previous snapshot itself is never
+        touched: readers holding it keep serving bit-identical results.
+        """
+        label_of = dict(zip(self._identifiers, self._labels))
+        base_engine = previous.engine
+        if base_engine._needs_alignment:
+            # Seed the shared salient-feature cache for the new series
+            # from the store before the engine derivation would extract
+            # them from scratch.
+            sdtw = base_engine._sdtw
+            for identifier in added:
+                features = self._store.ensure_features(identifier)
+                key = sdtw._cache_key(
+                    np.ascontiguousarray(
+                        self._store.series_of(identifier), dtype=float
+                    )
+                )
+                sdtw._feature_cache[key] = features
+        engine = base_engine.extended(
+            [
+                (self._store.series_of(identifier), identifier,
+                 label_of.get(identifier))
+                for identifier in added
+            ],
+            removed_identifiers=removed,
+        )
+        alive = engine.alive_mask
+        if alive is None or bool(alive.all()):
+            engine_to_live = None
+        else:
+            engine_to_live = np.where(alive, np.cumsum(alive) - 1, -1)
+        searcher: Optional[IndexedSearcher] = None
+        generation: Optional[int] = None
+        if self.has_index:
+            generation = self._index.generation
+            mapping = self._extend_slot_mapping(previous, engine)
+            if mapping is None:
+                mapping = self._slot_mapping(engine=engine)
+            searcher = self._make_searcher(engine, mapping)
+        return _Snapshot(
+            engine=engine,
+            searcher=searcher,
+            size=engine.num_live,
+            engine_to_live=engine_to_live,
+            index_generation=generation,
+        )
+
+    def _extend_slot_mapping(
+        self, previous: _Snapshot, engine: DistanceEngine
+    ) -> Optional[np.ndarray]:
+        """Extend the previous snapshot's index-slot mapping in O(new).
+
+        Valid only while the index generation is unchanged (slots are
+        append-only within a generation) and the engine keeps the
+        previous slot numbering (derivation never renumbers).  Returns
+        ``None`` when a full rebuild is required instead.
+        """
+        persisted = self._index
+        if (
+            previous.searcher is None
+            or previous.index_generation != persisted.generation
+        ):
+            return None
+        prev_map = previous.searcher.index_to_engine
+        if prev_map is None:
+            # Identity mapping: index slot i served engine position i.
+            prev_map = np.arange(
+                int(previous.searcher.index.num_series), dtype=np.int64
+            )
+        if prev_map.size > len(persisted.slots):
+            return None
+        mapping = np.full(len(persisted.slots), -1, dtype=np.int64)
+        mapping[: prev_map.size] = prev_map
+        tombstones = np.asarray(persisted.index.tombstones, dtype=bool)
+        for slot in range(prev_map.size, len(persisted.slots)):
+            if not tombstones[slot]:
+                mapping[slot] = engine.slot_of(persisted.slots[slot])
+        mapping[tombstones] = -1
+        return mapping
+
+    def _make_searcher(
+        self, engine: DistanceEngine, mapping: Optional[np.ndarray]
+    ) -> IndexedSearcher:
+        """An :class:`IndexedSearcher` over the serving index state."""
+        return IndexedSearcher(
+            self._index.index,
+            self._index.codebook,
+            engine,
+            config=self.config.sdtw,
+            candidate_budget=self.config.index.candidate_budget,
+            pq=self._index.pq,
+            rank_mode=self._effective_rank_mode(),
+            index_to_engine=mapping,
+            postings_cache=self.config.index.postings_cache,
+            candidate_cache=self.config.index.candidate_cache,
+        )
 
     def _build_snapshot(self) -> _Snapshot:
         cfg = self.config.engine
@@ -662,18 +870,16 @@ class Workspace:
         if len(engine):
             engine.prepare()
         searcher: Optional[IndexedSearcher] = None
+        generation: Optional[int] = None
         if self.has_index:
-            searcher = IndexedSearcher(
-                self._index.index,
-                self._index.codebook,
-                engine,
-                config=self.config.sdtw,
-                candidate_budget=self.config.index.candidate_budget,
-                pq=self._index.pq,
-                rank_mode=self._effective_rank_mode(),
-                index_to_engine=self._slot_mapping(),
-            )
-        return _Snapshot(engine=engine, searcher=searcher, size=len(engine))
+            generation = self._index.generation
+            searcher = self._make_searcher(engine, self._slot_mapping())
+        return _Snapshot(
+            engine=engine,
+            searcher=searcher,
+            size=len(engine),
+            index_generation=generation,
+        )
 
     def _effective_rank_mode(self) -> str:
         """The configured rank mode, downgraded when the index lacks codes."""
@@ -686,20 +892,37 @@ class Workspace:
             return "pq"
         return "tfidf"
 
-    def _slot_mapping(self) -> Optional[np.ndarray]:
-        """Index-slot -> engine-position mapping (``None`` when identity)."""
+    def _slot_mapping(
+        self, engine: Optional[DistanceEngine] = None
+    ) -> Optional[np.ndarray]:
+        """Index-slot -> engine-position mapping (``None`` when identity).
+
+        Without *engine* the mapping targets a freshly built engine
+        whose positions equal live-roster positions; with a (possibly
+        derived) *engine* the mapping targets its stable slot numbering,
+        tombstoned slots included.
+        """
         persisted = self._index
         if persisted is None:
             return None
         if (
-            not persisted.index.num_tombstones
+            engine is None
+            and not persisted.index.num_tombstones
             and persisted.slots == self._identifiers
         ):
             return None
-        position_of = {
-            identifier: position
-            for position, identifier in enumerate(self._identifiers)
-        }
+        if engine is None:
+            position_of = {
+                identifier: position
+                for position, identifier in enumerate(self._identifiers)
+            }
+        else:
+            alive = engine.alive_mask
+            position_of = {
+                stored.identifier: slot
+                for slot, stored in enumerate(engine._stored)
+                if alive is None or alive[slot]
+            }
         mapping = np.full(len(persisted.slots), -1, dtype=np.int64)
         tombstones = persisted.index.tombstones
         for slot, identifier in enumerate(persisted.slots):
@@ -734,6 +957,13 @@ class Workspace:
                 raise DatasetError("cannot build an index over an empty workspace")
             cfg = self.config.index
             snapshot = self._ensure_serving()
+            if snapshot.engine_to_live is not None:
+                # The serving engine carries tombstoned slots; index
+                # construction wants a dense engine whose positions equal
+                # roster positions, so rebuild the snapshot from scratch
+                # (the codebook refit below dwarfs this cost anyway).
+                snapshot = self._build_snapshot()
+                self._serving = snapshot
             self._ensure_all_features()
             codebook_config = CodebookConfig.for_sdtw(
                 self.config.sdtw,
@@ -769,9 +999,19 @@ class Workspace:
                 codebook=searcher.codebook,
                 slots=list(self._identifiers),
                 pq=searcher.pq,
+                generation=(
+                    0 if self._index is None else self._index.generation + 1
+                ),
+            )
+            searcher.enable_caches(
+                postings_cache=self.config.index.postings_cache,
+                candidate_cache=self.config.index.candidate_cache,
             )
             self._serving = _Snapshot(
-                engine=snapshot.engine, searcher=searcher, size=snapshot.size
+                engine=snapshot.engine,
+                searcher=searcher,
+                size=snapshot.size,
+                index_generation=self._index.generation,
             )
             self._dirty = True
             if self.path is not None:
@@ -809,9 +1049,12 @@ class Workspace:
                     if slot_map[slot] >= 0
                 ],
                 pq=persisted.pq,
+                generation=persisted.generation + 1,  # slots renumbered
             )
-            self._serving = None
-            self._dirty = True
+            # Only the searcher changes: the next query derives a
+            # snapshot around the same prepared engine (zero pending
+            # mutations) instead of rebuilding it.
+            self._invalidate(index_updated=True)
             if self.path is not None:
                 self.save()
 
@@ -857,6 +1100,15 @@ class Workspace:
                 f"unknown query mode {mode!r}; choose one of {_MODES}"
             )
         snapshot = self._ensure_serving()
+        if snapshot.size == 0:
+            # Covers both the never-filled workspace and the mutated
+            # path where every live series has been removed (a query
+            # racing the remove of the last series either serves the
+            # pre-mutation snapshot or lands here — never an engine
+            # error).
+            raise WorkspaceError(
+                "cannot query an empty workspace (no live series)"
+            )
         resolved = requested
         if requested == "auto":
             resolved = "indexed" if snapshot.searcher is not None else "exact"
@@ -873,7 +1125,7 @@ class Workspace:
                 rank_mode=rank_mode,
             )
             return WorkspaceQueryResult(
-                hits=result.hits,
+                hits=self._remap_hits(snapshot, result.hits),
                 mode="indexed",
                 requested_mode=requested,
                 k=k,
@@ -892,7 +1144,7 @@ class Workspace:
                 values, k, exclude_identifier=exclude_identifier
             )
         return WorkspaceQueryResult(
-            hits=engine_result.hits,
+            hits=self._remap_hits(snapshot, engine_result.hits),
             mode="exact",
             requested_mode=requested,
             k=k,
@@ -901,6 +1153,25 @@ class Workspace:
             generation_seconds=0.0,
             rerank_seconds=engine_result.stats.elapsed_seconds,
             stats=engine_result.stats,
+        )
+
+    @staticmethod
+    def _remap_hits(
+        snapshot: _Snapshot, hits: Tuple[EngineHit, ...]
+    ) -> Tuple[EngineHit, ...]:
+        """Translate engine-slot hit indices into live-roster positions.
+
+        On a derived engine with tombstones the slot numbering has gaps;
+        live slots in ascending order correspond exactly to the live
+        roster (removals preserve relative order, additions append), so
+        the translation is a rank lookup.  Identity on fresh engines.
+        """
+        mapping = snapshot.engine_to_live
+        if mapping is None:
+            return hits
+        return tuple(
+            dataclasses.replace(hit, index=int(mapping[hit.index]))
+            for hit in hits
         )
 
     def knn(
@@ -914,9 +1185,21 @@ class Workspace:
         self._require_open()
         k = self.config.default_k if k is None else check_int_at_least(k, 1, "k")
         snapshot = self._ensure_serving()
-        return snapshot.engine.knn(
+        if snapshot.size == 0:
+            raise WorkspaceError(
+                "cannot query an empty workspace (no live series)"
+            )
+        batch = snapshot.engine.knn(
             queries, k, exclude_identifiers=exclude_identifiers
         )
+        if snapshot.engine_to_live is not None:
+            batch.results = [
+                dataclasses.replace(
+                    result, hits=self._remap_hits(snapshot, result.hits)
+                )
+                for result in batch.results
+            ]
+        return batch
 
     def _run_exact_batch(self, batch: List[QueryRequest]) -> None:
         """Micro-batch runner: group coalesced requests and run one knn each.

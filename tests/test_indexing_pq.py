@@ -22,6 +22,7 @@ from repro.indexing import (
     PQConfig,
     ResidualPQ,
 )
+from repro.indexing.pq import pack_codes, unpack_codes
 from repro.service import IndexConfig, Workspace, WorkspaceConfig
 from repro.utils.rng import rng_from_seed
 
@@ -134,6 +135,134 @@ class TestResidualPQ:
         assert np.array_equal(loaded.centroids, pq.centroids)
         probe = _residuals(num=6, seed=21)
         assert np.array_equal(loaded.encode(probe), pq.encode(probe))
+
+
+class TestPackedCodes:
+    """PR 6: sub-byte PQ codes are bit-packed on disk (format v3)."""
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_pack_unpack_round_trip(self, bits):
+        rng = rng_from_seed(bits)
+        codes = rng.integers(0, 2 ** bits, size=(37, 6)).astype(np.uint8)
+        packed = pack_codes(codes, bits)
+        assert np.array_equal(unpack_codes(packed, bits, 37, 6), codes)
+
+    def test_packed_stream_is_actually_smaller(self):
+        codes = rng_from_seed(3).integers(0, 16, size=(100, 8)).astype(np.uint8)
+        packed = pack_codes(codes, 4)
+        assert packed.nbytes == codes.nbytes // 2
+
+    def test_empty_codes(self):
+        packed = pack_codes(np.zeros((0, 4), dtype=np.uint8), 4)
+        assert unpack_codes(packed, 4, 0, 4).shape == (0, 4)
+
+    def test_overflowing_code_rejected(self):
+        with pytest.raises(ValidationError):
+            pack_codes(np.array([[16]], dtype=np.uint8), 4)
+
+    def test_sub_byte_compression_ratio(self):
+        # 4-bit codes over 6 sub-quantizers persist as ceil(24/8) = 3
+        # bytes per feature instead of 6 — the ratio must reflect the
+        # packed (on-disk) footprint, not one byte per code.
+        pq = ResidualPQ(PQConfig(subquantizers=6, bits=4)).fit(
+            _residuals(dim=18)
+        )
+        assert pq.code_bytes == 3
+        assert pq.compression_ratio == pytest.approx((4.0 * 18) / 3)
+
+    def test_sub_byte_searcher_round_trips_bit_identically(
+        self, dataset, tmp_path
+    ):
+        searcher = IndexedSearcher.from_dataset(
+            dataset,
+            config=CONFIG,
+            codebook_config=CodebookConfig.for_sdtw(
+                CONFIG, num_codewords=24, seed=7
+            ),
+            num_shards=2,
+            candidate_budget=6,
+            pq_config=PQConfig(subquantizers=4, bits=5, seed=7),
+        )
+        expected = searcher.query(dataset[1].values, 4, rank_mode="pq")
+        directory = str(tmp_path / "idx-packed")
+        searcher.save(directory)
+        reopened = IndexedSearcher.open(directory, candidate_budget=6)
+        for shard in reopened.index.shards:
+            if shard.has_pq and shard.pq_codes.size:
+                assert int(shard.pq_codes.max()) < 32
+        result = reopened.query(dataset[1].values, 4, rank_mode="pq")
+        assert [hit.identifier for hit in result.hits] == [
+            hit.identifier for hit in expected.hits
+        ]
+        assert [hit.distance for hit in result.hits] == [
+            hit.distance for hit in expected.hits
+        ]
+
+    def test_packed_shards_are_smaller_on_disk(self, dataset, tmp_path):
+        import os
+
+        sizes = {}
+        for bits, name in ((8, "dense"), (4, "packed")):
+            searcher = IndexedSearcher.from_dataset(
+                dataset,
+                config=CONFIG,
+                codebook_config=CodebookConfig.for_sdtw(
+                    CONFIG, num_codewords=24, seed=7
+                ),
+                num_shards=1,
+                pq_config=PQConfig(subquantizers=8, bits=bits, seed=7),
+            )
+            directory = str(tmp_path / f"idx-{name}")
+            searcher.save(directory)
+            sizes[name] = sum(
+                os.path.getsize(os.path.join(directory, f))
+                for f in os.listdir(directory)
+                if f.startswith("shard-")
+            )
+        assert sizes["packed"] < sizes["dense"]
+
+    def test_v2_dense_shard_still_opens(self, dataset, tmp_path):
+        """A version-2 directory (dense pq_codes, manifest version 2)
+        must keep opening under the version-3 reader."""
+        import json
+        import os
+
+        searcher = IndexedSearcher.from_dataset(
+            dataset,
+            config=CONFIG,
+            codebook_config=CodebookConfig.for_sdtw(
+                CONFIG, num_codewords=24, seed=7
+            ),
+            num_shards=2,
+            candidate_budget=6,
+            pq_config=PQConfig(subquantizers=4, bits=5, seed=7),
+        )
+        expected = searcher.query(dataset[2].values, 4, rank_mode="pq")
+        directory = str(tmp_path / "idx-v2")
+        searcher.save(directory)
+        # Rewrite the shards dense (the v2 layout: no pq_bits at save
+        # time) and stamp the manifest back to version 2.
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        for entry in manifest["shards"] + manifest.get("delta_shards", []):
+            from repro.indexing.shards import IndexShard
+
+            shard = IndexShard.open(
+                os.path.join(directory, entry["file"]),
+                int(entry["first_codeword"]),
+                int(entry["last_codeword"]),
+                mmap=False,
+            )
+            shard.save(os.path.join(directory, entry["file"]))  # dense
+        manifest["version"] = 2
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        reopened = IndexedSearcher.open(directory, candidate_budget=6)
+        result = reopened.query(dataset[2].values, 4, rank_mode="pq")
+        assert [hit.identifier for hit in result.hits] == [
+            hit.identifier for hit in expected.hits
+        ]
 
 
 @pytest.fixture(scope="module")

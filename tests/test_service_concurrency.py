@@ -5,6 +5,7 @@ concurrent mutation."""
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -17,6 +18,7 @@ from repro.service import (
     Workspace,
     WorkspaceConfig,
 )
+from repro.service.batching import QueryRequest
 
 NUM_THREADS = 8
 
@@ -195,31 +197,81 @@ class TestReadsDuringMutation:
 
 class TestMicroBatcher:
     def test_concurrent_submissions_share_batches(self):
+        """Requests arriving while a batch is in flight coalesce behind
+        the next leader (group-commit batching)."""
         seen = []
+        first_entered = threading.Event()
+        release_first = threading.Event()
 
         def run_batch(batch):
+            if any(request.payload == 0 for request in batch):
+                # Hold the first batch in flight until the companions
+                # have arrived, so they must share the next batch.
+                first_entered.set()
+                release_first.wait(timeout=5.0)
             seen.append(len(batch))
             for request in batch:
                 request.resolve(request.payload * 2)
 
         batcher = MicroBatcher(run_batch, window_seconds=0.05, max_batch=16)
         results = [None] * 6
-        barrier = threading.Barrier(6)
 
         def worker(slot):
-            barrier.wait()
             results[slot] = batcher.submit(slot)
 
-        threads = [
-            threading.Thread(target=worker, args=(slot,)) for slot in range(6)
+        first = threading.Thread(target=worker, args=(0,))
+        first.start()
+        assert first_entered.wait(timeout=5.0)
+        rest = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(1, 6)
         ]
-        for thread in threads:
+        for thread in rest:
             thread.start()
-        for thread in threads:
+        while batcher.requests_batched + len(batcher._queue) < 6:
+            time.sleep(0.001)
+        release_first.set()
+        first.join()
+        for thread in rest:
             thread.join()
         assert results == [0, 2, 4, 6, 8, 10]
         assert sum(seen) == 6
         assert max(seen) >= 2
+
+    def test_solo_submission_does_not_wait_out_the_window(self):
+        """A lone request must close the window immediately instead of
+        sleeping the full window_seconds (the PR 6 latency-floor fix)."""
+
+        def run_batch(batch):
+            for request in batch:
+                request.resolve(request.payload)
+
+        batcher = MicroBatcher(run_batch, window_seconds=0.5, max_batch=16)
+        start = time.monotonic()
+        assert batcher.submit("solo") == "solo"
+        elapsed = time.monotonic() - start
+        assert elapsed < 0.25, (
+            f"solo query took {elapsed:.3f}s against a 0.5s window; the "
+            f"leader slept out the batching window with no companions"
+        )
+        assert batcher.batches_executed == 1
+
+    def test_window_still_gathers_companions_when_present(self):
+        """With a companion already queued, the leader keeps the window
+        open and both requests land in one batch."""
+        seen = []
+
+        def run_batch(batch):
+            seen.append(len(batch))
+            for request in batch:
+                request.resolve(request.payload)
+
+        batcher = MicroBatcher(run_batch, window_seconds=0.2, max_batch=16)
+        follower = QueryRequest("follower")
+        batcher._queue.append(follower)
+        assert batcher.submit("leader") == "leader"
+        assert follower.result == "follower"
+        assert seen == [2]
 
     def test_runner_errors_propagate_to_every_caller(self):
         def run_batch(batch):

@@ -305,7 +305,9 @@ class TestLifecycleErrors:
         assert workspace.identifiers == ["a", "b", "c"]
 
     def test_query_on_empty_workspace_raises(self, config):
-        with pytest.raises(DatasetError):
+        # PR 6: a clean WorkspaceError (not a numpy/engine error) on both
+        # the never-filled and the everything-removed empty workspace.
+        with pytest.raises(WorkspaceError, match="empty workspace"):
             Workspace(config).query([1.0, 2.0, 3.0], 1)
 
     def test_unknown_mode_rejected(self, dataset, config):
@@ -328,6 +330,84 @@ class TestLifecycleErrors:
             workspace.query(dataset[0].values, 1)
         with pytest.raises(WorkspaceError):
             workspace.add([1.0, 2.0])
+
+
+class TestMutatedPathEdgeCases:
+    """PR 6 regression tests: edge cases on the derived-snapshot path."""
+
+    def test_k_larger_than_live_collection_clamps(self, dataset, config):
+        workspace = _fill(Workspace(config), dataset)
+        workspace.query(dataset[0].values, 2, mode="exact")  # build snapshot
+        for ts in dataset.series[3:]:
+            workspace.remove(ts.identifier)
+        live = len(workspace)
+        assert live == 3
+        result = workspace.query(dataset[0].values, 50, mode="exact")
+        assert len(result.hits) == live
+        assert result.collection_size == live
+        batch = workspace.knn([dataset[0].values], 50)
+        assert len(batch.results[0].hits) == live
+
+    def test_query_after_removing_every_series_raises_cleanly(
+        self, dataset, config
+    ):
+        workspace = _fill(Workspace(config), dataset)
+        workspace.query(dataset[0].values, 2, mode="exact")  # build snapshot
+        for ts in dataset.series:
+            workspace.remove(ts.identifier)
+        with pytest.raises(WorkspaceError, match="empty workspace"):
+            workspace.query(dataset[0].values, 1, mode="exact")
+        with pytest.raises(WorkspaceError, match="empty workspace"):
+            workspace.knn([dataset[0].values], 1)
+
+    def test_query_racing_remove_of_last_series(self, dataset, config):
+        """Readers racing the removal of the final series either serve the
+        pre-mutation snapshot or get a clean WorkspaceError — never a
+        numpy index error."""
+        import threading
+
+        workspace = Workspace(config)
+        workspace.add(dataset[0].values, identifier="only")
+        workspace.query(dataset[0].values, 1, mode="exact")
+        start = threading.Barrier(5)
+        errors: list = []
+
+        def reader():
+            start.wait()
+            for _ in range(50):
+                try:
+                    outcome = workspace.query(dataset[0].values, 1, mode="exact")
+                    assert outcome.ids == ("only",)
+                except WorkspaceError:
+                    pass  # clean post-removal signal
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        workspace.remove("only")
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        with pytest.raises(WorkspaceError, match="empty workspace"):
+            workspace.query(dataset[0].values, 1, mode="exact")
+
+    def test_indexed_k_larger_than_live_collection_clamps(self, dataset, config):
+        workspace = _fill(Workspace(config), dataset)
+        workspace.build_index()
+        workspace.query(dataset[0].values, 2, mode="indexed")
+        for ts in dataset.series[4:]:
+            workspace.remove(ts.identifier)
+        live = len(workspace)
+        result = workspace.query(
+            dataset[0].values, 50, mode="indexed", candidates=100
+        )
+        assert len(result.hits) == live
+        assert set(result.ids) == set(workspace.identifiers)
 
 
 class TestPairwiseAndStreaming:
