@@ -49,9 +49,23 @@ Run it directly::
     PYTHONPATH=src python benchmarks/bench_workspace_serving.py \
         --churn --churn-series 10000
 
+The ``--telemetry-guard`` mode gates the PR 7 telemetry layer instead:
+two identical workspaces — ``serving.telemetry`` on vs. off — serve the
+same exact-query stream and the guard asserts the enabled p50 latency
+stays within ``--max-telemetry-overhead`` (default 5%) of the disabled
+p50, modulo a small absolute noise floor.  This is the "near-zero
+overhead" claim of :mod:`repro.telemetry` measured on the real serving
+path, not a microbenchmark of the registry.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_workspace_serving.py \
+        --telemetry-guard --repeats 5
+
 ``--dry-run`` (alias ``--quick``) shrinks everything for CI; with
 ``--churn --json PATH`` the churn metrics are merged into PATH under
-the ``"workspace_churn"`` key (the CI perf-guard artifact
+the ``"workspace_churn"`` key, and ``--telemetry-guard --json PATH``
+merges under ``"telemetry_overhead"`` (the CI perf-guard artifact
 ``BENCH_ci.json`` is shared with the incremental-index guard).
 """
 
@@ -314,6 +328,127 @@ def run_churn_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_telemetry_workspace(dataset, *, telemetry: bool) -> Workspace:
+    workspace = Workspace(WorkspaceConfig(
+        engine=EngineConfig(constraint="fc,fw", backend="serial"),
+        serving=ServingConfig(telemetry=telemetry),
+        default_k=5,
+    ))
+    workspace.add_dataset(dataset)
+    workspace.engine  # pay snapshot construction before timing
+    return workspace
+
+
+def run_telemetry_guard(args: argparse.Namespace) -> int:
+    dataset = make_gun_like(num_series=args.series, length=args.length, seed=7)
+    rng = np.random.default_rng(11)
+    queries = [
+        dataset[int(rng.integers(len(dataset)))].values
+        + rng.normal(scale=0.05, size=args.length)
+        for _ in range(args.queries)
+    ]
+    print(f"Telemetry overhead guard: {args.series} series x length "
+          f"{args.length}, {args.queries} exact queries per pass, "
+          f"best p50 of {args.repeats} passes")
+
+    enabled_ws = build_telemetry_workspace(dataset, telemetry=True)
+    disabled_ws = build_telemetry_workspace(dataset, telemetry=False)
+
+    # Equivalence gate: telemetry must never change results.
+    for query in queries[: min(4, len(queries))]:
+        on = enabled_ws.query(query, args.k, mode="exact")
+        off = disabled_ws.query(query, args.k, mode="exact")
+        if on.ids != off.ids:
+            raise SystemExit(
+                "FAIL: telemetry-enabled results differ from disabled"
+            )
+    print("equivalence: telemetry-on hits are identical to telemetry-off")
+
+    def timed_pass(workspace: Workspace) -> List[float]:
+        samples = []
+        for query in queries:
+            started = time.perf_counter()
+            workspace.query(query, args.k, mode="exact")
+            samples.append(time.perf_counter() - started)
+        return samples
+
+    timed_pass(enabled_ws)   # warm both paths before measuring
+    timed_pass(disabled_ws)
+    # Interleave the passes so drift (thermal, allocator state) hits
+    # both configurations symmetrically; best-of damps GC pauses.
+    enabled_p50 = min(
+        _percentile_ms(timed_pass(enabled_ws), 50)
+        for _ in range(args.repeats)
+    )
+    disabled_p50 = min(
+        _percentile_ms(timed_pass(disabled_ws), 50)
+        for _ in range(args.repeats)
+    )
+    delta_ms = enabled_p50 - disabled_p50
+    overhead = delta_ms / disabled_p50 if disabled_p50 > 0 else 0.0
+
+    print()
+    print(format_table(
+        ["configuration", "query p50 (ms)"],
+        [
+            ["telemetry off", round(disabled_p50, 3)],
+            ["telemetry on", round(enabled_p50, 3)],
+        ],
+        title="Exact-query latency with and without telemetry",
+    ))
+    print()
+    print(f"telemetry overhead: {overhead * 100.0:+.2f}% "
+          f"({delta_ms:+.3f} ms at p50; bar: "
+          f"{args.max_telemetry_overhead * 100.0:.0f}% or "
+          f"{args.telemetry_floor_ms:.2f} ms noise floor)")
+
+    failures: List[str] = []
+    if (overhead > args.max_telemetry_overhead
+            and delta_ms > args.telemetry_floor_ms):
+        failures.append(
+            f"enabled-telemetry p50 {enabled_p50:.3f} ms is "
+            f"{overhead * 100.0:.1f}% over the disabled p50 "
+            f"{disabled_p50:.3f} ms (bar "
+            f"{args.max_telemetry_overhead * 100.0:.0f}%, floor "
+            f"{args.telemetry_floor_ms:.2f} ms) — instrumentation has "
+            "crept onto the hot path"
+        )
+
+    if args.json:
+        metrics = {
+            "series": args.series,
+            "length": args.length,
+            "queries": args.queries,
+            "repeats": args.repeats,
+            "enabled_p50_ms": round(enabled_p50, 4),
+            "disabled_p50_ms": round(disabled_p50, 4),
+            "overhead_fraction": round(overhead, 4),
+            "max_overhead_fraction": args.max_telemetry_overhead,
+            "failures": failures,
+        }
+        try:
+            with open(args.json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                payload = {"incremental_index": payload}
+        except (FileNotFoundError, json.JSONDecodeError):
+            payload = {}
+        payload["telemetry_overhead"] = metrics
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\ntelemetry metrics merged into {args.json} "
+              "under 'telemetry_overhead'")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("\nOK: enabled-telemetry latency stays within the overhead bar")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--series", type=int, default=64,
@@ -348,9 +483,20 @@ def main() -> int:
                         help="additive floor on the first-query bar, "
                              "absorbs timer noise at tiny scales "
                              "(default: 5.0)")
+    parser.add_argument("--telemetry-guard", action="store_true",
+                        help="measure telemetry-on vs telemetry-off query "
+                             "latency and gate the overhead")
+    parser.add_argument("--max-telemetry-overhead", type=float, default=0.05,
+                        help="maximum fractional p50 overhead of enabled "
+                             "telemetry (default: 0.05)")
+    parser.add_argument("--telemetry-floor-ms", type=float, default=0.25,
+                        help="absolute p50 delta below which the overhead "
+                             "gate never fires, absorbing timer noise "
+                             "(default: 0.25)")
     parser.add_argument("--json", default=None, metavar="PATH",
-                        help="merge churn metrics into PATH under "
-                             "'workspace_churn' (CI artifact)")
+                        help="merge churn / telemetry metrics into PATH "
+                             "under 'workspace_churn' / "
+                             "'telemetry_overhead' (CI artifact)")
     parser.add_argument("--dry-run", "--quick", action="store_true",
                         help="tiny configuration for CI")
     args = parser.parse_args()
@@ -367,6 +513,8 @@ def main() -> int:
 
     if args.churn:
         return run_churn_benchmark(args)
+    if args.telemetry_guard:
+        return run_telemetry_guard(args)
 
     dataset = make_gun_like(num_series=args.series, length=args.length, seed=7)
     rng = np.random.default_rng(11)

@@ -83,6 +83,7 @@ from .service import (
     WorkspaceConfig,
     WorkspaceQueryResult,
 )
+from .telemetry import MetricsRegistry, QueryTrace, TraceRing
 from .exceptions import (
     BandError,
     ConfigurationError,
@@ -94,7 +95,7 @@ from .exceptions import (
     WorkspaceError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BandError",
@@ -119,6 +120,8 @@ __all__ = [
     "IndexedSearcher",
     "InvertedIndex",
     "MatchingConfig",
+    "MetricsRegistry",
+    "QueryTrace",
     "ReproError",
     "SDTW",
     "SDTWAlignment",
@@ -132,6 +135,7 @@ __all__ = [
     "StreamMatch",
     "StreamMonitor",
     "StreamStats",
+    "TraceRing",
     "ValidationError",
     "Workspace",
     "WorkspaceConfig",

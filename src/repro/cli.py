@@ -235,10 +235,23 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(default: the workspace configuration)")
     ws_query.add_argument("--num-queries", type=int, default=5,
                           help="how many stored series to replay as queries")
+    ws_query.add_argument("--trace", action="store_true",
+                          help="print the per-stage telemetry trace of each "
+                               "query")
 
     ws_stats = ws_sub.add_parser(
-        "stats", help="print a workspace's state summary")
+        "stats", help="print a workspace's state summary (or its metrics)")
     ws_stats.add_argument("workspace_dir", help="workspace written by 'workspace init'")
+    ws_stats.add_argument("--metrics", action="store_true",
+                          help="export the telemetry metrics registry instead "
+                               "of the state summary")
+    ws_stats.add_argument("--format", default="json", choices=["json", "prom"],
+                          help="metrics export format: structured JSON or "
+                               "Prometheus text exposition (default: json)")
+    ws_stats.add_argument("--probe", type=int, default=0, metavar="N",
+                          help="replay up to N stored series as queries first "
+                               "so latency histograms are populated "
+                               "(default: 0)")
 
     subparsers.add_parser("datasets", help="list the registered data sets")
     return parser
@@ -697,6 +710,7 @@ def _run_workspace_query(args: argparse.Namespace) -> int:
         num_queries = max(1, min(args.num_queries, len(workspace)))
         replay = workspace.identifiers[:num_queries]
         rows = []
+        traces = []
         for identifier in replay:
             result = workspace.query(
                 workspace.series_of(identifier), args.k,
@@ -713,24 +727,59 @@ def _run_workspace_query(args: argparse.Namespace) -> int:
                 round(top.distance, 4) if top else "-",
                 f"{result.elapsed_seconds * 1000:.2f} ms",
             ])
+            if args.trace:
+                traces.append((identifier, result.trace))
         print(f"Workspace at {args.workspace_dir}: {len(workspace)} series, "
               f"mode={args.mode}, k={args.k}")
         print(format_table(["query", "mode", "nearest", "distance", "time"],
                            rows, title=f"Top-1 of k={args.k}"))
+        for identifier, trace in traces:
+            print()
+            if trace is None:
+                print(f"trace of {identifier}: telemetry is disabled for "
+                      f"this workspace")
+                continue
+            stage_rows = [
+                [stage.name, f"{stage.seconds * 1000:.3f} ms",
+                 ", ".join(f"{key}={value}" for key, value
+                           in sorted(stage.attributes.items()))]
+                for stage in trace.stages
+            ]
+            print(format_table(
+                ["stage", "time", "detail"], stage_rows,
+                title=(f"Trace of {identifier} ({trace.mode}, "
+                       f"{trace.total_seconds * 1000:.2f} ms)")))
     return 0
 
 
 def _run_workspace_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
     from .service import Workspace
 
     with Workspace.open(args.workspace_dir) as workspace:
+        if args.metrics:
+            # Optionally replay stored series as queries first so the
+            # latency/cascade histograms have content to export.
+            for identifier in workspace.identifiers[: max(0, args.probe)]:
+                workspace.query(
+                    workspace.series_of(identifier),
+                    exclude_identifier=identifier,
+                )
+            if args.format == "prom":
+                output = workspace.metrics_prometheus()
+                print(output, end="" if output.endswith("\n") else "\n")
+            else:
+                print(json_module.dumps(workspace.metrics_to_dict(), indent=2))
+            return 0
         summary = workspace.stats()
     print(f"Workspace at {args.workspace_dir}")
     print(f"series: {summary['num_series']}  "
           f"lengths: [{summary['min_length']}, {summary['max_length']}]")
     print(f"constraint: {summary['constraint']}  "
           f"backend: {summary['backend']}  "
-          f"micro-batch: {summary['micro_batch']}")
+          f"micro-batch: {summary['micro_batch']}  "
+          f"telemetry: {'on' if summary['telemetry'] else 'off'}")
     index = summary["index"]
     if index is None:
         print("index: none (queries run exact scans)")

@@ -304,6 +304,12 @@ class _Prepared:
 class DistanceEngine:
     """Batch k-NN / distance-matrix computation with cascaded pruning.
 
+    Every query's per-stage work accounting lands in an
+    :class:`~repro.engine.stats.EngineStats` on the result; the
+    telemetry layer (:mod:`repro.telemetry`) turns those records into
+    per-query traces and aggregate Prometheus/JSON metrics without
+    adding any timers to the cascade itself.
+
     Parameters
     ----------
     constraint:

@@ -16,6 +16,10 @@ avoided.  The counters map directly onto the paper's cost model:
   extraction.
 * :meth:`time_gain` is the paper's relative time-gain criterion evaluated
   against a reference (e.g. the sequential full-DTW scan).
+
+The telemetry layer (:mod:`repro.telemetry`) builds per-query traces and
+aggregate Prometheus/JSON metrics directly from these records — stages
+are accounted here once and never re-timed upstream.
 """
 
 from __future__ import annotations
@@ -129,11 +133,28 @@ class EngineStats:
 
     @classmethod
     def merged(cls, items: List["EngineStats"]) -> "EngineStats":
-        """Sum of several stats records."""
+        """Sum of several stats records.
+
+        ``merged([])`` is the **zero record**: every counter and timer
+        is 0 and every derived ratio (``prune_rate``, ``cell_fraction``,
+        ``time_gain``) is a well-defined 0.0 rather than a division
+        error.  Callers aggregating an empty cascade (no candidates, no
+        batches) therefore never need to guard the empty case.
+        """
         total = cls()
         for item in items:
             total.merge(item)
         return total
+
+    def to_dict(self) -> dict:
+        """JSON-friendly snapshot: raw fields plus the derived ratios."""
+        payload = {field.name: getattr(self, field.name) for field in fields(self)}
+        payload["pruned"] = self.pruned
+        payload["refined"] = self.refined
+        payload["prune_rate"] = self.prune_rate
+        payload["cell_fraction"] = self.cell_fraction
+        payload["cell_gain"] = self.cell_gain
+        return payload
 
     def cascade_rows(self) -> List[List[object]]:
         """Rows for a per-stage summary table (used by the CLI)."""

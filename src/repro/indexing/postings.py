@@ -393,6 +393,27 @@ class InvertedIndex:
         for shard in list(self.shards) + list(self.delta_shards):
             shard.enable_postings_cache(self._postings_cache_capacity)
 
+    def postings_cache_stats(self) -> dict:
+        """Aggregate postings-page cache hit/miss tallies across shards.
+
+        Counts accumulate over shard-object lifetime; because shards are
+        shared structurally across clones and serving snapshots, the
+        tallies survive snapshot derivations.  Read by the telemetry
+        export (``repro_postings_cache_*`` gauges) and by per-query
+        traces as a before/after delta.
+        """
+        hits = 0
+        misses = 0
+        for shard in list(self.shards) + list(self.delta_shards):
+            hits += shard.postings_cache_hits
+            misses += shard.postings_cache_misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+        }
+
     def add_series(self, bag: Bag, pq_entry: Optional[PQEntry] = None) -> int:
         """Append one series as a delta shard; returns its new slot id.
 

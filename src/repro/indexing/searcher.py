@@ -20,6 +20,12 @@ the whole collection and the result is bit-identical to the exhaustive
 engine ranking; ``exact=True`` skips stage 1 entirely (the escape
 hatch).  :meth:`IndexedSearcher.recall_at_k` measures the speed/recall
 trade-off against the exhaustive ranking.
+
+When constructed with a telemetry registry (see :mod:`repro.telemetry`)
+the searcher counts candidate-cache hits/misses, and when a query trace
+is active (:func:`repro.telemetry.trace.current_trace`) stage 1 attaches
+its sub-spans — feature extraction, TF-IDF/PQ ranking, or the cache
+short-circuit — to the trace.
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ from ..engine import DistanceEngine
 from ..engine.engine import EngineHit, QueryResult
 from ..engine.stats import EngineStats
 from ..exceptions import ValidationError
+from ..telemetry.registry import NULL_REGISTRY
+from ..telemetry.trace import current_trace
 from .codebook import Codebook, CodebookConfig, feature_embedding
 from .postings import InvertedIndex
 from .pq import PQConfig, ResidualPQ
@@ -204,6 +212,11 @@ class IndexedSearcher:
         LRU entries of stage-1 candidate sets keyed by (query bytes,
         budget, rank mode); a repeat query skips candidate generation
         entirely.  Cleared on every mutation.  ``0`` disables.
+    telemetry:
+        Optional :class:`repro.telemetry.MetricsRegistry`; the searcher
+        pre-binds ``repro_candidate_cache_requests_total{outcome}``
+        counter children so the hot path pays one increment, not a
+        registry lookup.  ``None`` binds the no-op null registry.
     """
 
     def __init__(
@@ -219,6 +232,7 @@ class IndexedSearcher:
         index_to_engine: Optional[Sequence[int]] = None,
         postings_cache: int = 0,
         candidate_cache: int = 0,
+        telemetry=None,
     ) -> None:
         if index_to_engine is None:
             if len(engine) != index.num_series:
@@ -283,6 +297,14 @@ class IndexedSearcher:
         )
         self._candidate_cache_capacity = 0
         self._candidate_cache_lock = threading.Lock()
+        registry = telemetry if telemetry is not None else NULL_REGISTRY
+        cache_requests = registry.counter(
+            "repro_candidate_cache_requests_total",
+            "Stage-1 candidate-set cache lookups by outcome.",
+            labels=("outcome",),
+        )
+        self._cache_hit_counter = cache_requests.labels(outcome="hit")
+        self._cache_miss_counter = cache_requests.labels(outcome="miss")
         self.enable_caches(
             postings_cache=postings_cache, candidate_cache=candidate_cache
         )
@@ -342,6 +364,7 @@ class IndexedSearcher:
         features: Optional[Sequence[Sequence]] = None,
         pq_config: Optional[PQConfig] = None,
         rank_mode: str = "tfidf",
+        telemetry=None,
     ) -> "IndexedSearcher":
         """Build the index layers over an engine's stored collection.
 
@@ -410,7 +433,7 @@ class IndexedSearcher:
         searcher = cls(
             index, codebook, engine,
             config=config, candidate_budget=candidate_budget,
-            pq=pq, rank_mode=rank_mode,
+            pq=pq, rank_mode=rank_mode, telemetry=telemetry,
         )
         searcher._features = features
         return searcher
@@ -735,6 +758,8 @@ class IndexedSearcher:
         limit = limit if limit is not None else self.candidate_budget
         limit = check_int_at_least(limit, 1, "limit")
         mode = self._resolve_rank_mode(rank_mode)
+        trace = current_trace()
+        started = time.perf_counter() if trace is not None else 0.0
         cache_key: Optional[Tuple[bytes, int, str]] = None
         if self._candidate_cache_capacity:
             cache_key = (query.tobytes(), limit, mode)
@@ -742,14 +767,35 @@ class IndexedSearcher:
                 cached = self._candidate_cache.get(cache_key)
                 if cached is not None:
                     self._candidate_cache.move_to_end(cache_key)
+                    self._cache_hit_counter.inc()
+                    if trace is not None:
+                        trace.add_stage(
+                            "candidate_cache",
+                            time.perf_counter() - started,
+                            hit=True,
+                            candidates=int(cached.size),
+                        )
                     return cached.copy()
+            self._cache_miss_counter.inc()
         features = extract_salient_features(query, self.config)
+        if trace is not None:
+            extracted = time.perf_counter()
+            trace.add_stage(
+                "query_features", extracted - started, features=len(features)
+            )
         if mode == "pq":
             slots = self._pq_candidate_slots(features, query.size, limit)
         else:
             bag = self.codebook.bag(features, query.size, query=True)
             slots = self.index.candidates(bag, limit)
         candidates = self._slots_to_engine(slots)
+        if trace is not None:
+            trace.add_stage(
+                "candidate_rank",
+                time.perf_counter() - extracted,
+                rank_mode=mode,
+                candidates=int(candidates.size),
+            )
         if cache_key is not None:
             with self._candidate_cache_lock:
                 self._candidate_cache[cache_key] = candidates.copy()

@@ -161,6 +161,11 @@ class IndexShard:
         # plain instance state, never persisted with the shard.
         self._postings_cache: Optional[Dict[int, Tuple[np.ndarray, np.ndarray]]] = None
         self._postings_cache_capacity = 0
+        # Lifetime hit/miss tallies while the cache is enabled.  Plain
+        # unguarded ints: a lost increment under concurrent readers only
+        # undercounts — the scoring path stays lock-free.
+        self.postings_cache_hits = 0
+        self.postings_cache_misses = 0
         if self.last_codeword < self.first_codeword:
             raise ValidationError("shard codeword range is inverted")
         if self.offsets.size != self.codeword_ids.size + 1:
@@ -259,7 +264,9 @@ class IndexShard:
         if cache is not None:
             page = cache.get(codeword)
             if page is not None:
+                self.postings_cache_hits += 1
                 return page
+            self.postings_cache_misses += 1
         series, weights = self.postings_of(codeword)
         page = (
             np.array(series, dtype=np.intp, copy=True),

@@ -39,15 +39,33 @@ from typing import Callable, List, Optional
 
 
 class QueryRequest:
-    """One in-flight query: inputs, completion event, and the outcome."""
+    """One in-flight query: inputs, completion event, and the outcome.
 
-    __slots__ = ("payload", "event", "result", "error")
+    Timestamps record the enqueue→execute path: ``enqueued_at`` is set
+    at construction, ``started_at`` when the leader drains the request
+    into a batch.  Their difference, :attr:`queue_wait_seconds`, is the
+    micro-batching delay this request actually paid and is surfaced as
+    its own stage in ``WorkspaceQueryResult.timings()`` so batched and
+    unbatched queries have comparable breakdowns.
+    """
+
+    __slots__ = ("payload", "event", "result", "error", "enqueued_at", "started_at")
 
     def __init__(self, payload: object) -> None:
         self.payload = payload
         self.event = threading.Event()
         self.result: Optional[object] = None
         self.error: Optional[BaseException] = None
+        self.enqueued_at = time.perf_counter()
+        self.started_at: Optional[float] = None
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Seconds spent queued before batch execution began (0.0 if
+        the request never reached a batch)."""
+        if self.started_at is None:
+            return 0.0
+        return max(0.0, self.started_at - self.enqueued_at)
 
     def resolve(self, result: object) -> None:
         self.result = result
@@ -76,6 +94,12 @@ class MicroBatcher:
         closes the window immediately instead of sleeping it out.
     max_batch:
         Queue length at which the window closes early.
+    metrics:
+        Optional :class:`repro.telemetry.MetricsRegistry` (or the no-op
+        null registry).  When given, the batcher observes batch-size and
+        per-request queue-wait distributions under
+        ``repro_microbatch_batch_size`` /
+        ``repro_microbatch_queue_wait_seconds``.
     """
 
     def __init__(
@@ -84,6 +108,7 @@ class MicroBatcher:
         *,
         window_seconds: float = 0.002,
         max_batch: int = 32,
+        metrics=None,
     ) -> None:
         self._run_batch = run_batch
         self.window_seconds = max(0.0, float(window_seconds))
@@ -93,9 +118,30 @@ class MicroBatcher:
         self._leader_active = False
         self.batches_executed = 0
         self.requests_batched = 0
+        if metrics is not None:
+            from ..telemetry.registry import DEFAULT_SIZE_BUCKETS
+
+            self._batch_size_hist = metrics.histogram(
+                "repro_microbatch_batch_size",
+                "Requests coalesced per executed micro-batch.",
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
+            self._queue_wait_hist = metrics.histogram(
+                "repro_microbatch_queue_wait_seconds",
+                "Enqueue-to-execute wait per micro-batched request.",
+            )
+        else:
+            self._batch_size_hist = None
+            self._queue_wait_hist = None
 
     def submit(self, payload: object) -> object:
         """Enqueue one request and block until its result is available."""
+        return self.submit_request(payload).result
+
+    def submit_request(self, payload: object) -> QueryRequest:
+        """Like :meth:`submit`, but return the resolved
+        :class:`QueryRequest` so callers can read its queue-wait
+        timestamps alongside the result."""
         request = QueryRequest(payload)
         with self._lock:
             self._queue.append(request)
@@ -108,7 +154,7 @@ class MicroBatcher:
             self._lead()
         if request.error is not None:
             raise request.error
-        return request.result
+        return request
 
     # ------------------------------------------------------------------ #
     # Leader protocol
@@ -136,6 +182,13 @@ class MicroBatcher:
                 self._queue = []
                 self.batches_executed += 1
                 self.requests_batched += len(batch)
+            now = time.perf_counter()
+            for request in batch:
+                request.started_at = now
+            if self._batch_size_hist is not None:
+                self._batch_size_hist.observe(len(batch))
+                for request in batch:
+                    self._queue_wait_hist.observe(request.queue_wait_seconds)
             try:
                 self._run_batch(batch)
             except BaseException as exc:  # noqa: BLE001 - propagated per request

@@ -200,18 +200,33 @@ class ServingConfig(_DictRoundTrip):
         ``False`` restores the PR 5 behaviour of rebuilding the snapshot
         from scratch on the first query after any mutation; results are
         bit-identical either way.
+    telemetry:
+        Collect metrics and per-query traces (see
+        :mod:`repro.telemetry`).  When ``False`` the workspace holds the
+        no-op :data:`~repro.telemetry.NULL_REGISTRY`, queries carry no
+        trace, and the instrumented paths cost one empty method call —
+        the overhead of the enabled path is itself gated at <= 5% by
+        ``benchmarks/bench_workspace_serving.py --telemetry-guard``.
+    trace_ring:
+        Recent query traces retained in memory for
+        :meth:`Workspace.recent_traces`.  ``0`` keeps per-result traces
+        but retains no history.
     """
 
     micro_batch: bool = False
     batch_window_ms: float = 2.0
     max_batch: int = 32
     incremental_snapshots: bool = True
+    telemetry: bool = True
+    trace_ring: int = 64
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
             raise ConfigurationError("batch_window_ms must be non-negative")
         if self.max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
+        if self.trace_ring < 0:
+            raise ConfigurationError("trace_ring must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -77,6 +77,8 @@ from ..indexing import (
 )
 from ..retrieval.feature_store import FeatureStore
 from ..streaming import StreamMatch, StreamMonitor
+from ..telemetry.registry import NULL_REGISTRY, MetricsRegistry
+from ..telemetry.trace import QueryTrace, TraceRing, trace_scope
 from .batching import MicroBatcher, QueryRequest
 from .config import WorkspaceConfig
 
@@ -120,6 +122,16 @@ class WorkspaceQueryResult:
     stats:
         Per-stage engine work accounting (bounds computed, candidates
         pruned, cells filled, phase seconds).
+    queue_wait_seconds:
+        Enqueue→execute wait this query spent in the micro-batcher
+        (0.0 for unbatched and indexed queries), recorded so batched and
+        unbatched breakdowns stay comparable.
+    trace:
+        Structured per-stage :class:`~repro.telemetry.QueryTrace`
+        (``None`` when ``ServingConfig.telemetry`` is off).  Stage
+        seconds sum exactly to the trace's measured end-to-end wall
+        time; the same trace is retained in the workspace's recent-trace
+        ring.
     """
 
     hits: Tuple[EngineHit, ...]
@@ -131,6 +143,8 @@ class WorkspaceQueryResult:
     generation_seconds: float
     rerank_seconds: float
     stats: EngineStats
+    queue_wait_seconds: float = 0.0
+    trace: Optional[QueryTrace] = None
 
     @property
     def ids(self) -> Tuple[str, ...]:
@@ -164,8 +178,14 @@ class WorkspaceQueryResult:
         return self.candidates_generated / float(self.collection_size)
 
     def timings(self) -> Dict[str, float]:
-        """Per-stage wall-clock breakdown of the query."""
+        """Per-stage wall-clock breakdown of the query.
+
+        ``queue_wait_seconds`` is the micro-batcher's enqueue→execute
+        delay (0.0 when batching is off), reported as its own stage so a
+        batched query's breakdown is comparable with an unbatched one.
+        """
         return {
+            "queue_wait_seconds": self.queue_wait_seconds,
             "generation_seconds": self.generation_seconds,
             "bound_seconds": self.stats.bound_seconds,
             "extract_seconds": self.stats.extract_seconds,
@@ -226,6 +246,15 @@ class Workspace:
     (existing directory) or ``Workspace()`` / :meth:`in_memory`
     (ephemeral, nothing persisted).
 
+    Observability: each workspace owns a
+    :class:`~repro.telemetry.MetricsRegistry` (see :mod:`repro.telemetry`)
+    aggregating query latency, cascade prune rates, cache hit rates and
+    write-path activity, exported via :meth:`metrics_to_dict` /
+    :meth:`metrics_prometheus`; every query additionally carries a
+    per-stage :class:`~repro.telemetry.QueryTrace` on its result and in
+    the :meth:`recent_traces` ring.  ``ServingConfig.telemetry`` turns
+    all of it off at near-zero cost.
+
     Parameters
     ----------
     config:
@@ -251,13 +280,120 @@ class Workspace:
         self._pairwise: Optional[SDTW] = None
         self._dirty = False
         self._closed = False
+        # Telemetry: one registry per workspace, decided once here — the
+        # null registry makes every instrumented path a no-op when
+        # telemetry is off (see repro.telemetry).
+        self._metrics: MetricsRegistry = (
+            MetricsRegistry() if self.config.serving.telemetry else NULL_REGISTRY
+        )
+        self._traces = TraceRing(self.config.serving.trace_ring)
+        self._register_metrics()
         self._batcher: Optional[MicroBatcher] = None
         if self.config.serving.micro_batch:
             self._batcher = MicroBatcher(
                 self._run_exact_batch,
                 window_seconds=self.config.serving.batch_window_ms / 1000.0,
                 max_batch=self.config.serving.max_batch,
+                metrics=self._metrics,
             )
+
+    def _register_metrics(self) -> None:
+        """Pre-register the metric catalogue and bind hot-path handles.
+
+        Families are created up front so an export is never empty (every
+        documented series renders, at zero, before the first query); hot
+        paths then update pre-bound children instead of doing registry
+        lookups.  With telemetry off every handle is the shared no-op
+        child of :data:`~repro.telemetry.NULL_REGISTRY`.
+        """
+        m = self._metrics
+        self._m_queries = m.counter(
+            "repro_queries_total", "Queries served, by executed mode.",
+            labels=("mode",),
+        )
+        self._m_query_seconds = m.histogram(
+            "repro_query_seconds",
+            "End-to-end query wall time, by executed mode.",
+            labels=("mode",),
+        )
+        self._m_stage_seconds = m.histogram(
+            "repro_query_stage_seconds",
+            "Per-stage query wall time (cascade + candidate generation).",
+            labels=("stage",),
+        )
+        self._m_candidates = m.counter(
+            "repro_cascade_candidates_total",
+            "Candidate pairs entering the exact cascade.",
+        )
+        self._m_pruned = m.counter(
+            "repro_cascade_pruned_total",
+            "Candidates eliminated by each lower-bound stage.",
+            labels=("stage",),
+        )
+        self._m_dtw = m.counter(
+            "repro_cascade_dtw_total",
+            "DTW refinements by outcome (completed / abandoned early).",
+            labels=("outcome",),
+        )
+        self._m_cells_filled = m.counter(
+            "repro_cascade_cells_filled_total",
+            "DTW grid cells actually evaluated.",
+        )
+        self._m_cells_total = m.counter(
+            "repro_cascade_cells_total",
+            "DTW grid cells a full scan would have evaluated.",
+        )
+        self._m_snapshots = m.counter(
+            "repro_snapshots_total",
+            "Serving snapshots by construction kind (derived / rebuilt).",
+            labels=("kind",),
+        )
+        self._m_mutations = m.counter(
+            "repro_mutations_total", "Workspace mutations by operation.",
+            labels=("op",),
+        )
+        self._m_index_updates = m.counter(
+            "repro_index_updates_total",
+            "Index maintenance events by kind (incremental_add, tombstone, "
+            "auto_compaction, compaction, rebuild).",
+            labels=("kind",),
+        )
+        self._g_pending = m.gauge(
+            "repro_pending_mutations",
+            "Mutations logged since the last serving snapshot.",
+        )
+        self._g_series_live = m.gauge(
+            "repro_series_live", "Live series in the workspace roster."
+        )
+        self._g_segments = m.gauge(
+            "repro_snapshot_segments",
+            "Prepared segments of the serving engine snapshot.",
+        )
+        self._g_dead_fraction = m.gauge(
+            "repro_snapshot_dead_fraction",
+            "Tombstoned fraction of the serving engine's slots.",
+        )
+        self._g_delta_shards = m.gauge(
+            "repro_index_delta_shards", "Delta shards awaiting compaction."
+        )
+        self._g_tombstones = m.gauge(
+            "repro_index_tombstones", "Tombstoned index slots."
+        )
+        self._g_postings_hits = m.gauge(
+            "repro_postings_cache_hits",
+            "Lifetime postings-page cache hits across index shards.",
+        )
+        self._g_postings_misses = m.gauge(
+            "repro_postings_cache_misses",
+            "Lifetime postings-page cache misses across index shards.",
+        )
+        # Created here so exports always include them; the searcher binds
+        # its own children per serving snapshot.
+        m.counter(
+            "repro_candidate_cache_requests_total",
+            "Stage-1 candidate-set cache lookups by outcome.",
+            labels=("outcome",),
+        )
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -448,8 +584,62 @@ class Workspace:
             "constraint": self.config.engine.constraint,
             "backend": self.config.engine.backend,
             "micro_batch": self.config.serving.micro_batch,
+            "telemetry": self._metrics.enabled,
             "index": index_info,
         }
+
+    # ------------------------------------------------------------------ #
+    # Telemetry export
+    # ------------------------------------------------------------------ #
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The workspace's metrics registry (the no-op null registry when
+        ``config.serving.telemetry`` is off)."""
+        return self._metrics
+
+    def _refresh_state_gauges(self) -> None:
+        """Bring point-in-time gauges up to date before an export.
+
+        Counters and histograms accumulate on the hot paths; gauges that
+        mirror current state (live series, segment counts, dead
+        fraction, cache tallies) are cheaper to read once per export
+        than to maintain on every mutation.
+        """
+        if not self._metrics.enabled:
+            return
+        self._g_series_live.set(len(self._identifiers))
+        self._g_pending.set(len(self._pending))
+        snapshot = self._serving
+        if snapshot is not None:
+            prepared = snapshot.engine._prepared
+            self._g_segments.set(
+                len(prepared.segments) if prepared is not None else 0
+            )
+            total = len(snapshot.engine)
+            self._g_dead_fraction.set(
+                (total - snapshot.engine.num_live) / total if total else 0.0
+            )
+        if self._index is not None:
+            index = self._index.index
+            self._g_delta_shards.set(index.num_delta_shards)
+            self._g_tombstones.set(index.num_tombstones)
+            cache_stats = index.postings_cache_stats()
+            self._g_postings_hits.set(cache_stats["hits"])
+            self._g_postings_misses.set(cache_stats["misses"])
+
+    def metrics_to_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot of every metric (gauges refreshed)."""
+        self._refresh_state_gauges()
+        return self._metrics.to_dict()
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text-exposition rendering (gauges refreshed)."""
+        self._refresh_state_gauges()
+        return self._metrics.render_prometheus()
+
+    def recent_traces(self) -> List[Dict[str, object]]:
+        """The retained ring of recent query traces, oldest first."""
+        return [trace.to_dict() for trace in self._traces.snapshot()]
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -502,6 +692,7 @@ class Workspace:
                 index_updated=self._index_add(identifier, array),
                 op=("add", identifier),
             )
+            self._m_mutations.labels(op="add").inc()
             return identifier
 
     def _index_add(self, identifier: str, array: np.ndarray) -> bool:
@@ -531,12 +722,14 @@ class Workspace:
         updated.add_series(bag, pq_entry)
         slots = persisted.slots + [identifier]
         generation = persisted.generation
+        self._m_index_updates.labels(kind="incremental_add").inc()
         if updated.num_delta_shards > self.config.index.max_delta_shards:
             updated, slot_map = updated.compact(
                 num_shards=self.config.index.num_shards
             )
             slots = [name for slot, name in enumerate(slots) if slot_map[slot] >= 0]
             generation += 1  # compaction renumbers slots
+            self._m_index_updates.labels(kind="auto_compaction").inc()
         self._index = _PersistedIndex(
             index=updated,
             codebook=codebook,
@@ -569,6 +762,7 @@ class Workspace:
                 index_updated=self._index_remove(identifier),
                 op=("remove", identifier),
             )
+            self._m_mutations.labels(op="remove").inc()
 
     def _index_remove(self, identifier: str) -> bool:
         """Tombstone one series' index slot (caller holds the lock)."""
@@ -595,6 +789,7 @@ class Workspace:
             pq=persisted.pq,
             generation=persisted.generation,  # tombstones keep slot numbers
         )
+        self._m_index_updates.labels(kind="tombstone").inc()
         return True
 
     def add_batch(
@@ -665,6 +860,7 @@ class Workspace:
         self._serving = None
         if op is not None:
             self._pending.append(op)
+        self._g_pending.set(len(self._pending))
         self._dirty = True
         if not index_updated and self._index is not None:
             self._index.stale = True
@@ -784,6 +980,7 @@ class Workspace:
             if mapping is None:
                 mapping = self._slot_mapping(engine=engine)
             searcher = self._make_searcher(engine, mapping)
+        self._m_snapshots.labels(kind="derived").inc()
         return _Snapshot(
             engine=engine,
             searcher=searcher,
@@ -840,6 +1037,7 @@ class Workspace:
             index_to_engine=mapping,
             postings_cache=self.config.index.postings_cache,
             candidate_cache=self.config.index.candidate_cache,
+            telemetry=self._metrics,
         )
 
     def _build_snapshot(self) -> _Snapshot:
@@ -874,6 +1072,7 @@ class Workspace:
         if self.has_index:
             generation = self._index.generation
             searcher = self._make_searcher(engine, self._slot_mapping())
+        self._m_snapshots.labels(kind="rebuilt").inc()
         return _Snapshot(
             engine=engine,
             searcher=searcher,
@@ -993,7 +1192,9 @@ class Workspace:
                 ],
                 pq_config=pq_config,
                 rank_mode=cfg.rank_mode,
+                telemetry=self._metrics,
             )
+            self._m_index_updates.labels(kind="rebuild").inc()
             self._index = _PersistedIndex(
                 index=searcher.index,
                 codebook=searcher.codebook,
@@ -1051,6 +1252,7 @@ class Workspace:
                 pq=persisted.pq,
                 generation=persisted.generation + 1,  # slots renumbered
             )
+            self._m_index_updates.labels(kind="compaction").inc()
             # Only the searcher changes: the next query derives a
             # snapshot around the same prepared engine (zero pending
             # mutations) instead of rebuilding it.
@@ -1099,6 +1301,7 @@ class Workspace:
             raise ValidationError(
                 f"unknown query mode {mode!r}; choose one of {_MODES}"
             )
+        started = time.perf_counter()
         snapshot = self._ensure_serving()
         if snapshot.size == 0:
             # Covers both the never-filled workspace and the mutated
@@ -1112,19 +1315,27 @@ class Workspace:
         resolved = requested
         if requested == "auto":
             resolved = "indexed" if snapshot.searcher is not None else "exact"
+        # The telemetry decision is made once per query: disabled means
+        # no trace object and every metric handle below is a no-op.
+        trace: Optional[QueryTrace] = None
+        if self._metrics.enabled:
+            trace = QueryTrace(
+                requested_mode=requested, k=k, collection_size=snapshot.size
+            )
         if resolved == "indexed":
             if snapshot.searcher is None:
                 raise WorkspaceError(
                     "no fresh index is available (build_index() has not run "
                     "since the last mutation); use mode='exact' or rebuild"
                 )
-            result = snapshot.searcher.query(
-                values, k,
-                candidates=candidates,
-                exclude_identifier=exclude_identifier,
-                rank_mode=rank_mode,
-            )
-            return WorkspaceQueryResult(
+            with trace_scope(trace):
+                result = snapshot.searcher.query(
+                    values, k,
+                    candidates=candidates,
+                    exclude_identifier=exclude_identifier,
+                    rank_mode=rank_mode,
+                )
+            outcome = WorkspaceQueryResult(
                 hits=self._remap_hits(snapshot, result.hits),
                 mode="indexed",
                 requested_mode=requested,
@@ -1134,16 +1345,21 @@ class Workspace:
                 generation_seconds=result.generation_seconds,
                 rerank_seconds=result.rerank_seconds,
                 stats=result.stats,
+                trace=trace,
             )
+            return self._finish_query(outcome, trace, started)
+        queue_wait = 0.0
         if self._batcher is not None:
-            engine_result = self._batcher.submit(
+            request = self._batcher.submit_request(
                 (snapshot, as_series(values, "values"), k, exclude_identifier)
             )
+            engine_result = request.result
+            queue_wait = request.queue_wait_seconds
         else:
             engine_result = snapshot.engine.query(
                 values, k, exclude_identifier=exclude_identifier
             )
-        return WorkspaceQueryResult(
+        outcome = WorkspaceQueryResult(
             hits=self._remap_hits(snapshot, engine_result.hits),
             mode="exact",
             requested_mode=requested,
@@ -1153,7 +1369,85 @@ class Workspace:
             generation_seconds=0.0,
             rerank_seconds=engine_result.stats.elapsed_seconds,
             stats=engine_result.stats,
+            queue_wait_seconds=queue_wait,
+            trace=trace,
         )
+        return self._finish_query(outcome, trace, started)
+
+    def _finish_query(
+        self,
+        result: WorkspaceQueryResult,
+        trace: Optional[QueryTrace],
+        started: float,
+    ) -> WorkspaceQueryResult:
+        """Record a served query: aggregate metrics + the sealed trace.
+
+        ``trace is None`` means telemetry is off; the method then only
+        pays two no-op counter calls.  Cascade stages are assembled from
+        the result's :class:`EngineStats` (never re-timed), topped up by
+        a ``cascade_overhead`` span (engine wall time outside the four
+        accounted phases) and the residual ``other`` span added by
+        :meth:`QueryTrace.finish`, so the stage sum equals the measured
+        end-to-end wall time exactly.
+        """
+        self._m_queries.labels(mode=result.mode).inc()
+        if trace is None:
+            return result
+        elapsed = time.perf_counter() - started
+        stats = result.stats
+        self._m_query_seconds.labels(mode=result.mode).observe(elapsed)
+        stage_hist = self._m_stage_seconds
+        if result.queue_wait_seconds:
+            stage_hist.labels(stage="queue_wait").observe(result.queue_wait_seconds)
+        if result.generation_seconds:
+            stage_hist.labels(stage="generation").observe(result.generation_seconds)
+        stage_hist.labels(stage="bounds").observe(stats.bound_seconds)
+        stage_hist.labels(stage="extract").observe(stats.extract_seconds)
+        stage_hist.labels(stage="matching").observe(stats.matching_seconds)
+        stage_hist.labels(stage="dp").observe(stats.dp_seconds)
+        self._m_candidates.inc(stats.candidates)
+        self._m_pruned.labels(stage="lb_kim").inc(stats.pruned_lb_kim)
+        self._m_pruned.labels(stage="lb_keogh").inc(stats.pruned_lb_keogh)
+        self._m_dtw.labels(outcome="completed").inc(stats.dtw_computed)
+        self._m_dtw.labels(outcome="abandoned").inc(stats.dtw_abandoned)
+        self._m_cells_filled.inc(stats.cells_filled)
+        self._m_cells_total.inc(stats.total_cells)
+        trace.mode = result.mode
+        trace.candidates_generated = result.candidates_generated
+        if result.queue_wait_seconds:
+            trace.add_stage("queue_wait", result.queue_wait_seconds)
+        trace.add_stage(
+            "bounds",
+            stats.bound_seconds,
+            lb_kim_computed=stats.lb_kim_computed,
+            lb_keogh_computed=stats.lb_keogh_computed,
+            pruned_lb_kim=stats.pruned_lb_kim,
+            pruned_lb_keogh=stats.pruned_lb_keogh,
+            prune_rate=stats.prune_rate,
+        )
+        trace.add_stage("extract", stats.extract_seconds)
+        trace.add_stage("matching", stats.matching_seconds)
+        trace.add_stage(
+            "dp",
+            stats.dp_seconds,
+            dtw_computed=stats.dtw_computed,
+            dtw_abandoned=stats.dtw_abandoned,
+            cells_filled=stats.cells_filled,
+            cell_fraction=stats.cell_fraction,
+        )
+        cascade_overhead = stats.elapsed_seconds - (
+            stats.bound_seconds
+            + stats.extract_seconds
+            + stats.matching_seconds
+            + stats.dp_seconds
+        )
+        if cascade_overhead > 0.0:
+            trace.add_stage("cascade_overhead", cascade_overhead)
+        trace.attributes["candidates"] = stats.candidates
+        trace.attributes["prune_rate"] = stats.prune_rate
+        trace.finish(elapsed)
+        self._traces.append(trace)
+        return result
 
     @staticmethod
     def _remap_hits(

@@ -1,0 +1,40 @@
+"""Unified telemetry layer: metrics registry, per-query traces, exports.
+
+Two cooperating halves:
+
+* :mod:`repro.telemetry.registry` — a thread-safe, dependency-free
+  metrics registry (counters, gauges, fixed-bucket latency histograms
+  with p50/p95/p99 estimation) with JSON (``to_dict``) and Prometheus
+  text-format (``render_prometheus``) export, plus the no-op
+  :data:`NULL_REGISTRY` used when ``ServingConfig.telemetry`` is off.
+* :mod:`repro.telemetry.trace` — per-query :class:`QueryTrace` spans
+  carried through the serving stack via a thread-local
+  (:func:`trace_scope` / :func:`current_trace`) and retained in a
+  :class:`TraceRing` of recent queries.
+
+``repro.service.workspace.Workspace`` owns one registry per workspace
+and is the integration point; ``repro workspace stats --metrics
+[--format json|prom]`` is the CLI export surface.
+"""
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .trace import QueryTrace, TraceRing, TraceStage, current_trace, trace_scope
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullMetricsRegistry",
+    "QueryTrace",
+    "TraceRing",
+    "TraceStage",
+    "current_trace",
+    "trace_scope",
+]
