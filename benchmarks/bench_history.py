@@ -1,0 +1,253 @@
+"""Benchmark history: append each CI perf run, compare to a rolling baseline.
+
+The perf-guard benchmarks merge their metrics into ``BENCH_ci.json``
+(sections ``incremental_index``, ``workspace_churn``,
+``telemetry_overhead``, ...), but each CI run starts from scratch — a
+5%-per-PR latency creep sails under every absolute guard.  This tool
+gives the guards a memory:
+
+* ``--input BENCH_ci.json`` is flattened to dotted numeric leaves
+  (``workspace_churn.steady_p50_ms``) and appended as one run to
+  ``--history BENCH_history.json`` (carried across runs by the CI
+  cache and uploaded as an artifact);
+* every metric is compared against its **rolling baseline** — the
+  median of that metric over the last ``--baseline-window`` prior runs
+  (median, so one noisy run cannot poison the baseline);
+* metrics whose name says which way is better (``*_seconds``, ``*_ms``,
+  ``p50``/``p99``, ``overhead`` are lower-better; ``speedup``,
+  ``recall``, ``qps``, ``throughput``, ``compression`` are
+  higher-better) are flagged as REGRESSED when they land more than
+  ``--tolerance`` on the wrong side of the baseline; everything else is
+  tracked without judgement.
+
+By default regressions are **advisory** (printed, exit 0): shared CI
+runners are too noisy for a hard relative gate, and the absolute guards
+still gate.  ``--fail-on-regression`` turns them into failures for
+local use on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+HISTORY_FORMAT = "repro-bench-history"
+HISTORY_VERSION = 1
+
+_HIGHER_BETTER = ("speedup", "recall", "qps", "throughput", "compression")
+_LOWER_BETTER = ("seconds", "_ms", "p50", "p99", "overhead", "wait", "ratio")
+
+
+def flatten_metrics(payload: object, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested dict as dotted keys (bools excluded)."""
+    flat: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_metrics(value, name))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        flat[prefix] = float(payload)
+    return flat
+
+
+def direction_of(metric: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` when the name says which way is
+    better, ``None`` for tracked-only metrics.  Higher-better needles
+    win ties (``compression_ratio`` is a ratio *and* a compression)."""
+    lowered = metric.lower()
+    if any(needle in lowered for needle in _HIGHER_BETTER):
+        return "higher"
+    if any(needle in lowered for needle in _LOWER_BETTER):
+        return "lower"
+    return None
+
+
+def load_history(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return {"format": HISTORY_FORMAT, "version": HISTORY_VERSION,
+                "runs": []}
+    if (
+        not isinstance(history, dict)
+        or history.get("format") != HISTORY_FORMAT
+        or not isinstance(history.get("runs"), list)
+    ):
+        # Unrecognised content: start fresh rather than crash the job.
+        return {"format": HISTORY_FORMAT, "version": HISTORY_VERSION,
+                "runs": []}
+    return history
+
+
+def rolling_baseline(
+    runs: List[dict], metric: str, window: int
+) -> Optional[float]:
+    """Median of *metric* over the last *window* runs that recorded it."""
+    values = [
+        run["metrics"][metric]
+        for run in runs
+        if isinstance(run.get("metrics"), dict) and metric in run["metrics"]
+    ][-window:]
+    if not values:
+        return None
+    return float(statistics.median(values))
+
+
+def compare(
+    metrics: Dict[str, float],
+    prior_runs: List[dict],
+    *,
+    window: int,
+    tolerance: float,
+) -> Tuple[List[List[str]], List[str]]:
+    """Comparison rows for every metric plus the regressed metric names."""
+    rows: List[List[str]] = []
+    regressions: List[str] = []
+    for metric in sorted(metrics):
+        value = metrics[metric]
+        baseline = rolling_baseline(prior_runs, metric, window)
+        direction = direction_of(metric)
+        if baseline is None:
+            verdict = "new"
+            delta = "-"
+        else:
+            delta = (
+                f"{(value - baseline) / baseline:+.1%}"
+                if baseline else f"{value - baseline:+.4g}"
+            )
+            if direction is None:
+                verdict = "tracked"
+            else:
+                worse = (
+                    value > baseline * (1.0 + tolerance)
+                    if direction == "lower"
+                    else value < baseline * (1.0 - tolerance)
+                )
+                verdict = "REGRESSED" if worse else "ok"
+                if worse:
+                    regressions.append(metric)
+        rows.append([
+            metric,
+            f"{value:.4g}",
+            "-" if baseline is None else f"{baseline:.4g}",
+            delta,
+            verdict,
+        ])
+    return rows, regressions
+
+
+def format_rows(rows: List[List[str]]) -> str:
+    headers = ["metric", "value", "baseline", "delta", "verdict"]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ] if rows else [len(header) for header in headers]
+    lines = [
+        "  ".join(header.ljust(widths[col])
+                  for col, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[col])
+                               for col, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append a benchmark run to the history file and flag "
+                    "regressions against the rolling baseline.")
+    parser.add_argument("--input", default="BENCH_ci.json", metavar="PATH",
+                        help="metrics JSON written by the perf-guard "
+                             "benchmarks (default: BENCH_ci.json)")
+    parser.add_argument("--history", default="BENCH_history.json",
+                        metavar="PATH",
+                        help="history file to append to "
+                             "(default: BENCH_history.json)")
+    parser.add_argument("--baseline-window", type=int, default=5,
+                        help="prior runs the rolling median baseline "
+                             "covers (default: 5)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="relative drift on the wrong side of the "
+                             "baseline that counts as a regression "
+                             "(default: 0.30)")
+    parser.add_argument("--run-id", default=None,
+                        help="identifier recorded with this run "
+                             "(default: $GITHUB_RUN_ID or local-<pid>)")
+    parser.add_argument("--max-runs", type=int, default=200,
+                        help="runs retained in the history file "
+                             "(default: 200)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any metric regressed (default: "
+                             "advisory — print and exit 0)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: metrics file not found: {args.input}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: unparseable metrics file {args.input}: {exc}",
+              file=sys.stderr)
+        return 2
+    metrics = flatten_metrics(payload)
+    if not metrics:
+        print(f"error: no numeric metrics found in {args.input}",
+              file=sys.stderr)
+        return 2
+
+    history = load_history(args.history)
+    prior_runs = list(history["runs"])
+    rows, regressions = compare(
+        metrics, prior_runs,
+        window=max(1, args.baseline_window),
+        tolerance=max(0.0, args.tolerance),
+    )
+
+    run_id = (
+        args.run_id
+        or os.environ.get("GITHUB_RUN_ID")
+        or f"local-{os.getpid()}"
+    )
+    history["runs"].append({
+        "run_id": str(run_id),
+        "recorded_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "metrics": metrics,
+    })
+    history["runs"] = history["runs"][-max(1, args.max_runs):]
+    with open(args.history, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+    print(f"run {run_id}: {len(metrics)} metrics vs a median-of-"
+          f"{min(len(prior_runs), args.baseline_window)} baseline "
+          f"({len(prior_runs)} prior runs in {args.history})")
+    print()
+    print(format_rows(rows))
+    if regressions:
+        print()
+        for metric in regressions:
+            print(f"REGRESSED: {metric} drifted more than "
+                  f"{args.tolerance:.0%} past its rolling baseline")
+        if args.fail_on_regression:
+            return 1
+        print("(advisory: the absolute perf guards remain the gate)")
+    else:
+        print()
+        print("no regressions against the rolling baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,12 @@ Two entry points are installed:
     series to it (optionally building the inverted index), answer k-NN
     queries in ``auto`` / ``exact`` / ``indexed`` mode and inspect the
     workspace state.
+  - ``workspace doctor | profile | flight-record`` — the diagnostics
+    surfaces: run the invariant checker (exit 1 on any FAIL), record a
+    sampling-profiler window over replayed queries, or dump the flight
+    record (recent events + traces + metrics + config) as JSON.
+  - ``version`` (also ``--version``) — package version plus the
+    on-disk workspace / index / feature-store format versions.
   - ``experiment <id>`` — run one of the table/figure reproductions and
     print the resulting table (optionally also write CSV).
   - ``distance <dataset> <i> <j>`` — compute the distance between two
@@ -45,12 +51,29 @@ from .datasets.registry import available_datasets, load_dataset
 from .exceptions import ExperimentError, ReproError
 
 
+def _version_string() -> str:
+    """Package version plus every on-disk format version a release pins."""
+    from . import __version__
+    from .indexing.store import FORMAT_VERSION as index_format
+    from .retrieval.feature_store import STORE_FORMAT_VERSION as store_format
+    from .service.workspace import FORMAT_VERSION as workspace_format
+
+    return (
+        f"repro-sdtw {__version__} "
+        f"(workspace format v{workspace_format}, "
+        f"index format v{index_format}, "
+        f"feature-store format v{store_format})"
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sdtw",
         description="sDTW reproduction (Candan et al., VLDB 2012): "
                     "experiments and distance computations.",
     )
+    parser.add_argument("--version", action="version",
+                        version=_version_string())
     subparsers = parser.add_subparsers(dest="command")
 
     exp = subparsers.add_parser("experiment", help="run a table/figure reproduction")
@@ -208,6 +231,11 @@ def _build_parser() -> argparse.ArgumentParser:
     ws_init.add_argument("--micro-batch", action="store_true",
                          help="coalesce concurrent exact queries into engine "
                               "batches")
+    ws_init.add_argument("--slow-query-threshold", type=float, default=None,
+                         metavar="SECONDS",
+                         help="persist the full trace of queries at least "
+                              "this slow to slow_queries.jsonl (0 captures "
+                              "every query; default: disabled)")
 
     ws_add = ws_sub.add_parser(
         "add", help="add a data set's series to a workspace")
@@ -238,6 +266,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ws_query.add_argument("--trace", action="store_true",
                           help="print the per-stage telemetry trace of each "
                                "query")
+    ws_query.add_argument("--profile", action="store_true",
+                          help="sample this thread's stacks while the "
+                               "queries run and print the hottest frames")
 
     ws_stats = ws_sub.add_parser(
         "stats", help="print a workspace's state summary (or its metrics)")
@@ -253,7 +284,58 @@ def _build_parser() -> argparse.ArgumentParser:
                                "so latency histograms are populated "
                                "(default: 0)")
 
+    ws_doctor = ws_sub.add_parser(
+        "doctor",
+        help="check workspace invariants (manifest, index accounting, PQ "
+             "shapes, logs) and report OK / WARN / FAIL per check")
+    ws_doctor.add_argument("workspace_dir",
+                           help="workspace written by 'workspace init'")
+    ws_doctor.add_argument("--no-probe", action="store_true",
+                           help="skip the active probes (live query and "
+                                "telemetry-overhead measurement)")
+    ws_doctor.add_argument("--json", action="store_true",
+                           help="emit the report as JSON instead of a table")
+
+    ws_profile = ws_sub.add_parser(
+        "profile",
+        help="replay stored series as queries under the sampling profiler "
+             "and print the hottest stacks")
+    ws_profile.add_argument("workspace_dir",
+                            help="workspace written by 'workspace init'")
+    ws_profile.add_argument("--num-queries", type=int, default=5,
+                            help="stored series replayed as queries "
+                                 "(default: 5)")
+    ws_profile.add_argument("--repeat", type=int, default=1,
+                            help="replay passes over those queries "
+                                 "(default: 1)")
+    ws_profile.add_argument("--mode", default="auto",
+                            choices=["auto", "exact", "indexed"],
+                            help="query mode (default: auto)")
+    ws_profile.add_argument("--interval", type=float, default=0.005,
+                            metavar="SECONDS",
+                            help="sampling interval (default: 0.005)")
+    ws_profile.add_argument("--top", type=int, default=15,
+                            help="hottest frames printed (default: 15)")
+    ws_profile.add_argument("--output", metavar="PATH", default=None,
+                            help="also write the collapsed stacks "
+                                 "(flame-graph input) to this file")
+
+    ws_flight = ws_sub.add_parser(
+        "flight-record",
+        help="dump the flight record (recent events, traces, slow queries, "
+             "metrics, config) as one JSON blob")
+    ws_flight.add_argument("workspace_dir",
+                           help="workspace written by 'workspace init'")
+    ws_flight.add_argument("--events", type=int, default=200,
+                           help="recent events included (default: 200)")
+    ws_flight.add_argument("--output", metavar="PATH", default=None,
+                           help="write the record to this file instead of "
+                                "stdout")
+
     subparsers.add_parser("datasets", help="list the registered data sets")
+    subparsers.add_parser(
+        "version",
+        help="print the package version and on-disk format versions")
     return parser
 
 
@@ -637,8 +719,8 @@ def _run_index_compact(args: argparse.Namespace) -> int:
 
 def _run_workspace(args: argparse.Namespace) -> int:
     if args.workspace_command is None:
-        print("error: 'workspace' needs a subcommand: init, add, query or stats",
-              file=sys.stderr)
+        print("error: 'workspace' needs a subcommand: init, add, query, "
+              "stats, doctor, profile or flight-record", file=sys.stderr)
         return 2
     if args.workspace_command == "init":
         return _run_workspace_init(args)
@@ -646,6 +728,12 @@ def _run_workspace(args: argparse.Namespace) -> int:
         return _run_workspace_add(args)
     if args.workspace_command == "query":
         return _run_workspace_query(args)
+    if args.workspace_command == "doctor":
+        return _run_workspace_doctor(args)
+    if args.workspace_command == "profile":
+        return _run_workspace_profile(args)
+    if args.workspace_command == "flight-record":
+        return _run_workspace_flight_record(args)
     return _run_workspace_stats(args)
 
 
@@ -661,13 +749,19 @@ def _run_workspace_init(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             candidate_budget=args.candidates,
         ),
-        serving=ServingConfig(micro_batch=args.micro_batch),
+        serving=ServingConfig(
+            micro_batch=args.micro_batch,
+            slow_query_threshold=args.slow_query_threshold,
+        ),
     )
     workspace = Workspace.create(args.workspace_dir, config)
     print(f"Created workspace at {workspace.path}")
     print(f"constraint={args.constraint} backend={args.backend} "
           f"codewords={args.codewords} shards={args.shards} "
           f"micro_batch={args.micro_batch}")
+    if args.slow_query_threshold is not None:
+        print(f"slow-query capture: queries >= {args.slow_query_threshold}s "
+              f"are persisted to slow_queries.jsonl")
     return 0
 
 
@@ -711,24 +805,39 @@ def _run_workspace_query(args: argparse.Namespace) -> int:
         replay = workspace.identifiers[:num_queries]
         rows = []
         traces = []
-        for identifier in replay:
-            result = workspace.query(
-                workspace.series_of(identifier), args.k,
-                mode=args.mode, candidates=args.candidates,
-                exclude_identifier=identifier,
-                rank_mode=args.rank_mode,
-            )
-            top = result.hits[0] if result.hits else None
-            rows.append([
-                identifier,
-                result.mode if result.mode == "exact"
-                else f"{result.mode} C={result.candidates_generated}",
-                top.identifier if top else "-",
-                round(top.distance, 4) if top else "-",
-                f"{result.elapsed_seconds * 1000:.2f} ms",
-            ])
-            if args.trace:
-                traces.append((identifier, result.trace))
+        profiler = None
+        if args.profile:
+            import threading
+
+            from .telemetry import SamplingProfiler
+
+            # Pin the sampler to this thread: the query loop below is
+            # what the operator asked to attribute, not the whole
+            # process.
+            profiler = SamplingProfiler(
+                threads=[threading.get_ident()]
+            ).start()
+        try:
+            for identifier in replay:
+                result = workspace.query(
+                    workspace.series_of(identifier), args.k,
+                    mode=args.mode, candidates=args.candidates,
+                    exclude_identifier=identifier,
+                    rank_mode=args.rank_mode,
+                )
+                top = result.hits[0] if result.hits else None
+                rows.append([
+                    identifier,
+                    result.mode if result.mode == "exact"
+                    else f"{result.mode} C={result.candidates_generated}",
+                    top.identifier if top else "-",
+                    round(top.distance, 4) if top else "-",
+                    f"{result.elapsed_seconds * 1000:.2f} ms",
+                ])
+                if args.trace:
+                    traces.append((identifier, result.trace))
+        finally:
+            profile = profiler.stop() if profiler is not None else None
         print(f"Workspace at {args.workspace_dir}: {len(workspace)} series, "
               f"mode={args.mode}, k={args.k}")
         print(format_table(["query", "mode", "nearest", "distance", "time"],
@@ -749,6 +858,100 @@ def _run_workspace_query(args: argparse.Namespace) -> int:
                 ["stage", "time", "detail"], stage_rows,
                 title=(f"Trace of {identifier} ({trace.mode}, "
                        f"{trace.total_seconds * 1000:.2f} ms)")))
+        if profile is not None:
+            print()
+            _print_profile(profile, top=10)
+    return 0
+
+
+def _print_profile(report, top: int) -> None:
+    """Print a :class:`~repro.telemetry.ProfileReport` summary table."""
+    from .utils.tables import format_table
+
+    print(f"profiler: {report.num_samples} samples over "
+          f"{report.duration_seconds:.2f}s "
+          f"(interval {report.interval_seconds * 1000:.1f} ms, "
+          f"sampler overhead {report.sampler_overhead:.1%})")
+    if not report.num_samples:
+        print("no samples captured (the window was shorter than the "
+              "sampling interval)")
+        return
+    rows = [
+        [frame, count, f"{count / report.num_samples:.1%}"]
+        for frame, count in report.self_seconds()[: max(1, top)]
+    ]
+    print(format_table(["frame", "samples", "self"], rows,
+                       title="Hottest frames (self time)"))
+
+
+def _run_workspace_doctor(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .service import Workspace, run_doctor
+    from .utils.tables import format_table
+
+    with Workspace.open(args.workspace_dir) as workspace:
+        report = run_doctor(workspace, probe=not args.no_probe)
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"Doctor report for {args.workspace_dir}")
+        print(format_table(["check", "status", "detail"], report.rows(),
+                           title="Invariant checks"))
+        counts = report.counts
+        print(f"{counts['OK']} ok, {counts['WARN']} warnings, "
+              f"{counts['FAIL']} failures -> "
+              f"{'healthy' if report.healthy else 'UNHEALTHY'}")
+    return 0 if report.healthy else 1
+
+
+def _run_workspace_profile(args: argparse.Namespace) -> int:
+    from .exceptions import WorkspaceError
+    from .service import Workspace
+    from .telemetry import SamplingProfiler
+
+    with Workspace.open(args.workspace_dir) as workspace:
+        if not len(workspace):
+            raise WorkspaceError(
+                "the workspace holds no series; run 'workspace add' first"
+            )
+        num_queries = max(1, min(args.num_queries, len(workspace)))
+        replay = workspace.identifiers[:num_queries]
+        executed = 0
+        with SamplingProfiler(interval_seconds=args.interval) as profiler:
+            for _ in range(max(1, args.repeat)):
+                for identifier in replay:
+                    workspace.query(
+                        workspace.series_of(identifier),
+                        mode=args.mode, exclude_identifier=identifier,
+                    )
+                    executed += 1
+        report = profiler.stop()
+    print(f"Profiled {executed} {args.mode} queries over "
+          f"{num_queries} stored series at {args.workspace_dir}")
+    _print_profile(report, top=args.top)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            collapsed = report.collapsed()
+            handle.write(collapsed + ("\n" if collapsed else ""))
+        print(f"collapsed stacks written to {args.output}")
+    return 0
+
+
+def _run_workspace_flight_record(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .service import Workspace
+
+    with Workspace.open(args.workspace_dir) as workspace:
+        record = workspace.dump_flight_record(events=max(0, args.events))
+    text = json_module.dumps(record, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"Flight record written to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -825,6 +1028,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_workspace(args)
         if args.command == "datasets":
             return _run_datasets()
+        if args.command == "version":
+            print(_version_string())
+            return 0
     except ReproError as exc:
         # Every intentional library failure derives from ReproError; the
         # CLI contract is a clean one-line message, never a traceback.

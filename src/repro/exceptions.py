@@ -38,4 +38,15 @@ class ExperimentError(ReproError):
 
 class WorkspaceError(ReproError):
     """A :class:`repro.service.Workspace` operation failed (bad layout,
-    missing manifest, stale index, or use after close)."""
+    missing manifest, stale index, or use after close).
+
+    Errors raised by a live workspace carry its flight record — a
+    JSON-safe bundle of recent events, traces, metrics and config (see
+    :meth:`repro.service.Workspace.dump_flight_record`) — on
+    :attr:`flight_record`, so the state preceding the failure travels
+    with the exception.  ``None`` when no workspace context existed
+    (manifest parse failures, pre-construction errors) or diagnostics
+    capture itself failed.
+    """
+
+    flight_record = None

@@ -37,6 +37,10 @@ _FIXED_COLUMNS_V1 = 10
 _SCALE_CODES = {"fine": 0.0, "medium": 1.0, "rough": 2.0}
 _SCALE_NAMES = {0: "fine", 1: "medium", 2: "rough"}
 
+# On-disk archive format written by FeatureStore.save (v2 added the
+# per-row descriptor-length column); load() still reads v1 archives.
+STORE_FORMAT_VERSION = 2
+
 
 def _features_to_matrix(features: Sequence[SalientFeature]) -> np.ndarray:
     """Pack a feature list into a dense float matrix (one row per feature).
@@ -262,7 +266,7 @@ class FeatureStore:
         manifest = {
             "identifiers": self.identifiers(),
             "descriptor_bins": self.config.descriptor.num_bins,
-            "version": 2,
+            "version": STORE_FORMAT_VERSION,
         }
         for index, identifier in enumerate(manifest["identifiers"]):
             payload[f"series_{index}"] = self._series[identifier]

@@ -15,10 +15,13 @@ from .config import (
     ServingConfig,
     WorkspaceConfig,
 )
+from .doctor import DoctorCheck, DoctorReport, run_doctor
 from .workspace import Workspace, WorkspaceQueryResult
 
 __all__ = [
     "DEFAULT_WORKSPACE_CONFIG",
+    "DoctorCheck",
+    "DoctorReport",
     "EngineConfig",
     "IndexConfig",
     "MicroBatcher",
@@ -26,4 +29,5 @@ __all__ = [
     "Workspace",
     "WorkspaceConfig",
     "WorkspaceQueryResult",
+    "run_doctor",
 ]

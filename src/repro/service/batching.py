@@ -100,6 +100,11 @@ class MicroBatcher:
         per-request queue-wait distributions under
         ``repro_microbatch_batch_size`` /
         ``repro_microbatch_queue_wait_seconds``.
+    events:
+        Optional :class:`repro.telemetry.EventLog` (or the no-op null
+        log).  Worker-side request failures emit a ``batcher``
+        ``request_failed`` event, so the operator log records failures
+        even when the caller swallowed the re-raised exception.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class MicroBatcher:
         window_seconds: float = 0.002,
         max_batch: int = 32,
         metrics=None,
+        events=None,
     ) -> None:
         self._run_batch = run_batch
         self.window_seconds = max(0.0, float(window_seconds))
@@ -133,6 +139,7 @@ class MicroBatcher:
         else:
             self._batch_size_hist = None
             self._queue_wait_hist = None
+        self._events = events
 
     def submit(self, payload: object) -> object:
         """Enqueue one request and block until its result is available."""
@@ -155,6 +162,32 @@ class MicroBatcher:
         if request.error is not None:
             raise request.error
         return request
+
+    def _report_failures(self, batch: List[QueryRequest]) -> None:
+        """Emit one ``request_failed`` event for a batch with failures.
+
+        A failed request re-raises in its submitting caller, but a
+        caller may swallow that — the event log is how the *operator*
+        still sees it.  One event per batch (not per request) keeps an
+        error storm bounded; emission itself must never raise into the
+        leader loop.
+        """
+        if self._events is None:
+            return
+        failures = [request for request in batch if request.error is not None]
+        if not failures:
+            return
+        first = failures[0].error
+        try:
+            self._events.emit(
+                "batcher", "request_failed", level="error",
+                failed=len(failures),
+                batch_size=len(batch),
+                error=type(first).__name__,
+                message=str(first),
+            )
+        except Exception:  # noqa: BLE001 - diagnostics must not kill the leader
+            pass
 
     # ------------------------------------------------------------------ #
     # Leader protocol
@@ -203,6 +236,7 @@ class MicroBatcher:
                                 "batch runner did not resolve this request"
                             )
                         )
+                self._report_failures(batch)
             with self._lock:
                 # Retire only once the queue is drained; requests that
                 # arrived during execution are this leader's next batch.

@@ -211,6 +211,31 @@ class ServingConfig(_DictRoundTrip):
         Recent query traces retained in memory for
         :meth:`Workspace.recent_traces`.  ``0`` keeps per-result traces
         but retains no history.
+    event_log_ring:
+        Recent structured events (see :mod:`repro.telemetry.events`)
+        retained in memory for :meth:`Workspace.recent_events` and the
+        flight record.  ``0`` keeps no ring (the file sink, if any,
+        still records).  The whole event log follows the ``telemetry``
+        master switch.
+    event_log_file:
+        Mirror every event into ``events.jsonl`` inside the workspace
+        directory (path-backed workspaces only), rotated once it
+        exceeds ``event_log_max_bytes``.
+    event_log_max_bytes:
+        Rotation threshold of the event-log file sink; the previous
+        generation is kept as ``events.jsonl.1``, bounding disk usage
+        at roughly twice this size.
+    slow_query_threshold:
+        Queries whose end-to-end wall time reaches this many seconds
+        have their full :class:`~repro.telemetry.QueryTrace` (plus a
+        recent event-log excerpt) persisted to ``slow_queries.jsonl``
+        in the workspace directory and retained in
+        :meth:`Workspace.slow_queries`.  ``None`` disables capture;
+        ``0.0`` captures every query (the CI smoke configuration).
+        Applies to exact, indexed and micro-batched queries alike.
+    slow_query_ring:
+        Slow-query records retained in memory (the surface for
+        in-memory workspaces, where there is no ``slow_queries.jsonl``).
     """
 
     micro_batch: bool = False
@@ -219,6 +244,11 @@ class ServingConfig(_DictRoundTrip):
     incremental_snapshots: bool = True
     telemetry: bool = True
     trace_ring: int = 64
+    event_log_ring: int = 512
+    event_log_file: bool = True
+    event_log_max_bytes: int = 4_000_000
+    slow_query_threshold: Optional[float] = None
+    slow_query_ring: int = 64
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -227,6 +257,16 @@ class ServingConfig(_DictRoundTrip):
             raise ConfigurationError("max_batch must be >= 1")
         if self.trace_ring < 0:
             raise ConfigurationError("trace_ring must be >= 0")
+        if self.event_log_ring < 0:
+            raise ConfigurationError("event_log_ring must be >= 0")
+        if self.event_log_max_bytes < 1024:
+            raise ConfigurationError("event_log_max_bytes must be >= 1024")
+        if self.slow_query_threshold is not None and self.slow_query_threshold < 0:
+            raise ConfigurationError(
+                "slow_query_threshold must be >= 0 seconds when given"
+            )
+        if self.slow_query_ring < 0:
+            raise ConfigurationError("slow_query_ring must be >= 0")
 
 
 @dataclass(frozen=True)

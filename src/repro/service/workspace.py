@@ -56,6 +56,7 @@ import os
 import shutil
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -77,6 +78,7 @@ from ..indexing import (
 )
 from ..retrieval.feature_store import FeatureStore
 from ..streaming import StreamMatch, StreamMonitor
+from ..telemetry.events import NULL_EVENT_LOG, EventLog, json_safe
 from ..telemetry.registry import NULL_REGISTRY, MetricsRegistry
 from ..telemetry.trace import QueryTrace, TraceRing, trace_scope
 from .batching import MicroBatcher, QueryRequest
@@ -85,8 +87,12 @@ from .config import WorkspaceConfig
 MANIFEST_NAME = "workspace.json"
 STORE_NAME = "store.npz"
 INDEX_DIR_NAME = "index"
+EVENTS_NAME = "events.jsonl"
+SLOW_QUERIES_NAME = "slow_queries.jsonl"
 FORMAT_NAME = "repro-workspace"
 FORMAT_VERSION = 1
+FLIGHT_RECORD_FORMAT = "repro-flight-record"
+FLIGHT_RECORD_VERSION = 1
 
 _MODES = ("auto", "exact", "indexed")
 
@@ -287,6 +293,25 @@ class Workspace:
             MetricsRegistry() if self.config.serving.telemetry else NULL_REGISTRY
         )
         self._traces = TraceRing(self.config.serving.trace_ring)
+        # The structured event log follows the same master switch: every
+        # state transition (mutations, snapshot derivations, compactions,
+        # batcher failures) emits one event; queries emit none.
+        self._events: EventLog = (
+            EventLog(
+                self.config.serving.event_log_ring,
+                max_bytes=self.config.serving.event_log_max_bytes,
+            )
+            if self.config.serving.telemetry
+            else NULL_EVENT_LOG
+        )
+        # Slow-query capture: records ring + (path-backed) JSONL sink,
+        # armed by ServingConfig.slow_query_threshold.
+        self._slow_queries: deque = deque(
+            maxlen=self.config.serving.slow_query_ring
+        )
+        self._slow_lock = threading.Lock()
+        self._slow_path: Optional[str] = None
+        self._slow_query_drops = 0
         self._register_metrics()
         self._batcher: Optional[MicroBatcher] = None
         if self.config.serving.micro_batch:
@@ -295,6 +320,7 @@ class Workspace:
                 window_seconds=self.config.serving.batch_window_ms / 1000.0,
                 max_batch=self.config.serving.max_batch,
                 metrics=self._metrics,
+                events=self._events,
             )
 
     def _register_metrics(self) -> None:
@@ -351,6 +377,15 @@ class Workspace:
         self._m_mutations = m.counter(
             "repro_mutations_total", "Workspace mutations by operation.",
             labels=("op",),
+        )
+        self._m_slow_queries = m.counter(
+            "repro_slow_queries_total",
+            "Queries at or above ServingConfig.slow_query_threshold, "
+            "captured into the slow-query log.",
+        )
+        self._m_events = m.gauge(
+            "repro_events_total",
+            "Structured events emitted over the workspace's lifetime.",
         )
         self._m_index_updates = m.counter(
             "repro_index_updates_total",
@@ -426,7 +461,9 @@ class Workspace:
         workspace = cls(config)
         workspace.path = path
         os.makedirs(path, exist_ok=True)
+        workspace._attach_diagnostics_sinks()
         workspace.save()
+        workspace._events.emit("workspace", "created", path=path)
         return workspace
 
     @classmethod
@@ -481,7 +518,27 @@ class Workspace:
                 slots=list(reader.identifiers),
                 pq=reader.pq,
             )
+        workspace._attach_diagnostics_sinks()
+        workspace._events.emit(
+            "workspace", "opened",
+            path=path,
+            num_series=len(workspace._identifiers),
+            has_index=workspace._index is not None,
+        )
         return workspace
+
+    def _attach_diagnostics_sinks(self) -> None:
+        """Point the event log and slow-query log at the workspace dir.
+
+        Called once the path is known (create/open); in-memory
+        workspaces keep ring-only diagnostics.
+        """
+        if self.path is None:
+            return
+        if self._events.enabled and self.config.serving.event_log_file:
+            self._events.attach_file(os.path.join(self.path, EVENTS_NAME))
+        if self.config.serving.slow_query_threshold is not None:
+            self._slow_path = os.path.join(self.path, SLOW_QUERIES_NAME)
 
     # ------------------------------------------------------------------ #
     # Context manager / lifecycle
@@ -503,10 +560,29 @@ class Workspace:
             self._serving = None
             self._previous = None
             self._pending.clear()
+            self._events.emit("workspace", "closed", path=self.path)
 
     def _require_open(self) -> None:
         if self._closed:
-            raise WorkspaceError("this workspace has been closed")
+            raise self._error("this workspace has been closed")
+
+    def _error(self, message: str) -> WorkspaceError:
+        """A :class:`WorkspaceError` with the flight record attached.
+
+        Every operational failure the workspace raises carries the
+        recent diagnostic state (events, traces, metrics, config) on
+        ``exc.flight_record``, so the context that preceded the error
+        survives into the caller's handler without a second round trip.
+        The capture itself is best-effort: diagnostics must never turn
+        one failure into two.
+        """
+        self._events.emit("workspace", "error", level="error", message=message)
+        error = WorkspaceError(message)
+        try:
+            error.flight_record = self.dump_flight_record(note=message)
+        except Exception:  # noqa: BLE001 - diagnostics are best-effort
+            error.flight_record = None
+        return error
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -585,6 +661,9 @@ class Workspace:
             "backend": self.config.engine.backend,
             "micro_batch": self.config.serving.micro_batch,
             "telemetry": self._metrics.enabled,
+            "events_total": int(self._events.events_total),
+            "slow_queries": len(self._slow_queries),
+            "slow_query_threshold": self.config.serving.slow_query_threshold,
             "index": index_info,
         }
 
@@ -609,6 +688,7 @@ class Workspace:
             return
         self._g_series_live.set(len(self._identifiers))
         self._g_pending.set(len(self._pending))
+        self._m_events.set(self._events.events_total)
         snapshot = self._serving
         if snapshot is not None:
             prepared = snapshot.engine._prepared
@@ -640,6 +720,75 @@ class Workspace:
     def recent_traces(self) -> List[Dict[str, object]]:
         """The retained ring of recent query traces, oldest first."""
         return [trace.to_dict() for trace in self._traces.snapshot()]
+
+    @property
+    def events(self) -> EventLog:
+        """The workspace's structured event log (the no-op null log
+        when ``config.serving.telemetry`` is off)."""
+        return self._events
+
+    def recent_events(
+        self,
+        *,
+        limit: Optional[int] = None,
+        component: Optional[str] = None,
+        level: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """The retained event ring, oldest first, optionally filtered."""
+        return self._events.to_dicts(
+            limit=limit, component=component, level=level
+        )
+
+    def slow_queries(self) -> List[Dict[str, object]]:
+        """Slow-query records retained in memory, oldest first.
+
+        Path-backed workspaces additionally persist every record to
+        ``slow_queries.jsonl``; this accessor is the surface for
+        in-memory workspaces and tests.
+        """
+        with self._slow_lock:
+            return [dict(record) for record in self._slow_queries]
+
+    def dump_flight_record(
+        self, *, note: Optional[str] = None, events: int = 200
+    ) -> Dict[str, object]:
+        """One JSON-safe bundle of everything an operator needs post hoc.
+
+        Combines the recent event ring, the trace ring, retained
+        slow-query records, a full metrics snapshot and the workspace
+        configuration — "what happened in the last N seconds before
+        this" in a single blob.  Attached automatically to every
+        :class:`WorkspaceError` the workspace raises and dumpable via
+        ``repro workspace flight-record``.  Works on closed workspaces
+        (it only reads retained state) and round-trips through
+        ``json.dumps``/``loads`` unchanged.
+        """
+        with self._slow_lock:
+            slow = [dict(record) for record in self._slow_queries]
+        record = {
+            "format": FLIGHT_RECORD_FORMAT,
+            "version": FLIGHT_RECORD_VERSION,
+            "captured_at": manifest_timestamp(),
+            "note": note,
+            "workspace": {
+                "path": self.path,
+                "closed": self._closed,
+                "format_version": FORMAT_VERSION,
+                "num_series": len(self._identifiers),
+                "pending_mutations": len(self._pending),
+                "has_index": self.has_index,
+                "events_total": self._events.events_total,
+                "event_log_path": self._events.path,
+                "slow_query_log_path": self._slow_path,
+                "slow_query_drops": self._slow_query_drops,
+            },
+            "config": self.config.to_dict(),
+            "events": self._events.to_dicts(limit=events),
+            "traces": self.recent_traces(),
+            "slow_queries": slow,
+            "metrics": self.metrics_to_dict(),
+        }
+        return json_safe(record)
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -688,11 +837,19 @@ class Workspace:
             self._store.add_series(identifier, array, extract=False)
             self._identifiers.append(identifier)
             self._labels.append(label)
+            index_updated = self._index_add(identifier, array)
             self._invalidate(
-                index_updated=self._index_add(identifier, array),
+                index_updated=index_updated,
                 op=("add", identifier),
             )
             self._m_mutations.labels(op="add").inc()
+            self._events.emit(
+                "workspace", "series_added",
+                identifier=identifier,
+                length=int(array.size),
+                index_updated=index_updated,
+                num_series=len(self._identifiers),
+            )
             return identifier
 
     def _index_add(self, identifier: str, array: np.ndarray) -> bool:
@@ -723,6 +880,16 @@ class Workspace:
         slots = persisted.slots + [identifier]
         generation = persisted.generation
         self._m_index_updates.labels(kind="incremental_add").inc()
+        self._events.emit(
+            "index", "delta_appended",
+            identifier=identifier,
+            delta_shards=int(updated.num_delta_shards),
+            num_slots=int(updated.num_series),
+        )
+        self._events.emit(
+            "cache", "candidate_cache_invalidated", level="debug",
+            reason="incremental_add",
+        )
         if updated.num_delta_shards > self.config.index.max_delta_shards:
             updated, slot_map = updated.compact(
                 num_shards=self.config.index.num_shards
@@ -730,6 +897,12 @@ class Workspace:
             slots = [name for slot, name in enumerate(slots) if slot_map[slot] >= 0]
             generation += 1  # compaction renumbers slots
             self._m_index_updates.labels(kind="auto_compaction").inc()
+            self._events.emit(
+                "index", "auto_compaction",
+                live=int(updated.num_live),
+                generation=generation,
+                max_delta_shards=self.config.index.max_delta_shards,
+            )
         self._index = _PersistedIndex(
             index=updated,
             codebook=codebook,
@@ -758,11 +931,18 @@ class Workspace:
             del self._identifiers[position]
             del self._labels[position]
             self._store.remove_series(identifier)
+            index_updated = self._index_remove(identifier)
             self._invalidate(
-                index_updated=self._index_remove(identifier),
+                index_updated=index_updated,
                 op=("remove", identifier),
             )
             self._m_mutations.labels(op="remove").inc()
+            self._events.emit(
+                "workspace", "series_removed",
+                identifier=identifier,
+                index_updated=index_updated,
+                num_series=len(self._identifiers),
+            )
 
     def _index_remove(self, identifier: str) -> bool:
         """Tombstone one series' index slot (caller holds the lock)."""
@@ -790,6 +970,12 @@ class Workspace:
             generation=persisted.generation,  # tombstones keep slot numbers
         )
         self._m_index_updates.labels(kind="tombstone").inc()
+        self._events.emit(
+            "index", "tombstone",
+            identifier=identifier,
+            slot=slot,
+            tombstones=int(updated.num_tombstones),
+        )
         return True
 
     def add_batch(
@@ -863,6 +1049,11 @@ class Workspace:
         self._g_pending.set(len(self._pending))
         self._dirty = True
         if not index_updated and self._index is not None:
+            if not self._index.stale:
+                self._events.emit(
+                    "index", "marked_stale", level="warn",
+                    op=None if op is None else op[0],
+                )
             self._index.stale = True
 
     # ------------------------------------------------------------------ #
@@ -875,9 +1066,15 @@ class Workspace:
         with self._lock:
             self._require_open()
             if self._serving is None:
+                pending = len(self._pending)
                 self._serving = self._next_snapshot()
                 self._previous = None
                 self._pending.clear()
+                if pending:
+                    self._events.emit(
+                        "snapshot", "pending_log_folded", level="debug",
+                        mutations=pending,
+                    )
             return self._serving
 
     # Rebuild (instead of derive) once this fraction of a derived
@@ -981,6 +1178,14 @@ class Workspace:
                 mapping = self._slot_mapping(engine=engine)
             searcher = self._make_searcher(engine, mapping)
         self._m_snapshots.labels(kind="derived").inc()
+        prepared = engine._prepared
+        self._events.emit(
+            "snapshot", "derived",
+            added=len(added),
+            removed=len(removed),
+            live=int(engine.num_live),
+            segments=0 if prepared is None else len(prepared.segments),
+        )
         return _Snapshot(
             engine=engine,
             searcher=searcher,
@@ -1073,6 +1278,11 @@ class Workspace:
             generation = self._index.generation
             searcher = self._make_searcher(engine, self._slot_mapping())
         self._m_snapshots.labels(kind="rebuilt").inc()
+        self._events.emit(
+            "snapshot", "rebuilt",
+            live=len(engine),
+            indexed=searcher is not None,
+        )
         return _Snapshot(
             engine=engine,
             searcher=searcher,
@@ -1195,6 +1405,16 @@ class Workspace:
                 telemetry=self._metrics,
             )
             self._m_index_updates.labels(kind="rebuild").inc()
+            self._events.emit(
+                "index", "rebuilt",
+                num_series=len(self._identifiers),
+                num_codewords=int(searcher.codebook.num_codewords),
+                pq=searcher.pq is not None,
+            )
+            self._events.emit(
+                "cache", "candidate_cache_invalidated", level="debug",
+                reason="rebuild",
+            )
             self._index = _PersistedIndex(
                 index=searcher.index,
                 codebook=searcher.codebook,
@@ -1231,13 +1451,15 @@ class Workspace:
         with self._lock:
             self._require_open()
             if self._index is None or self._index.stale:
-                raise WorkspaceError(
+                raise self._error(
                     "no fresh index to compact; run build_index() first"
                 )
             persisted = self._index
             index = persisted.index
             if not index.num_delta_shards and not index.num_tombstones:
                 return
+            deltas = int(index.num_delta_shards)
+            tombstones = int(index.num_tombstones)
             cfg = self.config.index
             compacted, slot_map = index.compact(
                 num_shards=cfg.num_shards if num_shards is None else num_shards
@@ -1253,6 +1475,17 @@ class Workspace:
                 generation=persisted.generation + 1,  # slots renumbered
             )
             self._m_index_updates.labels(kind="compaction").inc()
+            self._events.emit(
+                "index", "compaction",
+                folded_delta_shards=deltas,
+                dropped_tombstones=tombstones,
+                live=int(compacted.num_live),
+                generation=self._index.generation,
+            )
+            self._events.emit(
+                "cache", "candidate_cache_invalidated", level="debug",
+                reason="compaction",
+            )
             # Only the searcher changes: the next query derives a
             # snapshot around the same prepared engine (zero pending
             # mutations) instead of rebuilding it.
@@ -1309,7 +1542,7 @@ class Workspace:
             # racing the remove of the last series either serves the
             # pre-mutation snapshot or lands here — never an engine
             # error).
-            raise WorkspaceError(
+            raise self._error(
                 "cannot query an empty workspace (no live series)"
             )
         resolved = requested
@@ -1324,7 +1557,7 @@ class Workspace:
             )
         if resolved == "indexed":
             if snapshot.searcher is None:
-                raise WorkspaceError(
+                raise self._error(
                     "no fresh index is available (build_index() has not run "
                     "since the last mutation); use mode='exact' or rebuild"
                 )
@@ -1391,7 +1624,14 @@ class Workspace:
         end-to-end wall time exactly.
         """
         self._m_queries.labels(mode=result.mode).inc()
+        threshold = self.config.serving.slow_query_threshold
         if trace is None:
+            # Telemetry off: slow-query capture still works (armed by
+            # its own threshold knob), just without a trace to attach.
+            if threshold is not None:
+                elapsed = time.perf_counter() - started
+                if elapsed >= threshold:
+                    self._record_slow_query(result, None, elapsed, threshold)
             return result
         elapsed = time.perf_counter() - started
         stats = result.stats
@@ -1447,7 +1687,59 @@ class Workspace:
         trace.attributes["prune_rate"] = stats.prune_rate
         trace.finish(elapsed)
         self._traces.append(trace)
+        if threshold is not None and elapsed >= threshold:
+            self._record_slow_query(result, trace, elapsed, threshold)
         return result
+
+    def _record_slow_query(
+        self,
+        result: WorkspaceQueryResult,
+        trace: Optional[QueryTrace],
+        elapsed: float,
+        threshold: float,
+    ) -> None:
+        """Capture one over-threshold query into the slow-query log.
+
+        The record bundles the sealed trace with a recent event-log
+        excerpt — the "what happened just before this" context — and is
+        kept in the in-memory ring plus, for path-backed workspaces,
+        appended to ``slow_queries.jsonl``.  Capture is best-effort:
+        a full disk counts a drop, it never fails the query.
+        """
+        record = json_safe({
+            "captured_at": manifest_timestamp(),
+            "elapsed_seconds": float(elapsed),
+            "threshold_seconds": float(threshold),
+            "mode": result.mode,
+            "requested_mode": result.requested_mode,
+            "k": result.k,
+            "collection_size": result.collection_size,
+            "candidates_generated": result.candidates_generated,
+            "queue_wait_seconds": result.queue_wait_seconds,
+            "hits": [
+                {"identifier": hit.identifier, "distance": hit.distance}
+                for hit in result.hits[:5]
+            ],
+            "trace": None if trace is None else trace.to_dict(),
+            "events": self._events.to_dicts(limit=20),
+        })
+        self._m_slow_queries.inc()
+        self._events.emit(
+            "workspace", "slow_query", level="warn",
+            mode=result.mode,
+            elapsed_seconds=float(elapsed),
+            threshold_seconds=float(threshold),
+        )
+        with self._slow_lock:
+            self._slow_queries.append(record)
+            path = self._slow_path
+            if path is not None:
+                try:
+                    with open(path, "a", encoding="utf-8") as handle:
+                        json.dump(record, handle, separators=(",", ":"))
+                        handle.write("\n")
+                except OSError:
+                    self._slow_query_drops += 1
 
     @staticmethod
     def _remap_hits(
@@ -1480,7 +1772,7 @@ class Workspace:
         k = self.config.default_k if k is None else check_int_at_least(k, 1, "k")
         snapshot = self._ensure_serving()
         if snapshot.size == 0:
-            raise WorkspaceError(
+            raise self._error(
                 "cannot query an empty workspace (no live series)"
             )
         batch = snapshot.engine.knn(
@@ -1618,7 +1910,7 @@ class Workspace:
         """
         with self._lock:
             if self.path is None:
-                raise WorkspaceError(
+                raise self._error(
                     "this workspace is in-memory; create it with "
                     "Workspace.create(path) to persist"
                 )
@@ -1671,6 +1963,11 @@ class Workspace:
                 json.dump(manifest, handle, indent=2)
                 handle.write("\n")
             self._dirty = False
+            self._events.emit(
+                "workspace", "saved",
+                num_series=len(self._identifiers),
+                index_persisted=index_dir is not None,
+            )
             return manifest_path
 
 

@@ -11,12 +11,28 @@ Two cooperating halves:
   carried through the serving stack via a thread-local
   (:func:`trace_scope` / :func:`current_trace`) and retained in a
   :class:`TraceRing` of recent queries.
+* :mod:`repro.telemetry.events` — the structured :class:`EventLog`
+  (bounded ring + rotating JSONL sink) recording every state
+  transition of the serving stack, and the no-op
+  :data:`NULL_EVENT_LOG` used when telemetry is off.  This is the
+  flight-recorder substrate: ``Workspace.dump_flight_record()``
+  bundles recent events, traces, metrics and config into one JSON
+  blob.
+* :mod:`repro.telemetry.profiler` — a stdlib-only wall-clock
+  :class:`SamplingProfiler` (background thread over
+  ``sys._current_frames()``) producing collapsed-stack output for
+  per-query (``query --profile``) or windowed (``workspace profile``)
+  attribution.
 
-``repro.service.workspace.Workspace`` owns one registry per workspace
-and is the integration point; ``repro workspace stats --metrics
-[--format json|prom]`` is the CLI export surface.
+``repro.service.workspace.Workspace`` owns one registry, trace ring
+and event log per workspace and is the integration point; ``repro
+workspace stats --metrics [--format json|prom]``, ``query --trace``,
+``workspace flight-record`` and ``workspace doctor`` are the CLI
+surfaces.
 """
 
+from .events import NULL_EVENT_LOG, Event, EventLog, NullEventLog, json_safe
+from .profiler import ProfileReport, SamplingProfiler
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -29,12 +45,19 @@ from .trace import QueryTrace, TraceRing, TraceStage, current_trace, trace_scope
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "Event",
+    "EventLog",
     "MetricsRegistry",
+    "NULL_EVENT_LOG",
     "NULL_REGISTRY",
+    "NullEventLog",
     "NullMetricsRegistry",
+    "ProfileReport",
     "QueryTrace",
+    "SamplingProfiler",
     "TraceRing",
     "TraceStage",
     "current_trace",
+    "json_safe",
     "trace_scope",
 ]

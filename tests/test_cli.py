@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import shutil
+
+import pytest
+
 from repro.cli import main
 
 
@@ -297,6 +302,186 @@ class TestWorkspaceCommand:
             "workspace", "query", ws_dir, "--mode", "indexed",
         ]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestWorkspaceTelemetryCLI:
+    """The PR 7 surfaces end to end: traced queries and metric exports."""
+
+    @pytest.fixture(scope="class")
+    def ws_dir(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli-telemetry") / "ws")
+        assert main([
+            "workspace", "init", path, "--codewords", "24", "--shards", "2",
+            "--candidates", "5",
+        ]) == 0
+        assert main([
+            "workspace", "add", path, "gun-small", "--num-series", "8",
+            "--build-index",
+        ]) == 0
+        return path
+
+    def test_query_trace_prints_stage_table(self, ws_dir, capsys):
+        capsys.readouterr()
+        assert main([
+            "workspace", "query", ws_dir, "--k", "2", "--num-queries", "1",
+            "--mode", "exact", "--trace",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Trace of" in out
+        assert "stage" in out
+        # The exact path's stages (cascade bounds + DP) must be listed
+        # with millisecond timings.
+        assert "dp" in out
+        assert "bounds" in out
+        assert "ms" in out
+
+    def test_stats_metrics_json_parses_end_to_end(self, ws_dir, capsys):
+        capsys.readouterr()
+        assert main([
+            "workspace", "stats", ws_dir, "--metrics", "--probe", "2",
+            "--format", "json",
+        ]) == 0
+        exported = json.loads(capsys.readouterr().out)
+        assert "repro_queries_total" in exported["counters"]
+        total = exported["counters"]["repro_queries_total"]
+        assert total["labels"] == ["mode"]
+        assert sum(total["values"].values()) >= 2  # the probe queries
+
+    def test_stats_metrics_prom_is_valid_exposition(self, ws_dir, capsys):
+        capsys.readouterr()
+        assert main([
+            "workspace", "stats", ws_dir, "--metrics", "--probe", "2",
+            "--format", "prom",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# HELP repro_queries_total" in out
+        assert "# TYPE repro_query_seconds histogram" in out
+        for line in out.strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE ")), line
+            else:
+                name, _, value = line.rpartition(" ")
+                assert name, line
+                float(value)  # every sample value must be numeric
+        assert 'le="+Inf"' in out
+
+
+class TestDiagnosticsCLI:
+    @pytest.fixture(scope="class")
+    def ws_dir(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli-diagnostics") / "ws")
+        assert main([
+            "workspace", "init", path, "--codewords", "24", "--shards", "2",
+            "--candidates", "5", "--slow-query-threshold", "0",
+        ]) == 0
+        assert main([
+            "workspace", "add", path, "gun-small", "--num-series", "8",
+            "--build-index",
+        ]) == 0
+        return path
+
+    def test_version_flag_and_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        flag_out = capsys.readouterr().out
+        assert main(["version"]) == 0
+        sub_out = capsys.readouterr().out
+        for out in (flag_out, sub_out):
+            out = " ".join(out.split())  # argparse wraps --version output
+            assert "repro-sdtw" in out
+            assert "workspace format v" in out
+            assert "index format v" in out
+            assert "feature-store format v" in out
+
+    def test_doctor_healthy_workspace_exits_zero(self, ws_dir, capsys):
+        capsys.readouterr()
+        assert main(["workspace", "doctor", ws_dir]) == 0
+        out = capsys.readouterr().out
+        assert "index_accounting" in out
+        assert "FAIL" not in out
+        assert "healthy" in out
+
+    def test_doctor_json_output(self, ws_dir, capsys):
+        capsys.readouterr()
+        assert main(["workspace", "doctor", ws_dir, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["healthy"] is True
+        names = {check["name"] for check in report["checks"]}
+        assert {"manifest", "store", "index_accounting"} <= names
+
+    def test_doctor_detects_corruption_and_exits_one(
+        self, ws_dir, tmp_path, capsys
+    ):
+        corrupt = str(tmp_path / "corrupt-ws")
+        shutil.copytree(ws_dir, corrupt)
+        with open(f"{corrupt}/events.jsonl", "a", encoding="utf-8") as handle:
+            handle.write("{definitely not json\n")
+        capsys.readouterr()
+        assert main(["workspace", "doctor", corrupt]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "UNHEALTHY" in out
+
+    def test_slow_query_log_captures_cli_queries(self, ws_dir, capsys):
+        capsys.readouterr()
+        assert main([
+            "workspace", "query", ws_dir, "--k", "2", "--num-queries", "2",
+        ]) == 0
+        with open(f"{ws_dir}/slow_queries.jsonl", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) >= 2
+        assert records[-1]["trace"]["stages"]
+
+    def test_flight_record_to_stdout_and_file(self, ws_dir, tmp_path, capsys):
+        capsys.readouterr()
+        assert main(["workspace", "flight-record", ws_dir]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["format"] == "repro-flight-record"
+        assert record["workspace"]["num_series"] == 8
+
+        target = str(tmp_path / "flight.json")
+        assert main([
+            "workspace", "flight-record", ws_dir, "--output", target,
+        ]) == 0
+        assert "written" in capsys.readouterr().out
+        with open(target, encoding="utf-8") as handle:
+            assert json.load(handle)["format"] == "repro-flight-record"
+
+    def test_query_profile_flag_prints_hottest_frames(self, ws_dir, capsys):
+        capsys.readouterr()
+        assert main([
+            "workspace", "query", ws_dir, "--k", "2", "--num-queries", "2",
+            "--mode", "exact", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profiler:" in out
+        assert "samples" in out
+
+    def test_profile_command_writes_collapsed_stacks(
+        self, ws_dir, tmp_path, capsys
+    ):
+        stacks = str(tmp_path / "stacks.txt")
+        capsys.readouterr()
+        assert main([
+            "workspace", "profile", ws_dir, "--num-queries", "2",
+            "--repeat", "2", "--mode", "exact", "--interval", "0.002",
+            "--output", stacks,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Profiled 4 exact queries" in out
+        assert "profiler:" in out
+        with open(stacks, encoding="utf-8") as handle:
+            for line in handle.read().splitlines():
+                stack, count = line.rsplit(" ", 1)
+                assert int(count) > 0
+
+    def test_profile_on_empty_workspace_reports_error(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty-ws")
+        assert main(["workspace", "init", empty]) == 0
+        capsys.readouterr()
+        assert main(["workspace", "profile", empty]) == 2
+        assert "no series" in capsys.readouterr().err
 
 
 class TestErrorExitCodes:
