@@ -95,7 +95,7 @@ from .exceptions import (
     WorkspaceError,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BandError",

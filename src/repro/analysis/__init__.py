@@ -1,0 +1,77 @@
+"""Zero-dependency static analysis for the repro codebase.
+
+The concurrency and numerics contracts this stack depends on — lock
+discipline around serving snapshots, immutability of structurally
+shared objects, float64 accumulation in distance paths, null-object
+telemetry — live in docstrings until something checks them.  This
+package checks them: a checker registry over stdlib :mod:`ast` /
+:mod:`tokenize` (nothing to install, so it gates CI even where ruff
+cannot), structured findings, inline ``# repro: noqa[ID]``
+suppressions, and a reviewed baseline file for grandfathered findings.
+
+Entry points:
+
+* ``repro lint [paths] [--select/--ignore] [--format text|json]
+  [--baseline FILE]`` — the CLI driver; exits 1 on new findings.
+* :func:`check_paths` / :func:`check_source` — the library API the
+  test suite and CLI share.
+* ``repro lint --doctor-map`` — which statically-checked invariants
+  have a runtime ``workspace doctor`` counterpart.
+
+See ``docs/INVARIANTS.md`` for the checker catalogue.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    Baseline,
+    BaselineResult,
+    apply_baseline,
+    empty_baseline_document,
+    load_baseline,
+    write_baseline,
+)
+from .driver import (
+    EXCLUDED_DIRS,
+    PARSE_ERROR,
+    FileContext,
+    check_file,
+    check_paths,
+    check_source,
+    iter_python_files,
+)
+from .findings import Finding, count_by_checker, render_json, render_text
+from .registry import (
+    CHECKER_SET_VERSION,
+    Checker,
+    all_checkers,
+    doctor_counterparts,
+    get_checker,
+    resolve_selection,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "CHECKER_SET_VERSION",
+    "Checker",
+    "EXCLUDED_DIRS",
+    "FileContext",
+    "Finding",
+    "PARSE_ERROR",
+    "all_checkers",
+    "apply_baseline",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "count_by_checker",
+    "doctor_counterparts",
+    "empty_baseline_document",
+    "get_checker",
+    "iter_python_files",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "resolve_selection",
+    "write_baseline",
+]

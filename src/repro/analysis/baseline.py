@@ -1,0 +1,135 @@
+"""Reviewed-baseline support: grandfather known findings, gate new ones.
+
+The baseline file is a JSON document listing accepted findings by
+``(checker, path, message)`` — deliberately *without* line numbers, so
+edits elsewhere in a file do not resurrect a reviewed entry.  Matching
+is multiset-aware: a baseline entry absorbs at most as many current
+findings as its recorded count, so duplicating a grandfathered
+violation still fails the gate.
+
+Each baseline records the checker-set version it was written under
+(see :data:`repro.analysis.registry.CHECKER_SET_VERSION`); loading a
+baseline from an older checker set reports it as stale so suppressions
+are re-reviewed rather than silently trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import AnalysisError
+from .findings import Finding
+from .registry import CHECKER_SET_VERSION
+
+BASELINE_FORMAT = "repro-analysis-baseline"
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline: accepted finding keys with multiplicities."""
+
+    checker_set: int = CHECKER_SET_VERSION
+    entries: Counter = field(default_factory=Counter)
+
+    @property
+    def stale(self) -> bool:
+        """True when written under a different checker-set version."""
+        return self.checker_set != CHECKER_SET_VERSION
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of applying a baseline to the current findings."""
+
+    new: Tuple[Finding, ...]
+    matched: int
+    unused: Tuple[Tuple[str, str, str], ...]
+    stale: bool
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load and validate a baseline file."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path}: invalid JSON: {exc}") from exc
+    if not isinstance(document, dict) \
+            or document.get("format") != BASELINE_FORMAT:
+        raise AnalysisError(
+            f"baseline {path}: not a {BASELINE_FORMAT!r} document")
+    checker_set = document.get("checker_set")
+    if not isinstance(checker_set, int):
+        raise AnalysisError(f"baseline {path}: missing checker_set version")
+    entries: Counter = Counter()
+    raw_entries = document.get("findings", [])
+    if not isinstance(raw_entries, list):
+        raise AnalysisError(f"baseline {path}: findings must be a list")
+    for raw in raw_entries:
+        try:
+            key = (str(raw["checker"]), str(raw["path"]),
+                   str(raw["message"]))
+        except (TypeError, KeyError) as exc:
+            raise AnalysisError(
+                f"baseline {path}: malformed entry {raw!r}") from exc
+        entries[key] += int(raw.get("count", 1))
+    return Baseline(checker_set=checker_set, entries=entries)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as a reviewed baseline."""
+    counts: Counter = Counter(f.baseline_key() for f in findings)
+    document = {
+        "format": BASELINE_FORMAT,
+        "checker_set": CHECKER_SET_VERSION,
+        "findings": [
+            {"checker": checker, "path": file_path, "message": message,
+             "count": count}
+            for (checker, file_path, message), count
+            in sorted(counts.items())
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Baseline) -> BaselineResult:
+    """Split findings into new vs baselined; report unused entries."""
+    remaining = Counter(baseline.entries)
+    new: List[Finding] = []
+    matched = 0
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    unused = tuple(sorted(
+        key for key, count in remaining.items() if count > 0))
+    return BaselineResult(new=tuple(new), matched=matched,
+                          unused=unused, stale=baseline.stale)
+
+
+def empty_baseline_document() -> Dict[str, object]:
+    """The document an empty (clean-tree) baseline file contains."""
+    return {
+        "format": BASELINE_FORMAT,
+        "checker_set": CHECKER_SET_VERSION,
+        "findings": [],
+    }
+
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "Baseline",
+    "BaselineResult",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "empty_baseline_document",
+]

@@ -1,0 +1,12 @@
+"""Checker implementations.
+
+Importing this package registers every checker with
+:mod:`repro.analysis.registry` (the modules register at import time
+via the :func:`~repro.analysis.registry.checker` decorator).
+"""
+
+from __future__ import annotations
+
+from . import conventions, locking
+
+__all__ = ["conventions", "locking"]

@@ -1,0 +1,432 @@
+"""Lock-discipline race detector (RPR101-RPR103).
+
+These checkers encode the concurrency contract the service layer has
+relied on since PR 4: mutable ``Workspace`` state is written under
+``self._lock`` (or a sibling lock), serving snapshots and prepared
+segments are immutable once published, and a new snapshot is published
+with a single atomic reference assignment.  The analysis is lexical —
+it cannot prove the absence of races — but it catches the mistakes
+that actually happen when new mutation paths are added: a write to a
+lock-guarded attribute outside any ``with self._lock`` block, or an
+in-place mutation of an object that lock-free readers may already
+hold.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..registry import checker
+
+#: Methods allowed to write anything: the object is not yet shared.
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+#: Docstring convention marking a method whose caller acquires the
+#: lock before invoking it (established by ``Workspace._index_add``
+#: and friends in PR 5).
+_CALLER_HOLDS = re.compile(r"caller\s+holds\s+.{0,40}lock", re.IGNORECASE)
+
+#: Classes whose instances are shared structurally across serving
+#: snapshots and read without a lock.  Post-construction writes to
+#: them are races by definition; the per-class allowlist names the
+#: deliberately mutable fields (documented cache / accounting state
+#: whose consistency the owning class guards by other means).
+IMMUTABLE_CLASSES: Dict[str, FrozenSet[str]] = {
+    # Shared prepared-segment payloads (engine): frozen dataclass, but
+    # the freeze only guards attribute *rebinding* at runtime — this
+    # catches object.__setattr__ workarounds and mutable-field writes
+    # before they run.
+    "_PreparedSegment": frozenset(),
+    # Published serving snapshots (service.workspace).
+    "_Snapshot": frozenset(),
+    # Copy-on-write persisted-index holder: ``stale`` is the one
+    # sanctioned in-place flag, flipped under the workspace lock.
+    "_PersistedIndex": frozenset({"stale"}),
+    # Index shards: payload arrays are immutable by contract; the
+    # postings-page cache fields are per-shard mutable state by design.
+    "IndexShard": frozenset({
+        "_postings_cache",
+        "_postings_cache_capacity",
+        "postings_cache_hits",
+        "postings_cache_misses",
+    }),
+}
+
+#: ``self.<attr>`` references that lock-free readers follow: objects
+#: reached through them are published and must not be mutated in
+#: place.
+_PUBLISHED_REFS = frozenset({"_serving", "_previous"})
+
+_LOCK_SCOPE = (("repro", "service"), ("repro", "engine"),
+               ("repro", "indexing"))
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name when *node* is ``self.<attr>``, else ``None``."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _write_targets(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Yield the target expressions a statement writes through."""
+    if isinstance(stmt, ast.Assign):
+        yield from stmt.targets
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        if not (isinstance(stmt, ast.AnnAssign) and stmt.value is None):
+            yield stmt.target
+    elif isinstance(stmt, ast.Delete):
+        yield from stmt.targets
+
+
+def _flatten_target(target: ast.expr) -> Iterator[ast.expr]:
+    """Expand tuple/list unpacking targets into leaf expressions."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_target(element)
+    else:
+        yield target
+
+
+def _written_self_attr(target: ast.expr) -> Optional[Tuple[str, bool]]:
+    """``(attr, is_rebind)`` when *target* writes ``self.<attr>``.
+
+    ``is_rebind`` is True for ``self.x = ...`` (reference swap) and
+    False for ``self.x[i] = ...`` (in-place element write) — both are
+    writes for lock purposes.
+    """
+    attr = _self_attr(target)
+    if attr is not None:
+        return attr, True
+    if isinstance(target, ast.Subscript):
+        attr = _self_attr(target.value)
+        if attr is not None:
+            return attr, False
+    return None
+
+
+def _methods(class_node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for stmt in class_node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _is_instance_method(func: ast.FunctionDef) -> bool:
+    args = func.args.posonlyargs + func.args.args
+    return bool(args) and args[0].arg == "self"
+
+
+def _lock_attrs(class_node: ast.ClassDef) -> Set[str]:
+    """Attribute names holding locks in this class.
+
+    An attribute is a lock when ``__init__`` assigns it from a
+    ``Lock()`` / ``RLock()`` call, or when any method uses it as a
+    ``with self.<attr>`` context and the name mentions "lock".
+    """
+    locks: Set[str] = set()
+    for method in _methods(class_node):
+        if method.name in _CONSTRUCTORS:
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, ast.Assign) \
+                        or not isinstance(stmt.value, ast.Call):
+                    continue
+                func = stmt.value.func
+                name = func.attr if isinstance(func, ast.Attribute) \
+                    else getattr(func, "id", None)
+                if name not in ("Lock", "RLock"):
+                    continue
+                for target in stmt.targets:
+                    for leaf in _flatten_target(target):
+                        attr = _self_attr(leaf)
+                        if attr is not None:
+                            locks.add(attr)
+        for stmt in ast.walk(method):
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and "lock" in attr.lower():
+                        locks.add(attr)
+    return locks
+
+
+@dataclass(frozen=True)
+class _Write:
+    attr: str
+    node: ast.expr
+    held: FrozenSet[str]
+    method: str
+    in_constructor: bool
+    caller_holds: bool
+
+
+def _child_blocks(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+    """Statement blocks nested directly inside *stmt* (if/for/try/...)."""
+    for field in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, field, None)
+        if isinstance(block, list) and block \
+                and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(stmt, "handlers", None) or ():
+        yield handler.body
+    for case in getattr(stmt, "cases", None) or ():
+        yield case.body
+
+
+def _scan_method(method: ast.FunctionDef,
+                 lock_names: Set[str]) -> List[_Write]:
+    """Collect ``self.<attr>`` writes with the lexically-held locks."""
+    caller_holds = bool(_CALLER_HOLDS.search(ast.get_docstring(method)
+                                             or ""))
+    in_constructor = method.name in _CONSTRUCTORS
+    writes: List[_Write] = []
+
+    def visit(stmts: List[ast.stmt], held: FrozenSet[str]) -> None:
+        for stmt in stmts:
+            for target in _write_targets(stmt):
+                for leaf in _flatten_target(target):
+                    written = _written_self_attr(leaf)
+                    if written is None:
+                        continue
+                    writes.append(_Write(
+                        attr=written[0], node=leaf, held=held,
+                        method=method.name,
+                        in_constructor=in_constructor,
+                        caller_holds=caller_holds))
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = {
+                    attr for item in stmt.items
+                    for attr in [_self_attr(item.context_expr)]
+                    if attr is not None and attr in lock_names}
+                visit(stmt.body, held | frozenset(acquired))
+            elif isinstance(stmt, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scope: lock context is not lexical
+            else:
+                for block in _child_blocks(stmt):
+                    visit(block, held)
+    visit(method.body, frozenset())
+    return writes
+
+
+@checker(
+    "RPR101",
+    "unguarded-write",
+    "Writes to lock-guarded attributes must hold the guarding lock.",
+    rationale=(
+        "Workspace serves lock-free readers from published snapshots; "
+        "every mutable attribute that is ever written under "
+        "``with self._lock`` is part of the writer-side critical "
+        "state.  A write to the same attribute outside the lock races "
+        "with concurrent mutators and with snapshot derivation."),
+    example="self._serving = snapshot  # outside 'with self._lock'",
+    scope=_LOCK_SCOPE,
+    doctor_check="serving_snapshot",
+)
+def check_unguarded_writes(context) -> List[Finding]:
+    findings: List[Finding] = []
+    for class_node in ast.walk(context.tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        lock_names = _lock_attrs(class_node)
+        if not lock_names:
+            continue
+        writes: List[_Write] = []
+        for method in _methods(class_node):
+            if not _is_instance_method(method):
+                continue
+            writes.extend(_scan_method(method, lock_names))
+        guarded: Dict[str, Set[str]] = {}
+        for write in writes:
+            if write.held:
+                guarded.setdefault(write.attr, set()).update(write.held)
+        for write in writes:
+            if write.attr not in guarded or write.in_constructor \
+                    or write.caller_holds:
+                continue
+            if write.held & guarded[write.attr]:
+                continue
+            locks = ", ".join(sorted(guarded[write.attr]))
+            findings.append(Finding(
+                path=context.path, line=write.node.lineno,
+                col=write.node.col_offset + 1, checker="RPR101",
+                message=(
+                    f"write to '{class_node.name}.{write.attr}' in "
+                    f"'{write.method}' without holding '{locks}' — "
+                    f"the attribute is lock-guarded elsewhere in the "
+                    f"class; wrap the write in 'with self.{locks}' or "
+                    f"document \"caller holds the lock\" in the "
+                    f"docstring"),
+            ))
+    return findings
+
+
+def _constructed_class(value: ast.expr) -> Optional[str]:
+    """Class name when *value* calls a declared-immutable class."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    return name if name in IMMUTABLE_CLASSES else None
+
+
+def _function_scopes(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@checker(
+    "RPR102",
+    "immutable-violation",
+    "Declared-immutable classes must not be written after __init__.",
+    rationale=(
+        "Prepared segments, serving snapshots and index shards are "
+        "shared structurally between snapshot generations and read "
+        "by concurrent queries without a lock.  Mutating one in place "
+        "changes history under a reader's feet; the contract is to "
+        "build a replacement instance instead."),
+    example="segment.matrix = new_matrix  # _PreparedSegment is shared",
+    scope=_LOCK_SCOPE,
+    doctor_check="serving_snapshot",
+)
+def check_immutable_violations(context) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(node: ast.expr, class_name: str, attr: str) -> None:
+        findings.append(Finding(
+            path=context.path, line=node.lineno,
+            col=node.col_offset + 1, checker="RPR102",
+            message=(
+                f"post-__init__ write to declared-immutable "
+                f"'{class_name}.{attr}' — instances are shared across "
+                f"serving snapshots; build a new instance instead of "
+                f"mutating"),
+        ))
+
+    # Rule 1: writes to ``self.<attr>`` inside the class itself.
+    for class_node in ast.walk(context.tree):
+        if not isinstance(class_node, ast.ClassDef) \
+                or class_node.name not in IMMUTABLE_CLASSES:
+            continue
+        allowed = IMMUTABLE_CLASSES[class_node.name]
+        for method in _methods(class_node):
+            if method.name in _CONSTRUCTORS \
+                    or not _is_instance_method(method):
+                continue
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, ast.stmt):
+                    continue
+                for target in _write_targets(stmt):
+                    for leaf in _flatten_target(target):
+                        written = _written_self_attr(leaf)
+                        if written and written[0] not in allowed:
+                            flag(leaf, class_node.name, written[0])
+
+    # Rule 2: local-variable inference — ``seg = _PreparedSegment(...)``
+    # followed by ``seg.attr = ...`` anywhere in the same function.
+    for func in _function_scopes(context.tree):
+        owner: Dict[str, str] = {}
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Assign) \
+                    and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                class_name = _constructed_class(stmt.value)
+                if class_name is not None:
+                    owner[stmt.targets[0].id] = class_name
+        if not owner:
+            continue
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.stmt):
+                continue
+            for target in _write_targets(stmt):
+                for leaf in _flatten_target(target):
+                    if isinstance(leaf, ast.Attribute) \
+                            and isinstance(leaf.value, ast.Name) \
+                            and leaf.value.id in owner:
+                        class_name = owner[leaf.value.id]
+                        if leaf.attr not in IMMUTABLE_CLASSES[class_name]:
+                            flag(leaf, class_name, leaf.attr)
+    return findings
+
+
+@checker(
+    "RPR103",
+    "snapshot-mutation",
+    "Published serving snapshots are swapped atomically, never edited.",
+    rationale=(
+        "Readers pick up ``self._serving`` without a lock; the only "
+        "legal publish is a single reference assignment of a fully "
+        "assembled snapshot.  Field-by-field writes through "
+        "``self._serving`` / ``self._previous`` (multi-statement "
+        "publish) expose half-updated state to concurrent queries."),
+    example="self._serving.engine = new_engine  # in-place publish",
+    scope=(("repro", "service"),),
+    doctor_check="serving_snapshot",
+)
+def check_snapshot_mutation(context) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(node: ast.expr, ref: str, attr: str) -> None:
+        findings.append(Finding(
+            path=context.path, line=node.lineno,
+            col=node.col_offset + 1, checker="RPR103",
+            message=(
+                f"in-place write to published snapshot "
+                f"'self.{ref}.{attr}' — assemble a new snapshot and "
+                f"publish it with one atomic assignment"),
+        ))
+
+    def published_ref(expr: ast.expr) -> Optional[str]:
+        attr = _self_attr(expr)
+        if attr in _PUBLISHED_REFS:
+            return attr
+        return None
+
+    for func in _function_scopes(context.tree):
+        aliases: Dict[str, str] = {}
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Assign) \
+                    and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                ref = published_ref(stmt.value)
+                name = stmt.targets[0].id
+                if ref is not None:
+                    aliases[name] = ref
+                else:
+                    aliases.pop(name, None)
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.stmt):
+                continue
+            for target in _write_targets(stmt):
+                for leaf in _flatten_target(target):
+                    base = leaf
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if not isinstance(base, ast.Attribute):
+                        continue
+                    ref = published_ref(base.value)
+                    if ref is not None:
+                        flag(leaf, ref, base.attr)
+                        continue
+                    if isinstance(base.value, ast.Name) \
+                            and base.value.id in aliases:
+                        flag(leaf, aliases[base.value.id], base.attr)
+    return findings
+
+
+__all__ = [
+    "IMMUTABLE_CLASSES",
+    "check_unguarded_writes",
+    "check_immutable_violations",
+    "check_snapshot_mutation",
+]

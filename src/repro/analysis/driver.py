@@ -1,0 +1,143 @@
+"""Per-file and per-tree analysis drivers.
+
+:func:`check_source` runs every applicable checker over one parsed
+module and applies inline suppressions; :func:`check_paths` walks
+files and directories, normalises paths, and aggregates sorted
+findings.  Unparsable files yield a single ``RPR000`` parse-error
+finding rather than crashing the run — a gate that dies on bad input
+protects nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from ..exceptions import AnalysisError
+from .findings import Finding
+from .registry import resolve_selection
+from .suppressions import filter_findings, suppressed_lines
+
+#: Checker ID reserved for files the compiler itself rejects.
+PARSE_ERROR = "RPR000"
+
+#: Directory names never descended into.  ``analysis_fixtures`` holds
+#: the deliberately-violating test corpus: it must stay reachable when
+#: named explicitly (the fixture tests do) but invisible to tree walks
+#: so ``repro lint tests`` gates on real code only.
+EXCLUDED_DIRS = frozenset({
+    "__pycache__", ".git", ".hg", ".mypy_cache", ".pytest_cache",
+    ".ruff_cache", ".venv", "venv", "build", "dist", ".eggs",
+    "analysis_fixtures",
+})
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a checker callable receives for one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+def _normalise(path: Path) -> str:
+    return path.as_posix()
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under *paths* in sorted order.
+
+    Files are yielded as given; directories are walked recursively,
+    skipping :data:`EXCLUDED_DIRS`.  Missing paths raise
+    :class:`AnalysisError` — a lint gate pointed at a typo must fail,
+    not silently check nothing.
+    """
+    for path in paths:
+        if not path.exists():
+            raise AnalysisError(f"no such file or directory: {path}")
+        if path.is_file():
+            yield path
+            continue
+        stack = [path]
+        collected: List[Path] = []
+        while stack:
+            current = stack.pop()
+            for child in sorted(current.iterdir(), reverse=True):
+                if child.is_dir():
+                    if child.name not in EXCLUDED_DIRS:
+                        stack.append(child)
+                elif child.suffix == ".py":
+                    collected.append(child)
+        for collected_path in sorted(collected):
+            yield collected_path
+
+
+def check_source(source: str, path: str, *,
+                 select: Optional[Sequence[str]] = None,
+                 ignore: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the (selected) checkers over one module's source text."""
+    checkers = resolve_selection(select, ignore)
+    path = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        message = getattr(exc, "msg", None) or str(exc)
+        line = getattr(exc, "lineno", None) or 1
+        col = getattr(exc, "offset", None) or 1
+        if ignore and any(PARSE_ERROR.startswith(s) for s in ignore):
+            return []
+        return [Finding(path=path, line=line, col=col,
+                        checker=PARSE_ERROR,
+                        message=f"file does not parse: {message}")]
+    context = FileContext(path=path, source=source, tree=tree)
+    findings: List[Finding] = []
+    for entry in checkers:
+        if entry.id == PARSE_ERROR:
+            continue
+        if not entry.applies_to(path):
+            continue
+        findings.extend(entry.run(context))
+    return filter_findings(sorted(findings), suppressed_lines(source))
+
+
+def check_file(path: Path, *,
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Check one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        return [Finding(path=_normalise(path), line=1, col=1,
+                        checker=PARSE_ERROR,
+                        message=f"file is not valid UTF-8: {exc.reason}")]
+    return check_source(source, _normalise(path),
+                        select=select, ignore=ignore)
+
+
+def check_paths(paths: Sequence[str], *,
+                select: Optional[Sequence[str]] = None,
+                ignore: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Check every Python file under *paths*; findings sorted."""
+    resolve_selection(select, ignore)  # fail fast on bad selectors
+    findings: List[Finding] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        findings.extend(check_file(file_path, select=select, ignore=ignore))
+    return sorted(findings)
+
+
+__all__ = [
+    "PARSE_ERROR",
+    "EXCLUDED_DIRS",
+    "FileContext",
+    "iter_python_files",
+    "check_source",
+    "check_file",
+    "check_paths",
+]

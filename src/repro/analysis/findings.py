@@ -1,0 +1,79 @@
+"""Structured findings emitted by the static-analysis checkers.
+
+A :class:`Finding` is one concrete violation: the checker that fired,
+where (path / line / column), and a human-readable message.  Findings
+sort by location so reports are stable regardless of checker order, and
+serialise to plain dicts for the ``--format json`` CLI output and the
+baseline file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-analysis violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    checker: str
+    message: str
+
+    def render(self) -> str:
+        """One-line ``path:line:col: ID message`` report form."""
+        return f"{self.path}:{self.line}:{self.col}: " \
+               f"{self.checker} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> tuple:
+        """Line-insensitive identity used for baseline matching.
+
+        Line and column are deliberately excluded so unrelated edits
+        above a baselined finding do not resurrect it.
+        """
+        return (self.checker, self.path, self.message)
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Sorted plain-text report, one finding per line."""
+    return "\n".join(f.render() for f in sorted(findings))
+
+
+def render_json(findings: Iterable[Finding], *,
+                checker_set: int, extra: Dict[str, object] = None) -> Dict:
+    """JSON-safe report document (the CLI dumps this with ``json``)."""
+    document: Dict[str, object] = {
+        "format": "repro-analysis-report",
+        "checker_set": checker_set,
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    if extra:
+        document.update(extra)
+    return document
+
+
+def count_by_checker(findings: Iterable[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.checker] = counts.get(finding.checker, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+__all__: List[str] = [
+    "Finding",
+    "render_text",
+    "render_json",
+    "count_by_checker",
+]

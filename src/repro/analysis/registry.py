@@ -1,0 +1,150 @@
+"""Checker registry: declarative metadata plus the run callable.
+
+Checkers self-register at import time via the :func:`checker`
+decorator.  Each carries the metadata the rest of the suite needs —
+the stable ID used in suppressions/baselines, a one-line contract, the
+rationale behind the invariant, an example violation (both feed
+``docs/INVARIANTS.md`` and ``repro lint --doctor-map``), an optional
+path scope, and the name of the runtime ``workspace doctor`` check
+that guards the same invariant dynamically (when one exists).
+
+Path scoping: a checker with ``scope=(("repro", "service"),)`` only
+runs on files whose path contains the consecutive segments
+``repro/service``.  Matching on segment *subsequences* (rather than
+absolute prefixes) lets the test fixture corpus mirror the scoped
+layout under ``tests/analysis_fixtures/repro/service/...`` and hit the
+same checkers the real tree does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import AnalysisError
+
+#: Bump whenever a checker's semantics change enough that baseline
+#: entries recorded under the previous behaviour may no longer match
+#: (renamed IDs, reworded messages, new default scope).  ``repro
+#: version`` reports it and baseline files record it, so a stale
+#: baseline is detected instead of silently masking new findings.
+CHECKER_SET_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Checker:
+    """One registered static check."""
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+    example: str
+    run: Callable
+    scope: Tuple[Tuple[str, ...], ...] = ()
+    doctor_check: Optional[str] = None
+
+    def applies_to(self, path: str) -> bool:
+        """True when *path* falls inside this checker's scope."""
+        if not self.scope:
+            return True
+        segments = tuple(path.replace("\\", "/").split("/"))
+        for needle in self.scope:
+            for start in range(len(segments) - len(needle) + 1):
+                if segments[start:start + len(needle)] == needle:
+                    return True
+        return False
+
+
+_REGISTRY: Dict[str, Checker] = {}
+
+
+def checker(id: str, name: str, summary: str, *, rationale: str,
+            example: str, scope: Sequence[Sequence[str]] = (),
+            doctor_check: Optional[str] = None) -> Callable:
+    """Decorator registering *func* as the run callable of a checker."""
+
+    def wrap(func: Callable) -> Callable:
+        if id in _REGISTRY:
+            raise AnalysisError(f"duplicate checker id {id!r}")
+        _REGISTRY[id] = Checker(
+            id=id,
+            name=name,
+            summary=summary,
+            rationale=rationale,
+            example=example,
+            run=func,
+            scope=tuple(tuple(part) for part in scope),
+            doctor_check=doctor_check,
+        )
+        return func
+
+    return wrap
+
+
+def _ensure_loaded() -> None:
+    from . import checkers  # noqa-free: registration side effect
+
+    del checkers
+
+
+def all_checkers() -> List[Checker]:
+    """Every registered checker, sorted by ID."""
+    _ensure_loaded()
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def get_checker(checker_id: str) -> Checker:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[checker_id]
+    except KeyError:
+        raise AnalysisError(f"unknown checker id {checker_id!r}") from None
+
+
+def resolve_selection(select: Optional[Sequence[str]],
+                      ignore: Optional[Sequence[str]]) -> List[Checker]:
+    """Apply ``--select`` / ``--ignore`` prefix selectors.
+
+    A selector matches a checker when it equals the ID or is a prefix
+    of it (``RPR1`` selects the whole lock-discipline family).  Unknown
+    selectors raise :class:`AnalysisError` so typos fail loudly instead
+    of silently disabling a gate.
+    """
+    checkers = all_checkers()
+
+    def matches(selector: str, target: Checker) -> bool:
+        return target.id == selector or target.id.startswith(selector)
+
+    for selector in list(select or ()) + list(ignore or ()):
+        if not any(matches(selector, c) for c in checkers):
+            raise AnalysisError(
+                f"selector {selector!r} matches no registered checker")
+    if select:
+        checkers = [c for c in checkers
+                    if any(matches(s, c) for s in select)]
+    if ignore:
+        checkers = [c for c in checkers
+                    if not any(matches(s, c) for s in ignore)]
+    return checkers
+
+
+def doctor_counterparts() -> Dict[str, Tuple[str, ...]]:
+    """Map runtime doctor check name -> static checker IDs guarding
+    the same invariant (the ``--doctor-map`` / doctor cross-link)."""
+    mapping: Dict[str, List[str]] = {}
+    for entry in all_checkers():
+        if entry.doctor_check is not None:
+            mapping.setdefault(entry.doctor_check, []).append(entry.id)
+    return {name: tuple(ids) for name, ids in sorted(mapping.items())}
+
+
+__all__ = [
+    "CHECKER_SET_VERSION",
+    "Checker",
+    "checker",
+    "all_checkers",
+    "get_checker",
+    "resolve_selection",
+    "doctor_counterparts",
+]

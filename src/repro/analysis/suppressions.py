@@ -1,0 +1,76 @@
+"""Inline suppression comments: ``# repro: noqa[ID1,ID2]``.
+
+A finding is suppressed when the physical line it reports carries a
+``# repro: noqa`` comment naming its checker ID (or a bare ``# repro:
+noqa`` suppressing every checker on that line).  The project prefix
+keeps these distinct from tool-generic ``# noqa`` comments, so adding
+this linter never changes what ruff/flake8 would do and vice versa.
+
+Comments are found with :mod:`tokenize` (not regex over raw lines) so
+``#`` characters inside string literals can never be misread as
+suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterable, List
+
+from .findings import Finding
+
+#: Marker meaning "every checker" (a bare ``# repro: noqa``).
+ALL = "ALL"
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Z0-9_,\s]+)\])?",
+    re.IGNORECASE,
+)
+
+
+def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed checker IDs for *source*.
+
+    Tokenisation errors are swallowed: a file that cannot be tokenised
+    cannot be parsed either, so the driver reports it as a parse-error
+    finding and suppression extraction is moot.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA.search(token.string)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            selected = frozenset({ALL})
+        else:
+            selected = frozenset(
+                part.strip().upper()
+                for part in ids.split(",") if part.strip())
+        line = token.start[0]
+        suppressions[line] = suppressions.get(line, frozenset()) | selected
+    return suppressions
+
+
+def filter_findings(findings: Iterable[Finding],
+                    suppressions: Dict[int, FrozenSet[str]],
+                    ) -> List[Finding]:
+    """Drop findings whose reported line suppresses their checker."""
+    kept: List[Finding] = []
+    for finding in findings:
+        ids = suppressions.get(finding.line)
+        if ids is not None and (ALL in ids or finding.checker in ids):
+            continue
+        kept.append(finding)
+    return kept
+
+
+__all__ = ["ALL", "suppressed_lines", "filter_findings"]

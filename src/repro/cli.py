@@ -54,6 +54,7 @@ from .exceptions import ExperimentError, ReproError
 def _version_string() -> str:
     """Package version plus every on-disk format version a release pins."""
     from . import __version__
+    from .analysis import CHECKER_SET_VERSION as checker_set
     from .indexing.store import FORMAT_VERSION as index_format
     from .retrieval.feature_store import STORE_FORMAT_VERSION as store_format
     from .service.workspace import FORMAT_VERSION as workspace_format
@@ -62,7 +63,8 @@ def _version_string() -> str:
         f"repro-sdtw {__version__} "
         f"(workspace format v{workspace_format}, "
         f"index format v{index_format}, "
-        f"feature-store format v{store_format})"
+        f"feature-store format v{store_format}, "
+        f"analysis checker set v{checker_set})"
     )
 
 
@@ -331,6 +333,35 @@ def _build_parser() -> argparse.ArgumentParser:
     ws_flight.add_argument("--output", metavar="PATH", default=None,
                            help="write the record to this file instead of "
                                 "stdout")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the zero-dependency static-analysis checkers "
+             "(lock discipline, telemetry/null-object, float64 "
+             "accumulation, pyflakes-subset hygiene)")
+    lint.add_argument("paths", nargs="*", default=["."],
+                      help="files or directories to check (default: .)")
+    lint.add_argument("--select", action="append", default=None,
+                      metavar="IDS",
+                      help="comma-separated checker IDs or prefixes to "
+                           "run (repeatable; e.g. RPR1 for the lock "
+                           "family)")
+    lint.add_argument("--ignore", action="append", default=None,
+                      metavar="IDS",
+                      help="comma-separated checker IDs or prefixes to "
+                           "skip (repeatable)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text", dest="output_format",
+                      help="report format (default: text)")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="reviewed baseline file; matching findings "
+                           "do not gate")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write the current findings to --baseline "
+                           "and exit 0")
+    lint.add_argument("--doctor-map", action="store_true",
+                      help="print which checkers have a runtime "
+                           "'workspace doctor' counterpart and exit")
 
     subparsers.add_parser("datasets", help="list the registered data sets")
     subparsers.add_parser(
@@ -902,6 +933,12 @@ def _run_workspace_doctor(args: argparse.Namespace) -> int:
         print(f"{counts['OK']} ok, {counts['WARN']} warnings, "
               f"{counts['FAIL']} failures -> "
               f"{'healthy' if report.healthy else 'UNHEALTHY'}")
+        statics = report.static_checkers()
+        if statics:
+            pairs = "; ".join(f"{name}: {', '.join(ids)}"
+                              for name, ids in statics.items())
+            print(f"statically checked by 'repro lint' "
+                  f"(docs/INVARIANTS.md): {pairs}")
     return 0 if report.healthy else 1
 
 
@@ -1006,6 +1043,100 @@ def _run_datasets() -> int:
     return 0
 
 
+def _split_selectors(values: Optional[Sequence[str]]) -> Optional[list]:
+    if values is None:
+        return None
+    selectors = [part.strip().upper()
+                 for value in values
+                 for part in value.split(",") if part.strip()]
+    return selectors or None
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .analysis import (
+        CHECKER_SET_VERSION,
+        all_checkers,
+        apply_baseline,
+        check_paths,
+        count_by_checker,
+        doctor_counterparts,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+    from .exceptions import AnalysisError
+
+    if args.doctor_map:
+        counterparts = doctor_counterparts()
+        print("checker  invariant                     "
+              "runtime doctor check")
+        for entry in all_checkers():
+            runtime = entry.doctor_check or "-"
+            print(f"{entry.id}   {entry.name:<29} {runtime}")
+        print()
+        print("doctor checks with static counterparts:")
+        for name, ids in counterparts.items():
+            print(f"  {name}: {', '.join(ids)}")
+        return 0
+
+    select = _split_selectors(args.select)
+    ignore = _split_selectors(args.ignore)
+    findings = check_paths(args.paths, select=select, ignore=ignore)
+
+    if args.write_baseline:
+        if args.baseline is None:
+            raise AnalysisError("--write-baseline requires --baseline PATH")
+        write_baseline(Path(args.baseline), findings)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    matched = 0
+    stale = False
+    unused = ()
+    if args.baseline is not None:
+        result = apply_baseline(findings,
+                                load_baseline(Path(args.baseline)))
+        findings = list(result.new)
+        matched = result.matched
+        stale = result.stale
+        unused = result.unused
+
+    if args.output_format == "json":
+        extra = {
+            "new": len(findings),
+            "baselined": matched,
+            "stale_baseline": stale,
+            "unused_baseline_entries": [list(key) for key in unused],
+        }
+        print(json.dumps(render_json(findings,
+                                     checker_set=CHECKER_SET_VERSION,
+                                     extra=extra), indent=2))
+    else:
+        if findings:
+            print(render_text(findings))
+            counts = count_by_checker(findings)
+            summary = ", ".join(f"{checker_id}: {count}"
+                                for checker_id, count in counts.items())
+            print(f"{len(findings)} finding(s) ({summary})")
+        else:
+            print("clean: no findings")
+        if matched:
+            print(f"{matched} finding(s) matched the baseline")
+        for key in unused:
+            print(f"warning: unused baseline entry: {key[0]} {key[1]}: "
+                  f"{key[2]}")
+        if stale:
+            print("warning: baseline was written under a different "
+                  "checker-set version "
+                  f"(current: v{CHECKER_SET_VERSION}); re-review it "
+                  "with --write-baseline")
+    return 1 if findings else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -1028,6 +1159,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_workspace(args)
         if args.command == "datasets":
             return _run_datasets()
+        if args.command == "lint":
+            return _run_lint(args)
         if args.command == "version":
             print(_version_string())
             return 0

@@ -19,7 +19,6 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .config import MatchingConfig
-from .descriptors import descriptor_distance
 from .features import SalientFeature
 
 

@@ -36,6 +36,11 @@ class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown or invalid target."""
 
 
+class AnalysisError(ReproError):
+    """A static-analysis run could not complete (bad baseline file,
+    unknown checker selector, unreadable input path)."""
+
+
 class WorkspaceError(ReproError):
     """A :class:`repro.service.Workspace` operation failed (bad layout,
     missing manifest, stale index, or use after close).

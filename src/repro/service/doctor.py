@@ -83,12 +83,32 @@ class DoctorReport:
         """Table rows for the CLI report."""
         return [[check.name, check.status, check.detail] for check in self.checks]
 
+    def static_checkers(self) -> Dict[str, List[str]]:
+        """Map check name -> ``repro lint`` checker IDs that guard the
+        same invariant statically (see docs/INVARIANTS.md); only
+        checks present in this report are listed."""
+        present = {check.name for check in self.checks}
+        return {
+            name: list(ids)
+            for name, ids in _static_counterparts().items()
+            if name in present
+        }
+
     def to_dict(self) -> dict:
         return {
             "healthy": self.healthy,
             "counts": self.counts,
             "checks": [check.to_dict() for check in self.checks],
+            "static_checkers": self.static_checkers(),
         }
+
+
+def _static_counterparts() -> Dict[str, tuple]:
+    """Doctor check name -> static checker IDs (from the analysis
+    registry, the single source of truth for the mapping)."""
+    from ..analysis import doctor_counterparts
+
+    return doctor_counterparts()
 
 
 def _run_check(

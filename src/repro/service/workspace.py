@@ -66,7 +66,7 @@ from .._validation import as_series, check_int_at_least
 from ..core.sdtw import SDTW, SDTWResult
 from ..datasets.base import Dataset
 from ..engine import BatchKNNResult, DistanceEngine
-from ..engine.engine import EngineHit, QueryResult
+from ..engine.engine import EngineHit
 from ..engine.stats import EngineStats
 from ..exceptions import DatasetError, ValidationError, WorkspaceError
 from ..indexing import (

@@ -179,7 +179,7 @@ class EventLog:
         if level not in LEVELS:
             level = "info"
         event = Event(
-            timestamp=time.time(),
+            timestamp=time.time(),  # repro: noqa[RPR201] event wall time
             component=str(component),
             name=str(name),
             level=level,

@@ -1,0 +1,4 @@
+"""RPR000: this file deliberately does not parse."""
+
+def broken(:
+    return

@@ -1,0 +1,30 @@
+"""True negatives: idiomatic code the convention checkers must pass."""
+
+import sys
+import time
+from json import dumps as dumps  # explicit re-export convention
+
+__all__ = ["measure", "collect", "label", "exported_name"]
+
+exported_name = "kept alive via __all__"
+
+
+def measure():
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def collect(items=None):
+    if items is None:
+        items = []
+    return items
+
+
+def label(n):
+    parts = f"n={n}" f" of {n}"
+    return parts
+
+
+def tallies(values):
+    total = sum(values)
+    return total + sys.maxsize

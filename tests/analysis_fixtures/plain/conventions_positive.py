@@ -1,0 +1,31 @@
+"""True positives for the convention checkers that run everywhere."""
+
+import os  # expect[RPR207]
+import time
+from time import time as wall
+
+
+def measure():
+    return time.time()  # expect[RPR201]
+
+
+def measure_alias():
+    return wall()  # expect[RPR201]
+
+
+def collect(items=[]):  # expect[RPR205]
+    return items
+
+
+def cache(table=dict()):  # expect[RPR205]
+    return table
+
+
+def label():
+    text = f"static label"  # expect[RPR206]
+    return text
+
+
+def leftover(values):
+    total = sum(values)  # expect[RPR208]
+    return len(values)

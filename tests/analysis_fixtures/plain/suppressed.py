@@ -1,0 +1,10 @@
+"""Inline suppressions: these violations are acknowledged and silent."""
+
+import time
+
+WALL_CLOCK = time.time()  # repro: noqa[RPR201]
+ALSO_QUIET = time.time()  # repro: noqa
+
+
+def loud():
+    return time.time()  # expect[RPR201]

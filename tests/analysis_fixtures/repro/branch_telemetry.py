@@ -1,0 +1,30 @@
+"""RPR204: truthiness branches on telemetry objects vs the sanctioned
+construction-time and '.enabled' forms."""
+
+NULL_REGISTRY = object()
+
+
+class Instrumented:
+    def __init__(self, telemetry):
+        # Construction-time None-comparison: sanctioned.
+        self._metrics = telemetry if telemetry is not None else NULL_REGISTRY
+
+    def record(self, value):
+        if self._metrics:  # expect[RPR204]
+            self._metrics.observe(value)
+
+    def record_branchless(self, value):
+        self._metrics.observe(value)
+
+    def trace_decision(self):
+        if self._metrics.enabled:
+            return "tracing"
+        return "idle"
+
+
+def build(telemetry):
+    if telemetry:  # expect[RPR204]
+        return Instrumented(telemetry)
+    if not telemetry:  # expect[RPR204]
+        return Instrumented(None)
+    return Instrumented(telemetry if telemetry is not None else None)

@@ -1,0 +1,15 @@
+"""RPR202 in the compute core: any float32 is a violation."""
+
+import numpy as np
+
+
+def accumulate(costs):
+    totals = np.zeros(len(costs), dtype=np.float32)  # expect[RPR202]
+    rounded = costs.astype(np.float32)  # expect[RPR202]
+    banded = np.full(4, np.inf, dtype="float32")  # expect[RPR202]
+    return totals + rounded + banded
+
+
+def accumulate_correctly(costs):
+    totals = np.zeros(len(costs), dtype=np.float64)
+    return totals + costs.astype(np.float64)

@@ -1,0 +1,43 @@
+"""True negatives for RPR102: constructor writes and the sanctioned
+mutable cache fields of :class:`IndexShard` / ``_PersistedIndex``."""
+
+
+class _PreparedSegment:
+    def __init__(self, matrix, tight_upper):
+        self.matrix = matrix
+        self.tight_upper = tight_upper
+
+
+class IndexShard:
+    def __init__(self):
+        self._postings_cache = None
+        self._postings_cache_capacity = 0
+        self.postings_cache_hits = 0
+        self.postings_cache_misses = 0
+
+    def enable_postings_cache(self, capacity):
+        self._postings_cache = {}
+        self._postings_cache_capacity = int(capacity)
+
+    def record(self, hit):
+        if hit:
+            self.postings_cache_hits += 1
+        else:
+            self.postings_cache_misses += 1
+
+
+def mark_stale(index_factory):
+    index = _PersistedIndex(index_factory)
+    index.stale = True
+    return index
+
+
+class _PersistedIndex:
+    def __init__(self, index):
+        self.index = index
+        self.stale = False
+
+
+def build_segment(matrix, envelopes):
+    segment = _PreparedSegment(matrix, envelopes)
+    return segment

@@ -1,0 +1,21 @@
+"""True positives for RPR102: post-__init__ writes to shared objects."""
+
+
+class _PreparedSegment:
+    def __init__(self, matrix):
+        self.matrix = matrix
+
+    def update(self, matrix):
+        self.matrix = matrix  # expect[RPR102]
+
+
+def patch_segment(matrix):
+    segment = _PreparedSegment(matrix)
+    segment.tight_upper = matrix  # expect[RPR102]
+    return segment
+
+
+def grow_shard(payload, postings):
+    shard = IndexShard(payload)
+    shard.weights = postings  # expect[RPR102]
+    return shard

@@ -1,0 +1,18 @@
+"""RPR202 in the storage layer: casts are sanctioned, accumulators
+are not."""
+
+import numpy as np
+
+
+def save_weights(weights):
+    return np.asarray(weights, dtype=np.float32)
+
+
+def pack(weights):
+    return weights.astype(np.float32)
+
+
+def score(weights):
+    scores = np.zeros(len(weights), dtype=np.float32)  # expect[RPR202]
+    total = weights.sum(dtype=np.float32)  # expect[RPR202]
+    return scores, total

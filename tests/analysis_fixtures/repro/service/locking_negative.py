@@ -1,0 +1,41 @@
+"""True negatives: disciplined locking must produce zero findings."""
+
+import threading
+
+
+class GuardedWorkspace:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._serving = None
+        self._generation = 0
+        self._closed = False
+
+    def publish(self, snapshot):
+        with self._lock:
+            self._generation += 1
+            self._serving = snapshot
+
+    def _swap(self, snapshot):
+        """Install the snapshot (caller holds the lock)."""
+        self._serving = snapshot
+
+    def replace(self, snapshot):
+        with self._lock:
+            self._swap(snapshot)
+
+    def close(self):
+        if self._closed:
+            raise self._error("workspace is closed")
+        with self._lock:
+            self._closed = True
+
+    def read(self):
+        snapshot = self._serving
+        return snapshot
+
+    def _error(self, message):
+        return RuntimeError(message)
+
+    @classmethod
+    def open(cls, path):
+        raise WorkspaceError(f"no workspace at {path}")

@@ -1,0 +1,35 @@
+"""True positives for the service-layer lock-discipline checkers.
+
+Annotation comments mark the line each finding must anchor to; the
+harness in ``tests/test_analysis.py`` asserts the exact set.
+"""
+
+import threading
+
+
+class RacyWorkspace:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._serving = None
+        self._generation = 0
+
+    def publish(self, snapshot):
+        with self._lock:
+            self._generation += 1
+            self._serving = snapshot
+
+    def sneaky_publish(self, snapshot):
+        self._serving = snapshot  # expect[RPR101]
+
+    def bump(self):
+        self._generation += 1  # expect[RPR101]
+
+    def edit_published(self, engine):
+        self._serving.engine = engine  # expect[RPR103]
+
+    def edit_alias(self, engine):
+        snapshot = self._serving
+        snapshot.engine = engine  # expect[RPR103]
+
+    def fail(self):
+        raise WorkspaceError("boom")  # expect[RPR203]

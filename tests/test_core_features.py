@@ -75,7 +75,6 @@ class TestExtraction:
         noisy = structured_series + rng.normal(0, 0.01, structured_series.size)
         clean_features = extract_salient_features(structured_series)
         noisy_features = extract_salient_features(noisy)
-        clean_positions = np.array([f.position for f in clean_features])
         noisy_positions = np.array([f.position for f in noisy_features])
         # Every clean large-scope feature should have a nearby counterpart
         # in the noisy extraction (robustness claim of Section 3.1.2).

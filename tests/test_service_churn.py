@@ -309,7 +309,6 @@ class TestSnapshotIsolation:
         ts0 = dataset.series[0]
         workspace.add(ts0.values, identifier=ts0.identifier, label=ts0.label)
         workspace.query(ts0.values, 1, mode="exact")
-        rng = np.random.default_rng(7)
         for step, ts in enumerate(dataset.series[1:], start=1):
             workspace.add(ts.values, identifier=ts.identifier, label=ts.label)
             workspace.query(ts0.values, min(K, step + 1), mode="exact")
