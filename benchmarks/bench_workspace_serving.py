@@ -62,17 +62,35 @@ Run it directly::
     PYTHONPATH=src python benchmarks/bench_workspace_serving.py \
         --telemetry-guard --repeats 5
 
+The ``--http`` mode measures the PR 10 network service tier: a
+:class:`repro.server.WorkspaceServer` serves the workspace over HTTP
+and ≥8 concurrent :class:`repro.server.RemoteWorkspace` clients drive
+exact queries at shard counts 1, 2 and 4 (``split_workspace``
+scatter-gather behind one server).  Every HTTP result is asserted
+bit-identical to the in-process single-workspace answer before it
+counts, ``/metrics`` must parse as Prometheus exposition format 0.0.4,
+and the run reports per-request p50/p99 latency plus end-to-end QPS
+per shard count.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_workspace_serving.py \
+        --http --threads 8 --queries 64
+
 ``--dry-run`` (alias ``--quick``) shrinks everything for CI; with
 ``--churn --json PATH`` the churn metrics are merged into PATH under
-the ``"workspace_churn"`` key, and ``--telemetry-guard --json PATH``
-merges under ``"telemetry_overhead"`` (the CI perf-guard artifact
-``BENCH_ci.json`` is shared with the incremental-index guard).
+the ``"workspace_churn"`` key, ``--telemetry-guard --json PATH``
+merges under ``"telemetry_overhead"`` and ``--http --json PATH`` under
+``"serving_http"`` (the CI perf-guard artifact ``BENCH_ci.json`` is
+shared with the incremental-index guard).
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
+import re
 import threading
 import time
 from typing import Dict, List, Optional, Tuple
@@ -80,6 +98,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.datasets.synthetic import make_gun_like
+from repro.server import RemoteWorkspace, WorkspaceServer, split_workspace
+from repro.server.http import PROMETHEUS_CONTENT_TYPE
 from repro.service import (
     EngineConfig,
     IndexConfig,
@@ -449,6 +469,190 @@ def run_telemetry_guard(args: argparse.Namespace) -> int:
     return 0
 
 
+_METRIC_LINE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+")
+
+
+def _check_prometheus_exposition(server: WorkspaceServer) -> Optional[str]:
+    """Scrape ``/metrics`` raw; returns a failure message or ``None``."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        content_type = response.getheader("Content-Type")
+        text = response.read().decode("utf-8")
+    finally:
+        conn.close()
+    if response.status != 200:
+        return f"/metrics answered {response.status}, not 200"
+    if content_type != PROMETHEUS_CONTENT_TYPE:
+        return (f"/metrics Content-Type {content_type!r} is not the "
+                f"exposition-format header {PROMETHEUS_CONTENT_TYPE!r}")
+    for line in text.splitlines():
+        if not line or line.startswith(("# HELP ", "# TYPE ")):
+            continue
+        if not _METRIC_LINE.fullmatch(line):
+            return f"/metrics line does not parse as exposition 0.0.4: {line!r}"
+    return None
+
+
+def run_http_clients(
+    server: WorkspaceServer,
+    queries: List[np.ndarray],
+    reference: List[Tuple],
+    *,
+    threads: int,
+    k: int,
+) -> Tuple[float, List[float]]:
+    """T clients fire the query list over HTTP; every response is checked
+    bit-identical to its in-process reference before it counts.
+
+    Returns (wall seconds, per-request latency samples).
+    """
+    samples: List[List[float]] = [[] for _ in range(threads)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(slot: int) -> None:
+        try:
+            with RemoteWorkspace(server.host, server.port) as remote:
+                barrier.wait()
+                for qi in range(slot, len(queries), threads):
+                    started = time.perf_counter()
+                    result = remote.query(queries[qi], k, mode="exact")
+                    samples[slot].append(time.perf_counter() - started)
+                    got = (result.ids, result.distances)
+                    if got != reference[qi]:
+                        raise AssertionError(
+                            f"HTTP result for query {qi} differs from the "
+                            f"in-process result"
+                        )
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+
+    pool = [threading.Thread(target=worker, args=(slot,))
+            for slot in range(threads)]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed, [sample for bucket in samples for sample in bucket]
+
+
+def run_http_benchmark(args: argparse.Namespace) -> int:
+    threads = max(args.threads, 8)  # the contract is >= 8 concurrent clients
+    dataset = make_gun_like(num_series=args.series, length=args.length, seed=7)
+    rng = np.random.default_rng(11)
+    queries = [
+        dataset[int(rng.integers(len(dataset)))].values
+        + rng.normal(scale=0.05, size=args.length)
+        for _ in range(args.queries)
+    ]
+    workspace = Workspace(WorkspaceConfig(
+        engine=EngineConfig(constraint="fc,fw", backend="vectorized"),
+        default_k=args.k,
+    ))
+    workspace.add_dataset(dataset)
+    workspace.engine  # pay snapshot construction before timing
+    reference = []
+    for query in queries:
+        result = workspace.query(query, args.k, mode="exact")
+        reference.append((result.ids, result.distances))
+
+    print(f"HTTP serving: {args.series} series x length {args.length}, "
+          f"{args.queries} queries, {threads} concurrent clients, "
+          f"k={args.k}, shard counts 1/2/4")
+
+    failures: List[str] = []
+    rows = []
+    per_shard_metrics: List[Dict[str, object]] = []
+    for num_shards in (1, 2, 4):
+        target = (workspace if num_shards == 1
+                  else split_workspace(workspace, num_shards))
+        server = WorkspaceServer(
+            target, port=0, max_inflight=threads, max_pending=4 * threads,
+        ).start()
+        try:
+            run_http_clients(  # warm connections + server pool
+                server, queries[:threads], reference[:threads],
+                threads=threads, k=args.k,
+            )
+            best_wall = float("inf")
+            latencies: List[float] = []
+            for _ in range(args.repeats):
+                wall, samples = run_http_clients(
+                    server, queries, reference, threads=threads, k=args.k,
+                )
+                best_wall = min(best_wall, wall)
+                latencies.extend(samples)
+            exposition_failure = _check_prometheus_exposition(server)
+            if exposition_failure is not None:
+                failures.append(f"[shards={num_shards}] {exposition_failure}")
+        finally:
+            server.stop()
+            if target is not workspace:
+                target.close()
+        p50 = _percentile_ms(latencies, 50)
+        p99 = _percentile_ms(latencies, 99)
+        qps = args.queries / best_wall
+        rows.append([num_shards, round(p50, 3), round(p99, 3),
+                     round(qps, 1)])
+        per_shard_metrics.append({
+            "shards": num_shards,
+            "p50_ms": round(p50, 4),
+            "p99_ms": round(p99, 4),
+            "qps": round(qps, 2),
+        })
+
+    print()
+    print(format_table(
+        ["shards", "p50 (ms)", "p99 (ms)", "queries/s"],
+        rows,
+        title=f"HTTP exact-query latency/throughput ({threads} clients, "
+              f"best wall of {args.repeats})",
+    ))
+    print()
+    print("bit-identity: every HTTP response matched the in-process result "
+          "at shard counts 1, 2 and 4")
+
+    if args.json:
+        metrics = {
+            "series": args.series,
+            "length": args.length,
+            "queries": args.queries,
+            "threads": threads,
+            "k": args.k,
+            "shard_counts": per_shard_metrics,
+            "failures": failures,
+        }
+        try:
+            with open(args.json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                payload = {"incremental_index": payload}
+        except (FileNotFoundError, json.JSONDecodeError):
+            payload = {}
+        payload["serving_http"] = metrics
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nHTTP serving metrics merged into {args.json} "
+              "under 'serving_http'")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("\nOK: /metrics parses as Prometheus exposition format 0.0.4 "
+          "at every shard count")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--series", type=int, default=64,
@@ -483,6 +687,10 @@ def main() -> int:
                         help="additive floor on the first-query bar, "
                              "absorbs timer noise at tiny scales "
                              "(default: 5.0)")
+    parser.add_argument("--http", action="store_true",
+                        help="serve the workspace over HTTP and measure "
+                             "concurrent-client latency/QPS at shard "
+                             "counts 1/2/4 (bit-identity gated)")
     parser.add_argument("--telemetry-guard", action="store_true",
                         help="measure telemetry-on vs telemetry-off query "
                              "latency and gate the overhead")
@@ -515,6 +723,8 @@ def main() -> int:
         return run_churn_benchmark(args)
     if args.telemetry_guard:
         return run_telemetry_guard(args)
+    if args.http:
+        return run_http_benchmark(args)
 
     dataset = make_gun_like(num_series=args.series, length=args.length, seed=7)
     rng = np.random.default_rng(11)

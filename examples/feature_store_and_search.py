@@ -5,9 +5,9 @@ one-time cost per series: features can be stored alongside the data and
 reused for every subsequent comparison.  This example
 
 1. builds a feature store for a Gun-like collection and saves it to disk,
-2. reloads the store and warms an SDTW engine with the cached features,
-3. runs leave-one-out k-NN queries through the search engine (LB_Keogh
-   pre-filter + constrained sDTW refinement), and
+2. reloads the store to show the features round-trip,
+3. runs leave-one-out k-NN queries through a :class:`Workspace` in exact
+   mode (LB_Keogh pre-filter + constrained sDTW refinement), and
 4. reports classification quality and how much work the two pruning layers
    (lower bound + locally relevant band) saved.
 
@@ -25,8 +25,25 @@ import tempfile
 from repro.core.config import SDTWConfig
 from repro.datasets import make_gun_like
 from repro.retrieval.feature_store import FeatureStore
-from repro.retrieval.search import TimeSeriesSearchEngine
+from repro.service import EngineConfig, Workspace, WorkspaceConfig
 from repro.utils.plotting import sparkline
+
+
+def classify(workspace: Workspace, values, k: int, *,
+             exclude_identifier=None):
+    """Majority-vote k-NN label, ties broken by the closest neighbour."""
+    result = workspace.query(values, k, mode="exact",
+                             exclude_identifier=exclude_identifier)
+    votes: dict = {}
+    for hit in result.hits:
+        if hit.label is not None:
+            votes[hit.label] = votes.get(hit.label, 0) + 1
+    if not votes:
+        return None, result
+    top = max(votes.values())
+    tied = {label for label, count in votes.items() if count == top}
+    winner = next(hit.label for hit in result.hits if hit.label in tied)
+    return winner, result
 
 
 def main(num_series: int = 16) -> None:
@@ -49,23 +66,24 @@ def main(num_series: int = 16) -> None:
     print(f"\nStored {total_features} salient features for {len(store)} series "
           f"in {store_path} ({size_kb:.0f} KiB)")
 
-    # 2. Reload and warm a search engine with the cached features.
+    # 2. Reload the store: extraction cost is paid once, not per query.
     reloaded = FeatureStore.load(store_path, config=config)
-    engine = TimeSeriesSearchEngine(constraint="ac,aw", config=config)
-    engine._engine = reloaded.warm_engine(engine._engine)
-    engine.add_dataset(dataset)
+    print(f"Reloaded {len(reloaded)} series' features from disk")
 
-    # 3. Leave-one-out classification through the search engine.
+    # 3. Leave-one-out classification through the Workspace facade
+    # (exact mode: LB cascade + constrained sDTW refinement).
+    workspace = Workspace(WorkspaceConfig(
+        sdtw=config, engine=EngineConfig(constraint="ac,aw")))
+    workspace.add_dataset(dataset)
     correct = 0
     pruned_total = 0
     computed_total = 0
     for ts in dataset:
-        result = engine.query(ts.values, k=3, exclude_identifier=ts.identifier)
-        predicted = engine.classify(ts.values, k=3,
-                                    exclude_identifier=ts.identifier)
+        predicted, result = classify(workspace, ts.values, 3,
+                                     exclude_identifier=ts.identifier)
         correct += int(predicted == ts.label)
-        pruned_total += result.candidates_pruned
-        computed_total += result.distances_computed
+        pruned_total += result.stats.pruned
+        computed_total += result.stats.refined
 
     total_queries = len(dataset)
     print(f"\nLeave-one-out 3-NN accuracy : {correct / total_queries:.1%}")

@@ -25,6 +25,13 @@ batch k-NN, indexed search and stream monitoring behind one object:
 >>> result.ids
 ('series-00000',)
 
+The same query surface serves over the network: ``repro-sdtw serve``
+puts a workspace behind an HTTP front end (:mod:`repro.server`), with
+:class:`RemoteWorkspace` as the drop-in client and
+:class:`ShardedWorkspace` scatter-gathering a hash-partitioned shard
+set bit-identically to a single workspace (see docs/API.md for the
+wire contract).
+
 Pairwise distances remain available directly:
 
 >>> from repro import SDTW
@@ -41,8 +48,8 @@ the paper's evaluation section; see EXPERIMENTS.md in the repository root.
 Naming note: the canonical *search index* classes (:class:`IndexedSearcher`
 and friends) live in :mod:`repro.indexing` and are re-exported here; the
 pairwise distance matrix of :mod:`repro.retrieval` is
-``PairwiseDistanceMatrix`` (its old name ``DistanceIndex`` is a deprecated
-alias).
+``PairwiseDistanceMatrix`` (its pre-rename ``DistanceIndex`` alias has
+been removed; see the README migration table).
 """
 
 from .core.config import (
@@ -83,6 +90,7 @@ from .service import (
     WorkspaceConfig,
     WorkspaceQueryResult,
 )
+from .server import RemoteWorkspace, ShardedWorkspace, WorkspaceServer
 from .telemetry import MetricsRegistry, QueryTrace, TraceRing
 from .exceptions import (
     BandError,
@@ -90,12 +98,14 @@ from .exceptions import (
     DatasetError,
     EmptySeriesError,
     ExperimentError,
+    RemoteWorkspaceError,
     ReproError,
+    ServerError,
     ValidationError,
     WorkspaceError,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BandError",
@@ -122,6 +132,8 @@ __all__ = [
     "MatchingConfig",
     "MetricsRegistry",
     "QueryTrace",
+    "RemoteWorkspace",
+    "RemoteWorkspaceError",
     "ReproError",
     "SDTW",
     "SDTWAlignment",
@@ -129,7 +141,9 @@ __all__ = [
     "SDTWResult",
     "SalientFeature",
     "ScaleSpaceConfig",
+    "ServerError",
     "ServingConfig",
+    "ShardedWorkspace",
     "SpringMatcher",
     "StreamBuffer",
     "StreamMatch",
@@ -141,6 +155,7 @@ __all__ = [
     "WorkspaceConfig",
     "WorkspaceError",
     "WorkspaceQueryResult",
+    "WorkspaceServer",
     "__version__",
     "banded_dtw",
     "dtw",

@@ -62,7 +62,7 @@ IMMUTABLE_CLASSES: Dict[str, FrozenSet[str]] = {
 _PUBLISHED_REFS = frozenset({"_serving", "_previous"})
 
 _LOCK_SCOPE = (("repro", "service"), ("repro", "engine"),
-               ("repro", "indexing"))
+               ("repro", "indexing"), ("repro", "server"))
 
 
 def _self_attr(node: ast.AST) -> Optional[str]:
@@ -370,7 +370,7 @@ def check_immutable_violations(context) -> List[Finding]:
         "``self._serving`` / ``self._previous`` (multi-statement "
         "publish) expose half-updated state to concurrent queries."),
     example="self._serving.engine = new_engine  # in-place publish",
-    scope=(("repro", "service"),),
+    scope=(("repro", "service"), ("repro", "server")),
     doctor_check="serving_snapshot",
 )
 def check_snapshot_mutation(context) -> List[Finding]:

@@ -28,7 +28,7 @@ from ..exceptions import AnalysisError
 #: (renamed IDs, reworded messages, new default scope).  ``repro
 #: version`` reports it and baseline files record it, so a stale
 #: baseline is detected instead of silently masking new findings.
-CHECKER_SET_VERSION = 1
+CHECKER_SET_VERSION = 2
 
 
 @dataclass(frozen=True)

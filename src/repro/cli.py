@@ -13,6 +13,11 @@ Two entry points are installed:
     surfaces: run the invariant checker (exit 1 on any FAIL), record a
     sampling-profiler window over replayed queries, or dump the flight
     record (recent events + traces + metrics + config) as JSON.
+  - ``serve`` — expose a workspace over HTTP/JSON (``/query``, ``/add``,
+    ``/remove``, ``/stats``, ``/healthz``, ``/metrics``), optionally
+    hash-partitioned across in-process shards with scatter-gather
+    merge.  Speaks the same versioned query-result wire schema as
+    ``workspace query --format json`` (see ``docs/API.md``).
   - ``version`` (also ``--version``) — package version plus the
     on-disk workspace / index / feature-store format versions.
   - ``experiment <id>`` — run one of the table/figure reproductions and
@@ -68,6 +73,35 @@ def _version_string() -> str:
     )
 
 
+def _query_flags_parent(
+    *,
+    default_mode: str = "auto",
+    default_k: Optional[int] = 5,
+) -> argparse.ArgumentParser:
+    """The query flags shared verbatim by ``serve``, ``workspace query``
+    and ``engine``.
+
+    One parent parser is the single spelling of ``--mode``/``--k``/
+    ``--trace`` — same names, choices and help text everywhere, so the
+    three front doors to the query contract cannot drift apart.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--mode", default=default_mode,
+        choices=["auto", "exact", "indexed"],
+        help="query mode: auto picks indexed when a fresh index exists, "
+             "exact scans every stored series (default: %(default)s)")
+    parent.add_argument(
+        "--k", type=int, default=default_k,
+        help="neighbours per query (default: "
+             + ("the workspace's configured default"
+                if default_k is None else "%(default)s") + ")")
+    parent.add_argument(
+        "--trace", action="store_true",
+        help="attach the per-stage telemetry trace to each query")
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sdtw",
@@ -99,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     eng = subparsers.add_parser(
         "engine",
+        parents=[_query_flags_parent(default_mode="exact")],
         help="batch k-NN retrieval through the cascaded distance engine")
     eng.add_argument("dataset", help="registered data-set name or UCR file path")
     eng.add_argument("--constraint", default="fc,fw",
@@ -109,7 +144,6 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="execution backend (default: serial)")
     eng.add_argument("--workers", type=int, default=None,
                      help="worker processes for the multiprocessing backend")
-    eng.add_argument("--k", type=int, default=5, help="neighbours per query")
     eng.add_argument("--num-queries", type=int, default=5,
                      help="how many stored series to replay as queries")
     eng.add_argument("--num-series", type=int, default=None,
@@ -251,12 +285,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="(re)build the inverted index after adding")
 
     ws_query = ws_sub.add_parser(
-        "query", help="answer k-NN queries against a workspace")
+        "query", parents=[_query_flags_parent()],
+        help="answer k-NN queries against a workspace")
     ws_query.add_argument("workspace_dir", help="workspace written by 'workspace init'")
-    ws_query.add_argument("--k", type=int, default=5, help="neighbours per query")
-    ws_query.add_argument("--mode", default="auto",
-                          choices=["auto", "exact", "indexed"],
-                          help="query mode (default: auto)")
     ws_query.add_argument("--candidates", type=int, default=None,
                           help="candidate budget override (indexed mode)")
     ws_query.add_argument("--rank-mode", default=None,
@@ -265,9 +296,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(default: the workspace configuration)")
     ws_query.add_argument("--num-queries", type=int, default=5,
                           help="how many stored series to replay as queries")
-    ws_query.add_argument("--trace", action="store_true",
-                          help="print the per-stage telemetry trace of each "
-                               "query")
+    ws_query.add_argument("--format", default="table",
+                          choices=["table", "json"], dest="output_format",
+                          help="result format: a table, or one query-result "
+                               "wire payload per line — exactly the schema "
+                               "'repro serve' answers /query with (see "
+                               "docs/API.md; default: table)")
     ws_query.add_argument("--profile", action="store_true",
                           help="sample this thread's stacks while the "
                                "queries run and print the hottest frames")
@@ -333,6 +367,31 @@ def _build_parser() -> argparse.ArgumentParser:
     ws_flight.add_argument("--output", metavar="PATH", default=None,
                            help="write the record to this file instead of "
                                 "stdout")
+
+    serve = subparsers.add_parser(
+        "serve",
+        parents=[_query_flags_parent(default_k=None)],
+        help="serve a workspace over HTTP/JSON (query / add / remove / "
+             "stats / healthz / metrics)")
+    serve.add_argument("workspace_dir",
+                       help="workspace written by 'workspace init'")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: %(default)s)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="hash-partition the workspace across this many "
+                            "in-process shards and answer queries by "
+                            "scatter-gather merge; shard contents live in "
+                            "memory, so /add and /remove do not persist to "
+                            "the workspace directory (default: %(default)s)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="workspace calls executing concurrently "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="requests allowed to wait for a worker before "
+                            "new arrivals get 503 (default: %(default)s)")
 
     lint = subparsers.add_parser(
         "lint",
@@ -437,6 +496,12 @@ def _run_engine(args: argparse.Namespace) -> int:
     identifiers = workspace.add_dataset(dataset)
     engine = workspace.engine
 
+    if args.mode != "exact" or args.trace:
+        # Non-default mode or tracing goes through the per-query
+        # workspace path — the same contract 'workspace query' and
+        # 'serve' answer with (indexed mode builds the index first).
+        return _run_engine_per_query(args, workspace, dataset, num_queries)
+
     queries = [dataset[i].values for i in range(num_queries)]
     result = workspace.knn(queries, k=args.k,
                            exclude_identifiers=identifiers[:num_queries])
@@ -473,6 +538,38 @@ def _run_engine(args: argparse.Namespace) -> int:
                   f"distance={top.distance:.4f}")
     if labelled:
         print(f"top-1 label agreement: {correct}/{labelled}")
+    return 0
+
+
+def _run_engine_per_query(args, workspace, dataset, num_queries: int) -> int:
+    from .utils.tables import format_table
+
+    if args.mode in ("auto", "indexed"):
+        workspace.build_index()
+    identifiers = workspace.identifiers
+    print(f"Per-query k-NN over {dataset.name}: {len(dataset)} series, "
+          f"{num_queries} queries, mode={args.mode}, k={args.k}")
+    rows = []
+    traces = []
+    for qi in range(num_queries):
+        result = workspace.query(
+            dataset[qi].values, args.k,
+            mode=args.mode, exclude_identifier=identifiers[qi],
+        )
+        top = result.hits[0] if result.hits else None
+        rows.append([
+            identifiers[qi],
+            result.mode if result.mode == "exact"
+            else f"{result.mode} C={result.candidates_generated}",
+            top.identifier if top else "-",
+            round(top.distance, 4) if top else "-",
+            f"{result.elapsed_seconds * 1000:.2f} ms",
+        ])
+        if args.trace:
+            traces.append((identifiers[qi], result.trace))
+    print(format_table(["query", "mode", "nearest", "distance", "time"],
+                       rows, title=f"Top-1 of k={args.k}"))
+    _print_traces(traces)
     return 0
 
 
@@ -822,6 +919,8 @@ def _run_workspace_add(args: argparse.Namespace) -> int:
 
 
 def _run_workspace_query(args: argparse.Namespace) -> int:
+    import json as json_module
+
     from .service import Workspace
     from .utils.tables import format_table
 
@@ -856,6 +955,14 @@ def _run_workspace_query(args: argparse.Namespace) -> int:
                     exclude_identifier=identifier,
                     rank_mode=args.rank_mode,
                 )
+                if args.output_format == "json":
+                    # One wire payload per line — byte-for-byte the
+                    # schema 'repro serve' answers /query with.
+                    print(json_module.dumps(
+                        result.to_dict(include_trace=args.trace),
+                        separators=(",", ":"),
+                    ))
+                    continue
                 top = result.hits[0] if result.hits else None
                 rows.append([
                     identifier,
@@ -869,30 +976,39 @@ def _run_workspace_query(args: argparse.Namespace) -> int:
                     traces.append((identifier, result.trace))
         finally:
             profile = profiler.stop() if profiler is not None else None
-        print(f"Workspace at {args.workspace_dir}: {len(workspace)} series, "
-              f"mode={args.mode}, k={args.k}")
-        print(format_table(["query", "mode", "nearest", "distance", "time"],
-                           rows, title=f"Top-1 of k={args.k}"))
-        for identifier, trace in traces:
-            print()
-            if trace is None:
-                print(f"trace of {identifier}: telemetry is disabled for "
-                      f"this workspace")
-                continue
-            stage_rows = [
-                [stage.name, f"{stage.seconds * 1000:.3f} ms",
-                 ", ".join(f"{key}={value}" for key, value
-                           in sorted(stage.attributes.items()))]
-                for stage in trace.stages
-            ]
+        if args.output_format != "json":
+            print(f"Workspace at {args.workspace_dir}: {len(workspace)} "
+                  f"series, mode={args.mode}, k={args.k}")
             print(format_table(
-                ["stage", "time", "detail"], stage_rows,
-                title=(f"Trace of {identifier} ({trace.mode}, "
-                       f"{trace.total_seconds * 1000:.2f} ms)")))
+                ["query", "mode", "nearest", "distance", "time"],
+                rows, title=f"Top-1 of k={args.k}"))
+            _print_traces(traces)
         if profile is not None:
             print()
             _print_profile(profile, top=10)
     return 0
+
+
+def _print_traces(traces) -> None:
+    """Print (identifier, trace) pairs as per-stage tables."""
+    from .utils.tables import format_table
+
+    for identifier, trace in traces:
+        print()
+        if trace is None:
+            print(f"trace of {identifier}: telemetry is disabled for "
+                  f"this workspace")
+            continue
+        stage_rows = [
+            [stage.name, f"{stage.seconds * 1000:.3f} ms",
+             ", ".join(f"{key}={value}" for key, value
+                       in sorted(stage.attributes.items()))]
+            for stage in trace.stages
+        ]
+        print(format_table(
+            ["stage", "time", "detail"], stage_rows,
+            title=(f"Trace of {identifier} ({trace.mode}, "
+                   f"{trace.total_seconds * 1000:.2f} ms)")))
 
 
 def _print_profile(report, top: int) -> None:
@@ -1037,6 +1153,46 @@ def _run_workspace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .server import WorkspaceServer, split_workspace
+    from .service import Workspace
+
+    workspace = Workspace.open(args.workspace_dir)
+    try:
+        target = workspace
+        if args.shards > 1:
+            target = split_workspace(workspace, args.shards)
+            print(f"Partitioned {len(workspace)} series across "
+                  f"{args.shards} in-process shards (scatter-gather "
+                  f"merge; mutations stay in memory)")
+        server = WorkspaceServer(
+            target,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_pending=args.max_pending,
+            default_mode=args.mode,
+            default_k=args.k,
+            default_trace=args.trace,
+        )
+        server.start()
+        try:
+            # start() has bound the socket, so the URL is live (and
+            # accurate even with --port 0).
+            print(f"Serving workspace {args.workspace_dir} on {server.url}")
+            print("routes: POST /query /add /remove; GET /stats /healthz "
+                  "/metrics  (Ctrl-C to stop)")
+            while server.join(timeout=1.0):
+                pass
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.stop()
+        return 0
+    finally:
+        workspace.close()
+
+
 def _run_datasets() -> int:
     for name in available_datasets():
         print(name)
@@ -1157,6 +1313,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_index(args)
         if args.command == "workspace":
             return _run_workspace(args)
+        if args.command == "serve":
+            return _run_serve(args)
         if args.command == "datasets":
             return _run_datasets()
         if args.command == "lint":

@@ -156,6 +156,26 @@ class EngineStats:
         payload["cell_gain"] = self.cell_gain
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineStats":
+        """Inverse of :meth:`to_dict` (the query-result wire schema).
+
+        Only raw dataclass fields are read back; derived ratios present
+        in the payload (``prune_rate``, ``cell_gain``, ...) are ignored
+        and recomputed on access, so a tampered or stale payload cannot
+        make the accounting inconsistent with itself.  Missing fields
+        default to the zero record's values.
+        """
+        kwargs = {}
+        for field in fields(cls):
+            if field.name in payload:
+                value = payload[field.name]
+                kwargs[field.name] = (
+                    float(value) if field.name.endswith("_seconds")
+                    else int(value)
+                )
+        return cls(**kwargs)
+
     def cascade_rows(self) -> List[List[object]]:
         """Rows for a per-stage summary table (used by the CLI)."""
         return [

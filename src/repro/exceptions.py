@@ -55,3 +55,17 @@ class WorkspaceError(ReproError):
     """
 
     flight_record = None
+
+
+class ServerError(ReproError):
+    """An HTTP serving-tier failure (malformed wire payload, unreachable
+    shard, server lifecycle misuse).  Client-side transport failures of
+    :class:`repro.server.RemoteWorkspace` raise the
+    :class:`RemoteWorkspaceError` subclass so callers can distinguish
+    "the workspace said no" (:class:`WorkspaceError`, re-raised from the
+    server's error payload) from "the wire is down"."""
+
+
+class RemoteWorkspaceError(ServerError):
+    """A :class:`repro.server.RemoteWorkspace` request could not reach
+    its server or got a response that is not part of the wire contract."""

@@ -20,7 +20,7 @@ Naming note: this package is the canonical home of the library's
 ``repro`` package (``from repro import IndexedSearcher`` works) but
 never through ``repro.retrieval``.  It is unrelated to
 :class:`repro.retrieval.index.PairwiseDistanceMatrix` (historically
-``DistanceIndex``, now a deprecated alias): that class is a pairwise
+``DistanceIndex``; that alias has been removed): that class is a pairwise
 distance *matrix* with cost accounting (an "index" in the
 experiment-bookkeeping sense), while this package is a disk-backed
 search index that trades a configurable candidate budget for sublinear

@@ -7,14 +7,15 @@ evaluation criteria (retrieval accuracy, distance error, classification
 accuracy, time gain).
 
 Naming note: the pairwise distance *matrix* with cost accounting is
-:class:`~repro.retrieval.index.PairwiseDistanceMatrix` (historically
-``DistanceIndex``, still importable as a deprecated alias).  The
-disk-backed salient-feature *search* index lives in
-:mod:`repro.indexing`, whose canonical classes are re-exported from the
-top-level :mod:`repro` package.
+:class:`~repro.retrieval.index.PairwiseDistanceMatrix`.  The disk-backed
+salient-feature *search* index lives in :mod:`repro.indexing`, whose
+canonical classes are re-exported from the top-level :mod:`repro`
+package.
 
-The query-by-example front end :class:`TimeSeriesSearchEngine` is a
-deprecated shim over :class:`repro.service.Workspace`.
+Removed entry points (see the migration table in the README): the
+``TimeSeriesSearchEngine`` shim — use :class:`repro.service.Workspace`
+in exact mode — and the ``DistanceIndex`` alias of
+``PairwiseDistanceMatrix``.
 """
 
 from .evaluation import (
@@ -28,16 +29,11 @@ from .evaluation import (
 from .feature_store import FeatureStore
 from .index import PairwiseDistanceMatrix, compute_distance_index
 from .knn import batch_top_k, knn_indices, knn_labels, top_k_indices
-from .search import SearchHit, SearchResult, TimeSeriesSearchEngine
 
 __all__ = [
-    "DistanceIndex",
     "EvaluationResult",
     "FeatureStore",
     "PairwiseDistanceMatrix",
-    "SearchHit",
-    "SearchResult",
-    "TimeSeriesSearchEngine",
     "batch_top_k",
     "classification_accuracy",
     "compute_distance_index",
@@ -49,13 +45,3 @@ __all__ = [
     "time_gain",
     "top_k_indices",
 ]
-
-
-def __getattr__(name: str):
-    if name == "DistanceIndex":
-        # Delegates to repro.retrieval.index.__getattr__, which emits the
-        # DeprecationWarning exactly once per call site.
-        from . import index
-
-        return index.DistanceIndex
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -11,15 +11,14 @@ name that collided conceptually with the disk-backed salient-feature
 *search* index of :mod:`repro.indexing` (inverted postings, shards,
 candidate generation) even though the two share nothing.  The canonical
 search-index classes are re-exported from ``repro.indexing`` and the
-top-level ``repro`` package; this class is now
-:class:`PairwiseDistanceMatrix`, and the old ``DistanceIndex`` name
-remains importable as a deprecated alias.
+top-level ``repro`` package; this class is :class:`PairwiseDistanceMatrix`
+(the deprecated ``DistanceIndex`` alias has been removed — see the
+migration table in the README).
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -233,15 +232,3 @@ def compute_distance_index(
     )
 
 
-def __getattr__(name: str):
-    if name == "DistanceIndex":
-        warnings.warn(
-            "repro.retrieval.index.DistanceIndex has been renamed to "
-            "PairwiseDistanceMatrix (it is a materialised distance matrix, "
-            "not a search index); the alias will be removed in a future "
-            "release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return PairwiseDistanceMatrix
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

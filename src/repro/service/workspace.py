@@ -96,6 +96,15 @@ FLIGHT_RECORD_VERSION = 1
 
 _MODES = ("auto", "exact", "indexed")
 
+#: The versioned wire schema emitted by :meth:`WorkspaceQueryResult.to_dict`
+#: and consumed by :meth:`WorkspaceQueryResult.from_dict` — the one
+#: serialization shared by the HTTP server (``repro serve``), the remote
+#: client (:class:`repro.server.RemoteWorkspace`) and the CLI
+#: (``workspace query --format json``).  Bump ``WIRE_VERSION`` on any
+#: incompatible change; readers reject payloads newer than they are.
+WIRE_FORMAT = "repro-query-result"
+WIRE_VERSION = 1
+
 
 @dataclass(frozen=True)
 class WorkspaceQueryResult:
@@ -138,6 +147,19 @@ class WorkspaceQueryResult:
         seconds sum exactly to the trace's measured end-to-end wall
         time; the same trace is retained in the workspace's recent-trace
         ring.
+    snapshot_version:
+        Monotonic version of the serving snapshot that answered the
+        query (0 when unknown, e.g. results deserialized from an old
+        wire payload).  A client seeing the number move knows a
+        mutation was folded in between two reads.
+    shard_versions:
+        Per-shard ``(shard_name, snapshot_version)`` pairs when the
+        query was scatter-gathered across a
+        :class:`~repro.server.ShardedWorkspace`; ``None`` for
+        single-workspace queries.
+    failed_shards:
+        Shards that failed to answer a degraded (partial) scatter-gather
+        read; empty for complete results.
     """
 
     hits: Tuple[EngineHit, ...]
@@ -151,6 +173,9 @@ class WorkspaceQueryResult:
     stats: EngineStats
     queue_wait_seconds: float = 0.0
     trace: Optional[QueryTrace] = None
+    snapshot_version: int = 0
+    shard_versions: Optional[Tuple[Tuple[str, int], ...]] = None
+    failed_shards: Tuple[str, ...] = ()
 
     @property
     def ids(self) -> Tuple[str, ...]:
@@ -201,6 +226,143 @@ class WorkspaceQueryResult:
             "elapsed_seconds": self.elapsed_seconds,
         }
 
+    # ------------------------------------------------------------------ #
+    # Wire schema (format "repro-query-result")
+    # ------------------------------------------------------------------ #
+    def to_dict(self, *, include_trace: bool = True) -> Dict[str, object]:
+        """The versioned wire representation of this result.
+
+        The payload round-trips through ``json.dumps``/``loads`` and
+        :meth:`from_dict` bit-identically: identifiers, indices,
+        distances and labels come back exactly (Python's JSON float
+        serialization is shortest-round-trip), raw timings and the
+        engine's work accounting are carried verbatim, and derived
+        quantities (``elapsed_seconds``, prune rates) are recomputed by
+        the reader rather than trusted from the wire.  ``include_trace=
+        False`` strips the (comparatively bulky) trace attachment; the
+        HTTP server maps ``?trace=0/1`` onto it.
+        """
+        hits = [
+            {
+                "identifier": hit.identifier,
+                "index": hit.index,
+                "distance": hit.distance,
+                "label": hit.label,
+            }
+            for hit in self.hits
+        ]
+        shard_versions: Optional[List[List[object]]] = None
+        if self.shard_versions is not None:
+            shard_versions = [
+                [name, version] for name, version in self.shard_versions
+            ]
+        trace = self.trace if include_trace else None
+        return {
+            "format": WIRE_FORMAT,
+            "version": WIRE_VERSION,
+            "mode": self.mode,
+            "requested_mode": self.requested_mode,
+            "k": self.k,
+            "collection_size": self.collection_size,
+            "candidates_generated": self.candidates_generated,
+            "snapshot_version": self.snapshot_version,
+            "shard_versions": shard_versions,
+            "failed_shards": list(self.failed_shards),
+            "hits": hits,
+            "timings": {
+                "queue_wait_seconds": self.queue_wait_seconds,
+                "generation_seconds": self.generation_seconds,
+                "rerank_seconds": self.rerank_seconds,
+                "elapsed_seconds": self.elapsed_seconds,
+            },
+            "stats": self.stats.to_dict(),
+            "trace": None if trace is None else trace.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WorkspaceQueryResult":
+        """Rebuild a result from its :meth:`to_dict` wire payload.
+
+        Rejects payloads that are not ``repro-query-result`` documents
+        or that were written by a newer wire version than this reader
+        supports (unknown *extra* keys within the supported version are
+        ignored, so additive evolution does not break old clients).
+        """
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"query-result payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        if payload.get("format") != WIRE_FORMAT:
+            raise ValidationError(
+                f"payload format {payload.get('format')!r} is not "
+                f"{WIRE_FORMAT!r}"
+            )
+        version = int(payload.get("version", 0))
+        if version > WIRE_VERSION:
+            raise ValidationError(
+                f"query-result wire version {version} is newer than this "
+                f"reader (supports <= {WIRE_VERSION})"
+            )
+        timings = payload.get("timings") or {}
+        if not isinstance(timings, dict):
+            raise ValidationError("'timings' must be a JSON object")
+        raw_hits = payload.get("hits")
+        if not isinstance(raw_hits, list):
+            raise ValidationError("'hits' must be a JSON array")
+        hits = tuple(
+            EngineHit(
+                identifier=str(entry["identifier"]),
+                index=int(entry["index"]),
+                distance=float(entry["distance"]),
+                label=(
+                    None if entry.get("label") is None
+                    else int(entry["label"])
+                ),
+            )
+            for entry in raw_hits
+        )
+        raw_shards = payload.get("shard_versions")
+        shard_versions: Optional[Tuple[Tuple[str, int], ...]] = None
+        if raw_shards is not None:
+            shard_versions = tuple(
+                (str(name), int(version)) for name, version in raw_shards
+            )
+        trace_payload = payload.get("trace")
+        try:
+            return cls(
+                hits=hits,
+                mode=str(payload["mode"]),
+                requested_mode=str(payload.get("requested_mode",
+                                               payload["mode"])),
+                k=int(payload["k"]),
+                collection_size=int(payload["collection_size"]),
+                candidates_generated=int(
+                    payload.get("candidates_generated", 0)
+                ),
+                generation_seconds=float(
+                    timings.get("generation_seconds", 0.0)
+                ),
+                rerank_seconds=float(timings.get("rerank_seconds", 0.0)),
+                stats=EngineStats.from_dict(payload.get("stats") or {}),
+                queue_wait_seconds=float(
+                    timings.get("queue_wait_seconds", 0.0)
+                ),
+                trace=(
+                    None if trace_payload is None
+                    else QueryTrace.from_dict(trace_payload)
+                ),
+                snapshot_version=int(payload.get("snapshot_version", 0)),
+                shard_versions=shard_versions,
+                failed_shards=tuple(
+                    str(name) for name in payload.get("failed_shards") or ()
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed query-result payload: {exc}"
+            ) from exc
+
 
 @dataclass(frozen=True)
 class _Snapshot:
@@ -221,6 +383,11 @@ class _Snapshot:
     size: int
     engine_to_live: Optional[np.ndarray] = None
     index_generation: Optional[int] = None
+    #: Monotonic per-workspace publish counter, stamped at publish time
+    #: (``dataclasses.replace`` builds the stamped instance — the
+    #: snapshot itself stays immutable).  Serving responses carry it so
+    #: network clients can observe snapshot turnover.
+    version: int = 0
 
 
 @dataclass
@@ -282,6 +449,7 @@ class Workspace:
         # the mutation log accumulated since it was built.
         self._previous: Optional[_Snapshot] = None
         self._pending: List[Tuple[str, str]] = []
+        self._snapshot_version = 0
         self._monitor: Optional[StreamMonitor] = None
         self._pairwise: Optional[SDTW] = None
         self._dirty = False
@@ -652,9 +820,12 @@ class Workspace:
                     else float(self._index.pq.compression_ratio)
                 ),
             }
+        serving = self._serving
         return {
             "path": self.path,
             "num_series": len(self._identifiers),
+            "identifiers": list(self._identifiers),
+            "snapshot_version": 0 if serving is None else serving.version,
             "min_length": min(lengths) if lengths else 0,
             "max_length": max(lengths) if lengths else 0,
             "constraint": self.config.engine.constraint,
@@ -1067,7 +1238,10 @@ class Workspace:
             self._require_open()
             if self._serving is None:
                 pending = len(self._pending)
-                self._serving = self._next_snapshot()
+                self._serving = dataclasses.replace(
+                    self._next_snapshot(),
+                    version=self._bump_snapshot_version(),
+                )
                 self._previous = None
                 self._pending.clear()
                 if pending:
@@ -1076,6 +1250,11 @@ class Workspace:
                         mutations=pending,
                     )
             return self._serving
+
+    def _bump_snapshot_version(self) -> int:
+        """The next snapshot publish version (caller holds the lock)."""
+        self._snapshot_version += 1
+        return self._snapshot_version
 
     # Rebuild (instead of derive) once this fraction of a derived
     # engine's slots would be tombstones: queries pay for dead slots in
@@ -1371,7 +1550,10 @@ class Workspace:
                 # construction wants a dense engine whose positions equal
                 # roster positions, so rebuild the snapshot from scratch
                 # (the codebook refit below dwarfs this cost anyway).
-                snapshot = self._build_snapshot()
+                snapshot = dataclasses.replace(
+                    self._build_snapshot(),
+                    version=self._bump_snapshot_version(),
+                )
                 self._serving = snapshot
             self._ensure_all_features()
             codebook_config = CodebookConfig.for_sdtw(
@@ -1433,6 +1615,7 @@ class Workspace:
                 searcher=searcher,
                 size=snapshot.size,
                 index_generation=self._index.generation,
+                version=self._bump_snapshot_version(),
             )
             self._dirty = True
             if self.path is not None:
@@ -1579,6 +1762,7 @@ class Workspace:
                 rerank_seconds=result.rerank_seconds,
                 stats=result.stats,
                 trace=trace,
+                snapshot_version=snapshot.version,
             )
             return self._finish_query(outcome, trace, started)
         queue_wait = 0.0
@@ -1604,6 +1788,7 @@ class Workspace:
             stats=engine_result.stats,
             queue_wait_seconds=queue_wait,
             trace=trace,
+            snapshot_version=snapshot.version,
         )
         return self._finish_query(outcome, trace, started)
 
@@ -1976,4 +2161,4 @@ def manifest_timestamp() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
-__all__ = ["Workspace", "WorkspaceQueryResult"]
+__all__ = ["WIRE_FORMAT", "WIRE_VERSION", "Workspace", "WorkspaceQueryResult"]

@@ -50,6 +50,14 @@ class TraceStage:
             payload["attributes"] = dict(self.attributes)
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceStage":
+        return cls(
+            name=str(payload["name"]),
+            seconds=float(payload["seconds"]),
+            attributes=dict(payload.get("attributes") or {}),
+        )
+
 
 @dataclass
 class QueryTrace:
@@ -96,6 +104,29 @@ class QueryTrace:
             "stages": [stage.to_dict() for stage in self.stages],
             "attributes": dict(self.attributes),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryTrace":
+        """Rebuild a sealed trace from its :meth:`to_dict` payload.
+
+        Part of the query-result wire schema: the server serializes the
+        trace with the result and remote clients get the same object
+        shape local callers do.  The rebuilt trace is already finished —
+        callers must not :meth:`finish` it again.
+        """
+        return cls(
+            mode=str(payload.get("mode", "")),
+            requested_mode=str(payload.get("requested_mode", "")),
+            k=int(payload.get("k", 0)),
+            collection_size=int(payload.get("collection_size", 0)),
+            candidates_generated=int(payload.get("candidates_generated", 0)),
+            stages=[
+                TraceStage.from_dict(stage)
+                for stage in payload.get("stages") or ()
+            ],
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+            attributes=dict(payload.get("attributes") or {}),
+        )
 
 
 class TraceRing:

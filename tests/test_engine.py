@@ -21,7 +21,6 @@ from repro.dtw.constraints import sakoe_chiba_band
 from repro.exceptions import DatasetError, ValidationError
 from repro.retrieval.index import compute_distance_index
 from repro.retrieval.knn import batch_top_k
-from repro.retrieval.search import TimeSeriesSearchEngine
 
 
 @pytest.fixture(scope="module")
@@ -228,26 +227,32 @@ class TestBatchTopK:
             batch_top_k(np.zeros((2, 3)), 1, exclude=[0])
 
 
-class TestRewiredSearchEngine:
-    def test_batch_query_matches_single_queries(self, dataset):
-        search = TimeSeriesSearchEngine(constraint="fc,fw",
-                                        backend="vectorized")
-        search.add_dataset(dataset)
+class TestRewiredRetrievalFrontDoor:
+    """The Workspace facade took over the retired search-engine shim."""
+
+    def test_batch_knn_matches_single_queries(self, dataset):
+        from repro.service import EngineConfig, Workspace, WorkspaceConfig
+
+        workspace = Workspace(WorkspaceConfig(engine=EngineConfig(
+            constraint="fc,fw", backend="vectorized")))
+        workspace.add_dataset(dataset)
         queries = [dataset[i].values for i in range(3)]
         excludes = [dataset[i].identifier for i in range(3)]
-        batch = search.batch_query(queries, k=3, exclude_identifiers=excludes)
-        for qi, result in enumerate(batch):
-            single = search.query(queries[qi], 3,
-                                  exclude_identifier=excludes[qi])
+        batch = workspace.knn(queries, 3, exclude_identifiers=excludes)
+        for qi, result in enumerate(batch.results):
+            single = workspace.query(queries[qi], 3, mode="exact",
+                                     exclude_identifier=excludes[qi])
             assert [h.index for h in result.hits] == [
                 h.index for h in single.hits
             ]
 
-    def test_search_engine_exposes_underlying_engine(self, dataset):
-        search = TimeSeriesSearchEngine(constraint="fc,fw")
-        search.add_dataset(dataset)
-        assert isinstance(search.engine, DistanceEngine)
-        assert len(search.engine) == len(dataset)
+    def test_workspace_exposes_underlying_engine(self, dataset):
+        from repro.service import Workspace
+
+        workspace = Workspace()
+        workspace.add_dataset(dataset)
+        assert isinstance(workspace.engine, DistanceEngine)
+        assert len(workspace.engine) == len(dataset)
 
 
 class TestParallelDistanceIndex:

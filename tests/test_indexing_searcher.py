@@ -9,7 +9,6 @@ from repro.core.config import DescriptorConfig, SDTWConfig
 from repro.datasets.synthetic import make_gun_like
 from repro.exceptions import ValidationError
 from repro.indexing import CodebookConfig, IndexedSearcher
-from repro.retrieval.search import TimeSeriesSearchEngine
 
 CONFIG = SDTWConfig(descriptor=DescriptorConfig(num_bins=16))
 # The three constraint families the acceptance criterion names.
@@ -136,23 +135,36 @@ class TestPersistenceRoundTrip:
         assert indexed.indices == exact.indices
 
 
-class TestSearchEngineIndexedPath:
-    def test_build_index_reuses_the_engine(self, dataset):
-        engine = TimeSeriesSearchEngine("fc,fw", config=CONFIG)
-        engine.add_dataset(dataset)
-        searcher = engine.build_index(
+class TestEngineIndexedPath:
+    """``IndexedSearcher.from_engine`` over a Workspace's serving engine
+    (the path the retired search-engine shim used to wrap)."""
+
+    def test_from_engine_reuses_the_engine(self, dataset):
+        from repro.service import (
+            EngineConfig, Workspace, WorkspaceConfig,
+        )
+
+        workspace = Workspace(WorkspaceConfig(
+            sdtw=CONFIG, engine=EngineConfig(constraint="fc,fw")))
+        workspace.add_dataset(dataset)
+        searcher = IndexedSearcher.from_engine(
+            workspace.engine,
+            config=CONFIG,
             codebook_config=CodebookConfig.for_sdtw(CONFIG, num_codewords=32),
             candidate_budget=8,
         )
-        assert searcher.engine is engine.engine
-        result = searcher.query(dataset[0].values, k=3, candidates=len(dataset))
-        exhaustive = engine.query(dataset[0].values, k=3)
+        assert searcher.engine is workspace.engine
+        result = searcher.query(dataset[0].values, k=3,
+                                candidates=len(dataset))
+        exhaustive = workspace.query(dataset[0].values, 3, mode="exact")
         assert [hit.index for hit in exhaustive.hits] == list(result.indices)
 
     def test_empty_engine_rejected(self):
-        engine = TimeSeriesSearchEngine("fc,fw", config=CONFIG)
+        from repro.engine import DistanceEngine
+
         with pytest.raises(ValidationError):
-            engine.build_index()
+            IndexedSearcher.from_engine(
+                DistanceEngine("fc,fw", config=CONFIG), config=CONFIG)
 
 
 class TestValidation:

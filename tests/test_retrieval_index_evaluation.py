@@ -39,20 +39,18 @@ def constrained_index(collection, fast_config):
     return compute_distance_index(collection, "ac,aw", engine, symmetrize=False)
 
 
-class TestDeprecatedAlias:
-    def test_distance_index_alias_warns_and_resolves(self):
+class TestRetiredAlias:
+    def test_distance_index_alias_removed(self):
         import repro.retrieval.index as index_module
 
-        with pytest.warns(DeprecationWarning, match="PairwiseDistanceMatrix"):
-            alias = index_module.DistanceIndex
-        assert alias is PairwiseDistanceMatrix
+        with pytest.raises(AttributeError):
+            index_module.DistanceIndex
 
-    def test_package_level_alias_warns(self):
+    def test_package_level_alias_removed(self):
         import repro.retrieval as retrieval
 
-        with pytest.warns(DeprecationWarning):
-            alias = retrieval.DistanceIndex
-        assert alias is PairwiseDistanceMatrix
+        with pytest.raises(AttributeError):
+            retrieval.DistanceIndex
 
     def test_compute_returns_canonical_class(self, reference_index):
         assert isinstance(reference_index, PairwiseDistanceMatrix)

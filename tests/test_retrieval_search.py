@@ -1,4 +1,10 @@
-"""Tests for the query-by-example search engine."""
+"""Query-by-example coverage, post-shim: the Workspace in exact mode.
+
+The ``TimeSeriesSearchEngine`` shim has been removed; the behaviours it
+guaranteed (sorted hits, leave-one-out exclusion, pruning accounting,
+label agreement) are contracts of :meth:`repro.service.Workspace.query`
+now, so this file pins them there — plus the removal itself.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +13,8 @@ import pytest
 
 from repro.core.config import DescriptorConfig, SDTWConfig
 from repro.datasets.synthetic import make_gun_like
-from repro.exceptions import DatasetError, ValidationError
-from repro.retrieval.search import TimeSeriesSearchEngine
+from repro.exceptions import WorkspaceError
+from repro.service import EngineConfig, Workspace, WorkspaceConfig
 
 
 @pytest.fixture(scope="module")
@@ -21,123 +27,136 @@ def dataset():
     return make_gun_like(num_series=10, seed=13)
 
 
+def _workspace(config, constraint="ac,aw", **engine_kwargs):
+    return Workspace(WorkspaceConfig(
+        sdtw=config,
+        engine=EngineConfig(constraint=constraint, **engine_kwargs),
+    ))
+
+
 @pytest.fixture(scope="module")
-def engine(config, dataset):
-    search = TimeSeriesSearchEngine(constraint="ac,aw", config=config)
-    search.add_dataset(dataset)
-    return search
+def workspace(config, dataset):
+    ws = _workspace(config)
+    ws.add_dataset(dataset)
+    return ws
 
 
-class TestDeprecationShim:
-    def test_construction_emits_deprecation_warning(self, config):
-        with pytest.warns(DeprecationWarning, match="Workspace"):
-            TimeSeriesSearchEngine(config=config)
-
-    def test_shim_matches_workspace_exact_mode(self, config, dataset):
-        from repro.service import EngineConfig, Workspace, WorkspaceConfig
-
-        with pytest.warns(DeprecationWarning):
-            shim = TimeSeriesSearchEngine(constraint="fc,fw", config=config)
-        shim.add_dataset(dataset)
-        workspace = Workspace(WorkspaceConfig(
-            sdtw=config, engine=EngineConfig(constraint="fc,fw")))
-        workspace.add_dataset(dataset)
-        ours = shim.query(dataset[0].values, k=3,
-                          exclude_identifier=dataset[0].identifier)
-        want = workspace.query(dataset[0].values, 3, mode="exact",
-                               exclude_identifier=dataset[0].identifier)
-        assert tuple(h.identifier for h in ours.hits) == want.ids
-        assert tuple(h.distance for h in ours.hits) == want.distances
+def _classify(workspace, values, k, *, exclude_identifier=None):
+    """Majority-vote k-NN label (closest-neighbour tie-break), the way
+    the retired search-engine shim classified."""
+    result = workspace.query(values, k, mode="exact",
+                             exclude_identifier=exclude_identifier)
+    votes: dict = {}
+    for hit in result.hits:
+        if hit.label is None:
+            continue
+        votes[hit.label] = votes.get(hit.label, 0) + 1
+    if not votes:
+        return None
+    top = max(votes.values())
+    tied = {label for label, count in votes.items() if count == top}
+    for hit in result.hits:
+        if hit.label in tied:
+            return hit.label
+    return None
 
 
-class TestIndexing:
-    def test_add_returns_identifier(self, config):
-        search = TimeSeriesSearchEngine(config=config)
-        identifier = search.add(np.sin(np.linspace(0, 5, 80)))
-        assert identifier.startswith("series-")
-        assert len(search) == 1
+class TestShimRemoved:
+    def test_search_module_is_gone(self):
+        import importlib
 
-    def test_add_dataset_preserves_labels(self, engine, dataset):
-        assert len(engine) == len(dataset)
+        with pytest.raises(ImportError):
+            importlib.import_module("repro.retrieval.search")
 
-    def test_invalid_lb_radius_rejected(self, config):
-        with pytest.raises(ValidationError):
-            TimeSeriesSearchEngine(config=config, lb_radius_fraction=0.0)
+    def test_engine_name_not_exported(self):
+        import repro.retrieval as retrieval
 
-    def test_query_on_empty_engine_raises(self, config):
-        search = TimeSeriesSearchEngine(config=config)
-        with pytest.raises(DatasetError):
-            search.query([1.0, 2.0, 3.0], k=1)
+        assert not hasattr(retrieval, "TimeSeriesSearchEngine")
+
+    def test_distance_index_alias_is_gone(self):
+        import repro.retrieval as retrieval
+        import repro.retrieval.index as index_module
+
+        with pytest.raises(AttributeError):
+            index_module.DistanceIndex
+        with pytest.raises(AttributeError):
+            retrieval.DistanceIndex
 
 
 class TestQuerying:
-    def test_query_returns_k_hits_sorted_by_distance(self, engine, dataset):
-        result = engine.query(dataset[0].values, k=3,
-                              exclude_identifier=dataset[0].identifier)
+    def test_query_returns_k_hits_sorted_by_distance(self, workspace, dataset):
+        result = workspace.query(dataset[0].values, 3, mode="exact",
+                                 exclude_identifier=dataset[0].identifier)
         assert len(result.hits) == 3
         distances = [hit.distance for hit in result.hits]
         assert distances == sorted(distances)
 
-    def test_self_query_without_exclusion_returns_itself_first(self, engine, dataset):
-        result = engine.query(dataset[2].values, k=1)
+    def test_self_query_without_exclusion_returns_itself_first(
+            self, workspace, dataset):
+        result = workspace.query(dataset[2].values, 1, mode="exact")
         assert result.hits[0].identifier == dataset[2].identifier
         assert result.hits[0].distance == pytest.approx(0.0, abs=1e-9)
 
-    def test_exclusion_skips_the_stored_copy(self, engine, dataset):
-        result = engine.query(dataset[2].values, k=3,
-                              exclude_identifier=dataset[2].identifier)
-        assert all(hit.identifier != dataset[2].identifier for hit in result.hits)
+    def test_exclusion_skips_the_stored_copy(self, workspace, dataset):
+        result = workspace.query(dataset[2].values, 3, mode="exact",
+                                 exclude_identifier=dataset[2].identifier)
+        assert all(hit.identifier != dataset[2].identifier
+                   for hit in result.hits)
 
-    def test_query_accounts_for_work(self, engine, dataset):
-        result = engine.query(dataset[1].values, k=3,
-                              exclude_identifier=dataset[1].identifier)
-        assert result.distances_computed + result.candidates_pruned <= len(dataset)
-        assert result.distances_computed >= 3
-        assert result.cells_filled > 0
+    def test_query_accounts_for_work(self, workspace, dataset):
+        result = workspace.query(dataset[1].values, 3, mode="exact",
+                                 exclude_identifier=dataset[1].identifier)
+        stats = result.stats
+        assert stats.refined + stats.pruned <= len(dataset)
+        assert stats.refined >= 3
+        assert stats.cells_filled > 0
         assert result.elapsed_seconds > 0.0
 
-    def test_nearest_neighbour_usually_same_class(self, engine, dataset):
+    def test_query_on_empty_workspace_raises(self, config):
+        with pytest.raises(WorkspaceError):
+            _workspace(config).query([1.0, 2.0, 3.0], 1, mode="exact")
+
+    def test_full_constraint_supported(self, config, dataset):
+        ws = _workspace(config, constraint="full", prune=False)
+        ws.add_dataset(dataset)
+        result = ws.query(dataset[0].values, 2, mode="exact",
+                          exclude_identifier=dataset[0].identifier)
+        assert len(result.hits) == 2
+        assert result.stats.pruned == 0
+
+    def test_pruning_disabled_computes_every_candidate(self, config, dataset):
+        ws = _workspace(config, prune=False)
+        ws.add_dataset(dataset)
+        result = ws.query(dataset[0].values, 2, mode="exact",
+                          exclude_identifier=dataset[0].identifier)
+        assert result.stats.refined == len(dataset) - 1
+
+    def test_nearest_neighbour_usually_same_class(self, workspace, dataset):
         agreements = 0
         for ts in dataset:
-            result = engine.query(ts.values, k=1, exclude_identifier=ts.identifier)
+            result = workspace.query(ts.values, 1, mode="exact",
+                                     exclude_identifier=ts.identifier)
             agreements += int(result.hits[0].label == ts.label)
         assert agreements >= len(dataset) // 2
 
-    def test_full_constraint_supported(self, config, dataset):
-        search = TimeSeriesSearchEngine(constraint="full", config=config,
-                                        lb_radius_fraction=None)
-        search.add_dataset(dataset)
-        result = search.query(dataset[0].values, k=2,
-                              exclude_identifier=dataset[0].identifier)
-        assert len(result.hits) == 2
-        assert result.candidates_pruned == 0
-
-    def test_lower_bound_disabled_computes_every_candidate(self, config, dataset):
-        search = TimeSeriesSearchEngine(constraint="ac,aw", config=config,
-                                        lb_radius_fraction=None)
-        search.add_dataset(dataset)
-        result = search.query(dataset[0].values, k=2,
-                              exclude_identifier=dataset[0].identifier)
-        assert result.distances_computed == len(dataset) - 1
-
 
 class TestClassification:
-    def test_classify_returns_a_known_label(self, engine, dataset):
-        label = engine.classify(dataset[0].values, k=3,
-                                exclude_identifier=dataset[0].identifier)
+    def test_classify_returns_a_known_label(self, workspace, dataset):
+        label = _classify(workspace, dataset[0].values, 3,
+                          exclude_identifier=dataset[0].identifier)
         assert label in set(dataset.labels)
 
     def test_classify_unlabelled_collection_returns_none(self, config):
-        search = TimeSeriesSearchEngine(config=config)
+        ws = _workspace(config)
         rng = np.random.default_rng(0)
         for _ in range(4):
-            search.add(np.cumsum(rng.normal(size=60)))
-        assert search.classify(np.cumsum(rng.normal(size=60)), k=2) is None
+            ws.add(np.cumsum(rng.normal(size=60)))
+        assert _classify(ws, np.cumsum(rng.normal(size=60)), 2) is None
 
-    def test_leave_one_out_accuracy_reasonable(self, engine, dataset):
+    def test_leave_one_out_accuracy_reasonable(self, workspace, dataset):
         correct = 0
         for ts in dataset:
-            predicted = engine.classify(ts.values, k=3,
-                                        exclude_identifier=ts.identifier)
+            predicted = _classify(workspace, ts.values, 3,
+                                  exclude_identifier=ts.identifier)
             correct += int(predicted == ts.label)
         assert correct / len(dataset) >= 0.5
